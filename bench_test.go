@@ -1,0 +1,288 @@
+package hbmrh_test
+
+// Benchmark harness: one benchmark per paper artifact (Table 1 and
+// Figs. 3-6 of Section 4, plus the Section 5 U-TRR study), each running a
+// scaled-down but structurally complete regeneration of that artifact per
+// iteration, plus ablation benchmarks for the design choices DESIGN.md
+// calls out. Full-resolution regeneration is cmd/characterize and
+// cmd/utrr-discover.
+
+import (
+	"testing"
+
+	hbmrh "github.com/safari-repro/hbmrh"
+)
+
+func benchHarness(b *testing.B) *hbmrh.Harness {
+	b.Helper()
+	h, err := hbmrh.NewHarnessFromConfig(hbmrh.SmallChip())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func midSubarrayRow(h *hbmrh.Harness) int {
+	layout := h.Device().Config().Layout()
+	return layout.Start(1) + layout.Size(1)/2
+}
+
+// BenchmarkTable1Patterns measures one full per-row BER experiment for
+// each of Table 1's four data patterns.
+func BenchmarkTable1Patterns(b *testing.B) {
+	h := benchHarness(b)
+	bank := hbmrh.BankAddr{Channel: 7, PseudoChannel: 0, Bank: 0}
+	row := midSubarrayRow(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range hbmrh.Table1() {
+			if _, err := h.BER(bank, row, p, hbmrh.DefaultHammers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchSweep runs the Figs. 3-5 generator at the given sampling density.
+func benchSweep(b *testing.B, rowsPerRegion int) *hbmrh.Sweep {
+	b.Helper()
+	s, err := hbmrh.RunSweep(hbmrh.SweepOptions{
+		Cfg:           hbmrh.SmallChip(),
+		RowsPerRegion: rowsPerRegion,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkFig3BERByChannel regenerates Fig. 3 (BER box plots by channel
+// and data pattern, plus headline ratios) from a fresh sweep.
+func BenchmarkFig3BERByChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSweep(b, 2)
+		f := hbmrh.Fig3{Sweep: s}
+		_ = f.Render()
+		_ = f.Headlines()
+	}
+}
+
+// BenchmarkFig4HCFirst regenerates Fig. 4 (HCfirst distributions).
+func BenchmarkFig4HCFirst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSweep(b, 2)
+		f := hbmrh.Fig4{Sweep: s}
+		_ = f.Render()
+		_ = f.Headlines()
+	}
+}
+
+// BenchmarkFig5RowProfile regenerates Fig. 5 (BER vs row address with
+// subarray periodicity and the weak last subarray).
+func BenchmarkFig5RowProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSweep(b, 6)
+		f := hbmrh.Fig5{Sweep: s}
+		_ = f.Render()
+		_ = f.Headlines()
+	}
+}
+
+// BenchmarkFig6BankScatter regenerates Fig. 6 (per-bank mean BER vs CV
+// over every bank of the stack).
+func BenchmarkFig6BankScatter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := hbmrh.RunFig6(hbmrh.Fig6Options{
+			Cfg:               hbmrh.SmallChip(),
+			RowsPerBankRegion: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = f.Render()
+		_ = f.Headlines()
+	}
+}
+
+// BenchmarkSec5UTRR regenerates the Section 5 TRR-uncovering study.
+func BenchmarkSec5UTRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := hbmrh.RunTRRStudy(hbmrh.TRRStudyOptions{
+			Cfg:        hbmrh.SmallChip(),
+			Bank:       hbmrh.BankAddr{Channel: 1, PseudoChannel: 0, Bank: 0},
+			Iterations: 40,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !s.Periodic {
+			b.Fatal("TRR period not uncovered")
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices from DESIGN.md §5) ---
+
+// BenchmarkAblationHammerFastPath measures a 4K-hammer program with the
+// interpreter's bulk loop application enabled.
+func BenchmarkAblationHammerFastPath(b *testing.B) {
+	benchHammerPath(b, false)
+}
+
+// BenchmarkAblationHammerSlowPath measures the identical program with
+// per-iteration execution, quantifying what the fast path buys.
+func BenchmarkAblationHammerSlowPath(b *testing.B) {
+	benchHammerPath(b, true)
+}
+
+func benchHammerPath(b *testing.B, disableFast bool) {
+	d, err := hbmrh.Open(hbmrh.SmallChip())
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout := d.Config().Layout()
+	row := layout.Start(1) + layout.Size(1)/2
+	bank := hbmrh.BankAddr{Channel: 0, PseudoChannel: 0, Bank: 0}
+	m := d.Mapper()
+	bd := hbmrh.NewBenderBuilder(d)
+	bd.HammerDouble(bank, m.ToLogical(row-1), m.ToLogical(row+1), 4096)
+	prog, err := bd.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := hbmrh.NewBenderRunner(d)
+	runner.DisableFastPath = disableFast
+	tm := d.Config().Timing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(d, d.Geometry(), prog); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := d.AdvanceTime(tm.TRP); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkAblationECCOn measures the BER experiment with on-die ECC
+// enabled (single-bit corrections at sense-out).
+func BenchmarkAblationECCOn(b *testing.B) { benchECC(b, true) }
+
+// BenchmarkAblationECCOff measures the identical experiment with ECC off,
+// the paper's configuration.
+func BenchmarkAblationECCOff(b *testing.B) { benchECC(b, false) }
+
+func benchECC(b *testing.B, eccOn bool) {
+	h := benchHarness(b) // harness disables ECC
+	d := h.Device()
+	if eccOn {
+		for ch := 0; ch < d.Geometry().Channels; ch++ {
+			if err := d.WriteModeRegister(ch, hbmrh.MRECC, hbmrh.MRECCEnable); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	bank := hbmrh.BankAddr{Channel: 7, PseudoChannel: 0, Bank: 0}
+	row := midSubarrayRow(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.BER(bank, row, hbmrh.Table1()[1], hbmrh.DefaultHammers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRefreshBudgetGuard measures the BER path with the
+// 27 ms refresh-window guard active (the default) vs disabled.
+func BenchmarkAblationRefreshBudgetGuard(b *testing.B) {
+	for _, guard := range []bool{true, false} {
+		name := "off"
+		if guard {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			h := benchHarness(b)
+			h.EnforceBudget = guard
+			bank := hbmrh.BankAddr{Channel: 3, PseudoChannel: 0, Bank: 0}
+			row := midSubarrayRow(h)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.BER(bank, row, hbmrh.Table1()[0], hbmrh.DefaultHammers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Extension benchmarks (Section 6 future work, implemented) ---
+
+// BenchmarkExtRowPress regenerates the aggressor-on-time study.
+func BenchmarkExtRowPress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := hbmrh.RunRowPress(hbmrh.RowPressOptions{
+			Cfg:             hbmrh.SmallChip(),
+			Bank:            hbmrh.BankAddr{Channel: 7},
+			Rows:            3,
+			HoldMultipliers: []int{1, 4, 16},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s.Render()
+	}
+}
+
+// BenchmarkExtTempSweep regenerates the temperature-sensitivity study,
+// PID settling included.
+func BenchmarkExtTempSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := hbmrh.RunTempSweep(hbmrh.TempSweepOptions{
+			Cfg:           hbmrh.SmallChip(),
+			Bank:          hbmrh.BankAddr{Channel: 7},
+			Rows:          3,
+			TemperaturesC: []float64{55, 85, 95},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s.Render()
+	}
+}
+
+// BenchmarkExtCrossChannel regenerates the interference probe.
+func BenchmarkExtCrossChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := hbmrh.RunCrossChannel(hbmrh.CrossChannelOptions{
+			Cfg:              hbmrh.SmallChip(),
+			AggressorChannel: 4,
+			Rows:             2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s.Render()
+	}
+}
+
+// BenchmarkExtAdaptiveDefense measures the guarded hammering path under
+// the vulnerability-adaptive preventive-refresh policy.
+func BenchmarkExtAdaptiveDefense(b *testing.B) {
+	h, err := hbmrh.NewHarnessFromConfig(hbmrh.SmallChip())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := h.Device()
+	guard := hbmrh.NewDefenseGuard(d, hbmrh.UniformPolicy{T: 8000})
+	m := d.Mapper()
+	row := midSubarrayRow(h)
+	bank := hbmrh.BankAddr{Channel: 7, PseudoChannel: 0, Bank: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := guard.Hammer(bank, m.ToLogical(row-1), m.ToLogical(row+1), 64000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// characterize regenerates the paper's evaluation figures (Figs. 3-6) on
+// the simulated HBM2 chip, printing ASCII renders plus the headline
+// numbers the paper reports, and optionally exporting raw CSV data.
+//
+// Usage:
+//
+//	characterize [-chip paper|small] [-fig all|3|4|5|6|press|temp|cross]
+//	             [-rows N] [-bankrows N] [-hammers N] [-workers N] [-csv DIR]
+//
+// With -rows 0 every row of the test regions is measured, as in the
+// paper; the default samples for a quick run. The press/temp/cross
+// figures are the paper's Section 6 future-work studies, implemented as
+// extensions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	hbmrh "github.com/safari-repro/hbmrh"
+	"github.com/safari-repro/hbmrh/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("characterize: ")
+	var (
+		chip     = flag.String("chip", "small", "chip preset: paper or small")
+		fig      = flag.String("fig", "all", "figure to regenerate: all, 3, 4, 5, 6, press, temp or cross")
+		rows     = flag.Int("rows", 24, "victim rows sampled per region for figs 3-5 (0 = all rows)")
+		bankRows = flag.Int("bankrows", 16, "rows per bank region for fig 6 (paper: 100)")
+		hammers  = flag.Int("hammers", hbmrh.DefaultHammers, "hammer count / HCfirst ceiling")
+		workers  = flag.Int("workers", 0, "parallel measurement devices (0 = auto)")
+		csvDir   = flag.String("csv", "", "directory for raw CSV exports (empty = none)")
+	)
+	flag.Parse()
+
+	cfg := hbmrh.SmallChip()
+	if *chip == "paper" {
+		cfg = hbmrh.PaperChip()
+	} else if *chip != "small" {
+		log.Fatalf("unknown -chip %q", *chip)
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("3") || want("4") || want("5") {
+		sweep, err := hbmrh.RunSweep(hbmrh.SweepOptions{
+			Cfg:           cfg,
+			Hammers:       *hammers,
+			RowsPerRegion: *rows,
+			Workers:       *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want("3") {
+			f3 := hbmrh.Fig3{Sweep: sweep}
+			fmt.Print(f3.Render())
+			h := f3.Headlines()
+			fmt.Printf("headlines: max/min channel WCDP BER ratio %.2fx (paper 2.03x); "+
+				"max cross-channel spread %.0f%% (paper 79%%); max BER %.2f%% (paper 3.13%%)\n\n",
+				h.MaxOverMinWCDP, h.MaxSpreadPct, h.MaxBER)
+		}
+		if want("4") {
+			f4 := hbmrh.Fig4{Sweep: sweep}
+			fmt.Print(f4.Render())
+			h := f4.Headlines()
+			fmt.Printf("headlines: min HCfirst %d (paper 14531); channel spread %.0f%% (paper 20%%); "+
+				"ch0 RS0/RS1 mean %.0f/%.0f (paper 57925/79179)\n\n",
+				h.MinHCFirst, h.SpreadPct, h.Ch0Rowstripe0, h.Ch0Rowstripe1)
+		}
+		if want("5") {
+			f5 := hbmrh.Fig5{Sweep: sweep}
+			fmt.Print(f5.Render())
+			h := f5.Headlines()
+			fmt.Printf("headlines: last-subarray BER ratio %.2fx; mid/edge ratio %.2fx\n\n",
+				h.LastSubarrayRatio, h.MidOverEdge)
+		}
+		if *csvDir != "" {
+			hd, data := sweep.CSV()
+			if err := writeCSV(filepath.Join(*csvDir, "sweep.csv"), hd, data); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	if want("6") {
+		f6, err := hbmrh.RunFig6(hbmrh.Fig6Options{
+			Cfg:               cfg,
+			Hammers:           *hammers,
+			RowsPerBankRegion: *bankRows,
+			Workers:           *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(f6.Render())
+		h := f6.Headlines()
+		fmt.Printf("headlines: bank mean BER %.2f-%.2f%% (paper 0.8-1.6%%); CV %.2f-%.2f (paper 0.22-0.34); "+
+			"cross/intra channel spread %.1fx\n",
+			h.MeanLo, h.MeanHi, h.CVLo, h.CVHi, h.CrossOverIntra)
+		if *csvDir != "" {
+			hd, data := f6.CSV()
+			if err := writeCSV(filepath.Join(*csvDir, "fig6.csv"), hd, data); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// The extension studies run only when asked for explicitly ("all"
+	// covers the paper's own artifacts).
+	switch *fig {
+	case "press":
+		s, err := hbmrh.RunRowPress(hbmrh.RowPressOptions{
+			Cfg:  cfg,
+			Bank: hbmrh.BankAddr{Channel: 7},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(s.Render())
+	case "temp":
+		s, err := hbmrh.RunTempSweep(hbmrh.TempSweepOptions{
+			Cfg:  cfg,
+			Bank: hbmrh.BankAddr{Channel: 7},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(s.Render())
+	case "cross":
+		s, err := hbmrh.RunCrossChannel(hbmrh.CrossChannelOptions{
+			Cfg:              cfg,
+			AggressorChannel: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(s.Render())
+	case "bypass":
+		// Nominal-refresh pointer cadence matters: force paper geometry.
+		s, err := hbmrh.RunTRRBypass(hbmrh.TRRBypassOptions{
+			Bank:    hbmrh.BankAddr{Channel: 7},
+			Hammers: *hammers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(s.Render())
+	case "all", "3", "4", "5", "6":
+	default:
+		log.Fatalf("unknown -fig %q", *fig)
+	}
+}
+
+func writeCSV(path string, headers []string, rows [][]string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteCSV(f, headers, rows); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(rows))
+	return nil
+}

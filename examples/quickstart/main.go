@@ -1,0 +1,49 @@
+// Quickstart: open a simulated HBM2 chip, hammer one victim row
+// double-sided the way the paper does (Table 1 Rowstripe1 pattern,
+// 256K hammers), and show the induced bitflips.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hbmrh "github.com/safari-repro/hbmrh"
+)
+
+func main() {
+	// SmallChip has the paper chip's channel-level behaviour at a
+	// fraction of the size; swap in hbmrh.PaperChip() for full scale.
+	harness, err := hbmrh.NewHarnessFromConfig(hbmrh.SmallChip())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := harness.Device()
+	fmt.Printf("opened simulated HBM2 stack: %d channels x %d pseudo channels x %d banks x %d rows\n",
+		dev.Geometry().Channels, dev.Geometry().PseudoChannels,
+		dev.Geometry().Banks, dev.Geometry().Rows)
+
+	// Channel 7 is the most RowHammer-vulnerable channel of the chip.
+	bank := hbmrh.BankAddr{Channel: 7, PseudoChannel: 0, Bank: 0}
+	layout := dev.Config().Layout()
+	victim := layout.Start(1) + layout.Size(1)/2 // a mid-subarray row
+
+	for _, pattern := range hbmrh.Table1() {
+		res, err := harness.BER(bank, victim, pattern, hbmrh.DefaultHammers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s victim=0x%02X aggressors=0x%02X: %4d bitflips in %d cells (BER %.3f%%), %.2f ms\n",
+			pattern.Name, pattern.Victim, pattern.Aggressor,
+			res.Flips, res.Bits, res.BER()*100, float64(res.Elapsed)/1e9)
+	}
+
+	hc, found, err := harness.HCFirst(bank, victim, hbmrh.Table1()[1], hbmrh.DefaultHammers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if found {
+		fmt.Printf("HCfirst (Rowstripe1): first bitflip after ~%d hammers\n", hc)
+	} else {
+		fmt.Println("no bitflip within 256K hammers on this row")
+	}
+}

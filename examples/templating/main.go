@@ -1,0 +1,67 @@
+// Memory templating: the paper's attack implication. An attacker who
+// knows the per-channel RowHammer vulnerability profile templates memory
+// (scans for exploitable bitflips) in the most vulnerable channel first,
+// finding usable flips faster and attacking with a smaller hammer count.
+//
+// This example compares templating the most vulnerable channel (7)
+// against the least vulnerable one (0) on the simulated chip, counting
+// how much simulated time each needs to collect a budget of exploitable
+// victim rows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hbmrh "github.com/safari-repro/hbmrh"
+)
+
+const (
+	flipBudget = 12    // exploitable victim rows the attacker wants
+	hammers    = 96000 // per-row hammer budget during templating
+)
+
+func template(channel int) (rowsScanned int, elapsedMS float64, err error) {
+	harness, err := hbmrh.NewHarnessFromConfig(hbmrh.SmallChip())
+	if err != nil {
+		return 0, 0, err
+	}
+	dev := harness.Device()
+	bank := hbmrh.BankAddr{Channel: channel, PseudoChannel: 0, Bank: 0}
+	pattern := hbmrh.Table1()[1] // Rowstripe1: strongest in channel 7
+	start := dev.Now()
+
+	found := 0
+	for phys := 1; phys < dev.Geometry().Rows-1 && found < flipBudget; phys++ {
+		res, err := harness.BER(bank, phys, pattern, hammers)
+		if err != nil {
+			return 0, 0, err
+		}
+		rowsScanned++
+		if res.Flips > 0 {
+			found++
+		}
+	}
+	if found < flipBudget {
+		return rowsScanned, 0, fmt.Errorf("channel %d: only %d exploitable rows found", channel, found)
+	}
+	return rowsScanned, float64(dev.Now()-start) / 1e9, nil
+}
+
+func main() {
+	fmt.Printf("templating goal: %d exploitable victim rows at %d hammers per probe\n\n", flipBudget, hammers)
+	var base float64
+	for _, ch := range []int{0, 7} {
+		rows, ms, err := template(ch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("channel %d: scanned %3d rows, simulated templating time %8.1f ms\n", ch, rows, ms)
+		if ch == 0 {
+			base = ms
+		} else if ms > 0 {
+			fmt.Printf("\nspeedup from picking the most vulnerable channel: %.1fx\n", base/ms)
+			fmt.Println("(the paper: an attack can use the most vulnerable channel to accelerate memory templating)")
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package hbmrh reproduces "An Experimental Analysis of RowHammer in HBM2
+// DRAM Chips" (DSN 2023) as a self-contained Go library.
+//
+// Because the study is hardware-gated (it characterizes a real HBM2 stack
+// on an FPGA testing infrastructure), this library ships a faithful
+// simulated substrate — a cycle-timed HBM2 device model with a
+// physically-motivated RowHammer/retention fault model, an in-DRAM TRR
+// mitigation, a DRAM-Bender-style program layer, and a thermal rig — and
+// the paper's full characterization pipeline on top of it:
+//
+//   - Open a chip with Open(PaperChip()) or Open(SmallChip()).
+//   - Per-row measurements (BER, HCfirst, WCDP) via NewHarness.
+//   - Figure-level studies via RunSweep / Fig3 / Fig4 / Fig5 / RunFig6.
+//   - The Section 5 TRR discovery via RunTRRStudy.
+//   - Row-mapping reverse engineering via Harness.RecoverMapping.
+//
+// The package is a thin facade over the internal subsystems; see DESIGN.md
+// for the system inventory and EXPERIMENTS.md for paper-vs-measured
+// results.
+package hbmrh
+
+import (
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/bender"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
+	"github.com/safari-repro/hbmrh/internal/defense"
+	"github.com/safari-repro/hbmrh/internal/experiments"
+	"github.com/safari-repro/hbmrh/internal/hbm"
+	"github.com/safari-repro/hbmrh/internal/mapping"
+	"github.com/safari-repro/hbmrh/internal/retention"
+	"github.com/safari-repro/hbmrh/internal/thermal"
+	"github.com/safari-repro/hbmrh/internal/utrr"
+)
+
+// Device and addressing.
+type (
+	// Device is a simulated HBM2 stack exposing the memory controller's
+	// command-level interface (ACT/PRE/RD/WR/REF/MRS) with strict JESD235
+	// timing checks.
+	Device = hbm.Device
+	// Config holds the full device + fault-model parameter set.
+	Config = config.Config
+	// Geometry describes stack dimensions.
+	Geometry = addr.Geometry
+	// BankAddr identifies one bank (channel, pseudo channel, bank).
+	BankAddr = addr.BankAddr
+	// RowAddr identifies one row.
+	RowAddr = addr.RowAddr
+)
+
+// PaperChip returns the configuration of the chip characterized in the
+// paper: a 4 GiB stack with 8 channels, 2 pseudo channels, 16 banks,
+// 16384 rows and 32 columns, with the fault model calibrated to the
+// paper's reported numbers.
+func PaperChip() *Config { return config.PaperChip() }
+
+// SmallChip returns a scaled-down chip with the same channel-level
+// behaviour for fast experimentation.
+func SmallChip() *Config { return config.SmallChip() }
+
+// Open powers up a simulated chip.
+func Open(cfg *Config) (*Device, error) { return hbm.New(cfg) }
+
+// Host-level row helpers (timing-correct ACT/RD/WR/PRE sequences).
+var (
+	// WriteRow writes a full row image.
+	WriteRow = hbm.WriteRow
+	// ReadRow reads a full row image; pending bitflips materialize at the
+	// activation, as in real DRAM.
+	ReadRow = hbm.ReadRow
+	// RefreshRow refreshes one row via activate + precharge.
+	RefreshRow = hbm.RefreshRow
+	// CountMismatches counts differing bits between two row images.
+	CountMismatches = hbm.CountMismatches
+)
+
+// Mode register constants (the paper disables ECC through MRECC).
+const (
+	MRECC       = hbm.MRECC
+	MRECCEnable = hbm.MRECCEnable
+)
+
+// Characterization methodology (Section 3.1).
+type (
+	// Harness drives per-row RowHammer experiments through DRAM Bender
+	// programs: BER, HCfirst, WCDP, and adjacency probing.
+	Harness = core.Harness
+	// Pattern is a Table 1 data pattern.
+	Pattern = core.Pattern
+	// Region is a row range within a bank.
+	Region = core.Region
+	// BERResult is one BER measurement.
+	BERResult = core.BERResult
+	// WCDPResult is a row's worst-case data pattern selection.
+	WCDPResult = core.WCDPResult
+)
+
+// NewHarness prepares a device for characterization (disabling ECC, as
+// the paper's setup does).
+func NewHarness(d *Device) (*Harness, error) { return core.NewHarness(d) }
+
+// NewHarnessFromConfig builds a fresh device plus harness.
+func NewHarnessFromConfig(cfg *Config) (*Harness, error) { return core.NewHarnessFromConfig(cfg) }
+
+// Table1 returns the paper's four data patterns.
+func Table1() []Pattern { return core.Table1() }
+
+// ExtendedPatterns returns the richer pattern set the paper's future
+// work calls for (solid and column-stripe patterns).
+func ExtendedPatterns() []Pattern { return core.ExtendedPatterns() }
+
+// Regions returns the paper's first/middle/last test regions for a bank
+// of the given row count.
+func Regions(rows int) []Region { return core.Regions(rows) }
+
+// DefaultHammers is the paper's hammer count (256K).
+const DefaultHammers = core.DefaultHammers
+
+// Figure-level studies (Section 4) and the TRR study (Section 5).
+type (
+	// SweepOptions configures the shared spatial sweep behind Figs. 3-5.
+	SweepOptions = experiments.Options
+	// Sweep is the spatial dataset.
+	Sweep = experiments.Sweep
+	// RowResult is one victim row's measurements.
+	RowResult = experiments.RowResult
+	// Fig3 is the BER-by-channel/pattern figure.
+	Fig3 = experiments.Fig3
+	// Fig4 is the HCfirst figure.
+	Fig4 = experiments.Fig4
+	// Fig5 is the BER-vs-row-address figure.
+	Fig5 = experiments.Fig5
+	// Fig6 is the per-bank scatter figure.
+	Fig6 = experiments.Fig6
+	// Fig6Options configures the per-bank study.
+	Fig6Options = experiments.Fig6Options
+	// TRRStudy is the Section 5 result.
+	TRRStudy = experiments.TRRStudy
+	// TRRStudyOptions configures the Section 5 study.
+	TRRStudyOptions = experiments.TRRStudyOptions
+)
+
+// RunSweep measures BER and HCfirst for sampled rows in every channel.
+func RunSweep(o SweepOptions) (*Sweep, error) { return experiments.RunSweep(o) }
+
+// RunFig6 measures per-bank BER statistics across the whole stack.
+func RunFig6(o Fig6Options) (*Fig6, error) { return experiments.RunFig6(o) }
+
+// RunTRRStudy reproduces the Section 5 U-TRR experiment.
+func RunTRRStudy(o TRRStudyOptions) (*TRRStudy, error) { return experiments.RunTRRStudy(o) }
+
+// Extension studies implementing the paper's Section 6 future work.
+type (
+	// RowPressOptions configures the aggressor-on-time study.
+	RowPressOptions = experiments.RowPressOptions
+	// RowPressStudy sweeps hold time vs HCfirst.
+	RowPressStudy = experiments.RowPressStudy
+	// TempSweepOptions configures the temperature study.
+	TempSweepOptions = experiments.TempSweepOptions
+	// TempSweepStudy sweeps chip temperature vs BER.
+	TempSweepStudy = experiments.TempSweepStudy
+	// CrossChannelOptions configures the interference probe.
+	CrossChannelOptions = experiments.CrossChannelOptions
+	// CrossChannelStudy probes vertical die-to-die interference.
+	CrossChannelStudy = experiments.CrossChannelStudy
+)
+
+// RunRowPress sweeps aggressor-on time against HCfirst.
+func RunRowPress(o RowPressOptions) (*RowPressStudy, error) { return experiments.RunRowPress(o) }
+
+// RunTempSweep measures RowHammer BER across PID-settled temperatures.
+func RunTempSweep(o TempSweepOptions) (*TempSweepStudy, error) { return experiments.RunTempSweep(o) }
+
+// RunCrossChannel probes for cross-channel RowHammer interference.
+func RunCrossChannel(o CrossChannelOptions) (*CrossChannelStudy, error) {
+	return experiments.RunCrossChannel(o)
+}
+
+// TRR bypass study (the Section 5 attack implication).
+type (
+	// TRRBypassOptions configures the sampler-blinding study.
+	TRRBypassOptions = experiments.TRRBypassOptions
+	// TRRBypassStudy compares naive vs decoy-assisted hammering under
+	// nominal refresh.
+	TRRBypassStudy = experiments.TRRBypassStudy
+)
+
+// RunTRRBypass shows that the uncovered mechanism protects naive attacks
+// but is defeated by a decoy activation before every REF.
+func RunTRRBypass(o TRRBypassOptions) (*TRRBypassStudy, error) {
+	return experiments.RunTRRBypass(o)
+}
+
+// Multi-chip study (future work 1: more chips, statistical significance).
+type (
+	// MultiChipOptions configures the chip-to-chip study.
+	MultiChipOptions = experiments.MultiChipOptions
+	// MultiChipStudy compares headline numbers across chip instances.
+	MultiChipStudy = experiments.MultiChipStudy
+)
+
+// RunMultiChip reruns the headline measurements across several simulated
+// chip instances (seeds).
+func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
+	return experiments.RunMultiChip(o)
+}
+
+// Defense: the paper's vulnerability-adaptive mitigation implication.
+type (
+	// DefenseGuard is a controller-side preventive-refresh mechanism.
+	DefenseGuard = defense.Guard
+	// DefensePolicy yields per-channel guard thresholds.
+	DefensePolicy = defense.Policy
+	// UniformPolicy applies the worst channel's threshold everywhere.
+	UniformPolicy = defense.Uniform
+	// AdaptivePolicy applies per-channel thresholds.
+	AdaptivePolicy = defense.Adaptive
+)
+
+// NewDefenseGuard wraps a device's activation path with the policy.
+func NewDefenseGuard(d *Device, p DefensePolicy) *DefenseGuard { return defense.NewGuard(d, p) }
+
+// SafetyFromHCFirst derives a guard threshold from a measured HCfirst.
+func SafetyFromHCFirst(hcFirst int) int { return defense.SafetyFromHCFirst(hcFirst) }
+
+// Supporting infrastructure.
+type (
+	// RetentionProfiler measures per-row retention times (the U-TRR side
+	// channel).
+	RetentionProfiler = retention.Profiler
+	// UTRRExperiment is the raw U-TRR loop.
+	UTRRExperiment = utrr.Experiment
+	// ThermalController is the simulated PID temperature rig.
+	ThermalController = thermal.Controller
+	// ThermalPlant is the chip + pad + fan thermal model.
+	ThermalPlant = thermal.Plant
+	// BenderProgram is an executable DRAM command program.
+	BenderProgram = bender.Program
+	// BenderBuilder assembles timing-correct programs.
+	BenderBuilder = bender.Builder
+	// BenderRunner executes programs against a device.
+	BenderRunner = bender.Runner
+	// RecoveredMap is a reverse-engineered physical row layout.
+	RecoveredMap = mapping.RecoveredMap
+)
+
+// NewRetentionProfiler returns a profiler over the device.
+func NewRetentionProfiler(d *Device) *RetentionProfiler { return retention.NewProfiler(d) }
+
+// NewUTRR returns a U-TRR experiment over the device.
+func NewUTRR(d *Device) *UTRRExperiment { return utrr.New(d) }
+
+// NewThermalController wires the PID rig to a device, starting at the
+// given lab ambient temperature.
+func NewThermalController(d *Device, ambientC float64) *ThermalController {
+	return thermal.NewController(d, thermal.NewPlant(ambientC))
+}
+
+// NewBenderBuilder returns a program builder for the device's timing and
+// geometry.
+func NewBenderBuilder(d *Device) *BenderBuilder {
+	return bender.NewBuilder(d.Config().Timing, d.Geometry())
+}
+
+// NewBenderRunner returns a program runner with the loop fast path armed.
+func NewBenderRunner(d *Device) *BenderRunner {
+	return bender.NewRunner(d.Config().Timing)
+}
+
+// AssembleProgram parses the textual DRAM Bender program format.
+func AssembleProgram(src string, g Geometry) (*BenderProgram, error) {
+	return bender.Assemble(src, g)
+}
+
+// DisassembleProgram renders a program as text.
+func DisassembleProgram(p *BenderProgram) string { return bender.Disassemble(p) }

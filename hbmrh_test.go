@@ -1,0 +1,128 @@
+package hbmrh_test
+
+import (
+	"strings"
+	"testing"
+
+	hbmrh "github.com/safari-repro/hbmrh"
+)
+
+// These tests exercise the public facade end to end, the way a downstream
+// user would.
+
+func TestOpenAndGeometry(t *testing.T) {
+	d, err := hbmrh.Open(hbmrh.PaperChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Geometry()
+	if g.Channels != 8 || g.PseudoChannels != 2 || g.Banks != 16 || g.Rows != 16384 || g.Columns != 32 {
+		t.Fatalf("paper geometry wrong: %+v", g)
+	}
+	if g.TotalBytes() != 4<<30 {
+		t.Fatalf("capacity %d, want 4 GiB", g.TotalBytes())
+	}
+}
+
+func TestPublicHammerFlow(t *testing.T) {
+	h, err := hbmrh.NewHarnessFromConfig(hbmrh.SmallChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := h.Device().Config().Layout()
+	victim := layout.Start(1) + layout.Size(1)/2
+	b := hbmrh.BankAddr{Channel: 7, PseudoChannel: 0, Bank: 0}
+	res, err := h.BER(b, victim, hbmrh.Table1()[1], hbmrh.DefaultHammers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips == 0 {
+		t.Fatal("no flips through the public API")
+	}
+}
+
+func TestPublicRowIO(t *testing.T) {
+	d, err := hbmrh.Open(hbmrh.SmallChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := hbmrh.BankAddr{Channel: 2, PseudoChannel: 1, Bank: 3}
+	row := make([]byte, d.Geometry().RowBytes())
+	for i := range row {
+		row[i] = byte(i)
+	}
+	if err := hbmrh.WriteRow(d, b, 7, row); err != nil {
+		t.Fatal(err)
+	}
+	got, err := hbmrh.ReadRow(d, b, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hbmrh.CountMismatches(got, row) != 0 {
+		t.Fatal("round trip corrupted data")
+	}
+}
+
+func TestPublicProgramAssembly(t *testing.T) {
+	d, err := hbmrh.Open(hbmrh.SmallChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := hbmrh.AssembleProgram("mrs 0 4 0x0\nref 0 0\n", d.Geometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := hbmrh.NewBenderRunner(d)
+	if _, err := r.Run(d, d.Geometry(), prog); err != nil {
+		t.Fatal(err)
+	}
+	text := hbmrh.DisassembleProgram(prog)
+	if !strings.Contains(text, "ref 0 0") {
+		t.Fatalf("disassembly wrong: %q", text)
+	}
+}
+
+func TestPublicThermalRig(t *testing.T) {
+	d, err := hbmrh.Open(hbmrh.SmallChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := hbmrh.NewThermalController(d, 25)
+	if err := ctl.SettleTo(85, 0.5, 5, 600); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Temperature(); got < 84 || got > 86 {
+		t.Fatalf("device at %.2f C after settling to 85", got)
+	}
+}
+
+func TestPublicTRRStudy(t *testing.T) {
+	s, err := hbmrh.RunTRRStudy(hbmrh.TRRStudyOptions{
+		Cfg:  hbmrh.SmallChip(),
+		Bank: hbmrh.BankAddr{Channel: 0, PseudoChannel: 0, Bank: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Periodic || s.Period != 17 {
+		t.Fatalf("period (%d, %v), want (17, true)", s.Period, s.Periodic)
+	}
+}
+
+func TestPublicRetentionProfiler(t *testing.T) {
+	d, err := hbmrh.Open(hbmrh.SmallChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hbmrh.NewHarness(d); err != nil { // disables ECC
+		t.Fatal(err)
+	}
+	p := hbmrh.NewRetentionProfiler(d)
+	T, err := p.RowRetention(hbmrh.BankAddr{Channel: 0, PseudoChannel: 0, Bank: 0}, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if T <= 0 {
+		t.Fatal("non-positive retention time")
+	}
+}

@@ -1,0 +1,362 @@
+// Package bender is the simulator's stand-in for the DRAM Bender FPGA
+// testing infrastructure the paper uses: a small instruction set for DRAM
+// command sequences, a program builder that inserts the waits the timing
+// rules require, a text assembler/disassembler, and an interpreter that
+// executes programs against the simulated HBM2 device at 1.66 ns command
+// clock resolution.
+//
+// Like the real infrastructure, programs express tight activation loops
+// with a LOOP instruction; the interpreter recognizes pure ACT/PRE hammer
+// loops and applies them in bulk so hammering 256K times costs O(1)
+// simulation work per loop instead of O(n) (see run.go).
+package bender
+
+import (
+	"fmt"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+)
+
+// Op enumerates the instruction set.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	OpAct     Op = iota + 1 // activate a row: ch pc bank row
+	OpPre                   // precharge a bank: ch pc bank
+	OpPreA                  // precharge all banks in a pseudo channel: ch pc
+	OpRd                    // read a column into the result FIFO: ch pc bank col
+	OpWr                    // write a column from the data table: ch pc bank col data
+	OpRef                   // periodic refresh: ch pc
+	OpMRS                   // mode register set: ch reg value
+	OpWait                  // advance time by Arg picoseconds
+	OpLoop                  // repeat the block until the matching OpEndLoop Arg times
+	OpEndLoop               // close the innermost OpLoop block
+	OpEnd                   // stop execution
+)
+
+// String returns the assembly mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpAct:
+		return "act"
+	case OpPre:
+		return "pre"
+	case OpPreA:
+		return "prea"
+	case OpRd:
+		return "rd"
+	case OpWr:
+		return "wr"
+	case OpRef:
+		return "ref"
+	case OpMRS:
+		return "mrs"
+	case OpWait:
+		return "wait"
+	case OpLoop:
+		return "loop"
+	case OpEndLoop:
+		return "endloop"
+	case OpEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Instr is one instruction. Field use depends on Op:
+//
+//	OpAct:  Ch, PC, Bank, Row
+//	OpPre:  Ch, PC, Bank
+//	OpPreA: Ch, PC
+//	OpRd:   Ch, PC, Bank, Col
+//	OpWr:   Ch, PC, Bank, Col, Data (index into Program.Data)
+//	OpRef:  Ch, PC
+//	OpMRS:  Ch, Row (register index), Arg (value)
+//	OpWait: Arg (picoseconds)
+//	OpLoop: Arg (iteration count)
+type Instr struct {
+	Op           Op
+	Ch, PC, Bank int
+	Row, Col     int
+	Arg          int64
+	Data         int
+}
+
+// Program is an executable command sequence plus its write-data table.
+type Program struct {
+	Instrs []Instr
+	// Data holds write payloads referenced by OpWr instructions. Each
+	// entry must be exactly one column long.
+	Data [][]byte
+}
+
+// Validate checks structural well-formedness against a geometry: operand
+// ranges, loop nesting, data table references and payload sizes.
+func (p *Program) Validate(g addr.Geometry) error {
+	depth := 0
+	for i, in := range p.Instrs {
+		where := func(f string, args ...any) error {
+			return fmt.Errorf("bender: instr %d (%s): %s", i, in.Op, fmt.Sprintf(f, args...))
+		}
+		switch in.Op {
+		case OpAct:
+			if !validBank(g, in) {
+				return where("bank ch%d.pc%d.ba%d out of range", in.Ch, in.PC, in.Bank)
+			}
+			if in.Row < 0 || in.Row >= g.Rows {
+				return where("row %d out of range", in.Row)
+			}
+		case OpPre:
+			if !validBank(g, in) {
+				return where("bank out of range")
+			}
+		case OpPreA, OpRef:
+			if in.Ch < 0 || in.Ch >= g.Channels || in.PC < 0 || in.PC >= g.PseudoChannels {
+				return where("pseudo channel ch%d.pc%d out of range", in.Ch, in.PC)
+			}
+		case OpRd:
+			if !validBank(g, in) || in.Col < 0 || in.Col >= g.Columns {
+				return where("bank/column out of range")
+			}
+		case OpWr:
+			if !validBank(g, in) || in.Col < 0 || in.Col >= g.Columns {
+				return where("bank/column out of range")
+			}
+			if in.Data < 0 || in.Data >= len(p.Data) {
+				return where("data index %d outside table of %d", in.Data, len(p.Data))
+			}
+			if len(p.Data[in.Data]) != g.ColumnBytes {
+				return where("payload %d is %d bytes, column holds %d", in.Data, len(p.Data[in.Data]), g.ColumnBytes)
+			}
+		case OpMRS:
+			if in.Ch < 0 || in.Ch >= g.Channels {
+				return where("channel out of range")
+			}
+			if in.Row < 0 {
+				return where("negative register index")
+			}
+		case OpWait:
+			if in.Arg < 0 {
+				return where("negative wait")
+			}
+		case OpLoop:
+			if in.Arg <= 0 {
+				return where("loop count %d must be positive", in.Arg)
+			}
+			depth++
+		case OpEndLoop:
+			depth--
+			if depth < 0 {
+				return where("endloop without loop")
+			}
+		case OpEnd:
+		default:
+			return where("unknown opcode")
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("bender: %d unclosed loop(s)", depth)
+	}
+	return nil
+}
+
+func validBank(g addr.Geometry, in Instr) bool {
+	return addr.BankAddr{Channel: in.Ch, PseudoChannel: in.PC, Bank: in.Bank}.Valid(g)
+}
+
+// Builder assembles programs with the inter-command waits the timing
+// parameters require, the way the DRAM Bender host library does.
+type Builder struct {
+	timing config.Timing
+	geom   addr.Geometry
+	prog   Program
+	// dataIndex deduplicates write payloads.
+	dataIndex map[string]int
+}
+
+// NewBuilder returns a builder for a device with the given timing and
+// geometry.
+func NewBuilder(t config.Timing, g addr.Geometry) *Builder {
+	return &Builder{timing: t, geom: g, dataIndex: make(map[string]int)}
+}
+
+// Build finalizes and validates the program.
+func (b *Builder) Build() (*Program, error) {
+	p := b.prog
+	if err := p.Validate(b.geom); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.prog.Instrs = append(b.prog.Instrs, in)
+	return b
+}
+
+// Act emits a raw activate without waits.
+func (b *Builder) Act(ba addr.BankAddr, row int) *Builder {
+	return b.emit(Instr{Op: OpAct, Ch: ba.Channel, PC: ba.PseudoChannel, Bank: ba.Bank, Row: row})
+}
+
+// Pre emits a raw precharge without waits.
+func (b *Builder) Pre(ba addr.BankAddr) *Builder {
+	return b.emit(Instr{Op: OpPre, Ch: ba.Channel, PC: ba.PseudoChannel, Bank: ba.Bank})
+}
+
+// PreA emits a precharge-all for a pseudo channel.
+func (b *Builder) PreA(ch, pc int) *Builder {
+	return b.emit(Instr{Op: OpPreA, Ch: ch, PC: pc})
+}
+
+// Rd emits a column read.
+func (b *Builder) Rd(ba addr.BankAddr, col int) *Builder {
+	return b.emit(Instr{Op: OpRd, Ch: ba.Channel, PC: ba.PseudoChannel, Bank: ba.Bank, Col: col})
+}
+
+// Wr emits a column write, interning the payload in the data table.
+func (b *Builder) Wr(ba addr.BankAddr, col int, payload []byte) *Builder {
+	key := string(payload)
+	idx, ok := b.dataIndex[key]
+	if !ok {
+		idx = len(b.prog.Data)
+		b.prog.Data = append(b.prog.Data, append([]byte(nil), payload...))
+		b.dataIndex[key] = idx
+	}
+	return b.emit(Instr{Op: OpWr, Ch: ba.Channel, PC: ba.PseudoChannel, Bank: ba.Bank, Col: col, Data: idx})
+}
+
+// Ref emits a periodic refresh.
+func (b *Builder) Ref(ch, pc int) *Builder {
+	return b.emit(Instr{Op: OpRef, Ch: ch, PC: pc})
+}
+
+// MRS emits a mode register write.
+func (b *Builder) MRS(ch, reg int, value uint32) *Builder {
+	return b.emit(Instr{Op: OpMRS, Ch: ch, Row: reg, Arg: int64(value)})
+}
+
+// Wait emits a time advance of ps picoseconds.
+func (b *Builder) Wait(ps int64) *Builder {
+	if ps > 0 {
+		b.emit(Instr{Op: OpWait, Arg: ps})
+	}
+	return b
+}
+
+// Loop emits a loop of n iterations around the instructions body adds.
+func (b *Builder) Loop(n int64, body func(*Builder)) *Builder {
+	b.emit(Instr{Op: OpLoop, Arg: n})
+	body(b)
+	return b.emit(Instr{Op: OpEndLoop})
+}
+
+// End emits an explicit end-of-program marker.
+func (b *Builder) End() *Builder { return b.emit(Instr{Op: OpEnd}) }
+
+// --- High-level helpers mirroring the paper's methodology ---
+
+// DisableECC clears the on-die ECC enable bit of every channel, step 4 of
+// the paper's interference-elimination setup.
+func (b *Builder) DisableECC() *Builder {
+	for ch := 0; ch < b.geom.Channels; ch++ {
+		b.MRS(ch, eccModeRegister, 0)
+	}
+	return b
+}
+
+// eccModeRegister mirrors hbm.MRECC without importing the device package
+// (bender targets an interface, not the concrete device).
+const eccModeRegister = 4
+
+// WriteRowFill opens a row, fills every column with the byte pattern, and
+// closes the row, with all required waits.
+func (b *Builder) WriteRowFill(ba addr.BankAddr, row int, fill byte) *Builder {
+	payload := make([]byte, b.geom.ColumnBytes)
+	for i := range payload {
+		payload[i] = fill
+	}
+	b.Act(ba, row)
+	b.Wait(b.timing.TRCD - b.timing.TCK)
+	for col := 0; col < b.geom.Columns; col++ {
+		b.Wr(ba, col, payload)
+	}
+	b.closeRow(ba, int64(b.geom.Columns+1))
+	return b
+}
+
+// ReadRowOut opens a row, reads every column into the result FIFO, and
+// closes the row.
+func (b *Builder) ReadRowOut(ba addr.BankAddr, row int) *Builder {
+	b.Act(ba, row)
+	b.Wait(b.timing.TRCD - b.timing.TCK)
+	for col := 0; col < b.geom.Columns; col++ {
+		b.Rd(ba, col)
+	}
+	b.closeRow(ba, int64(b.geom.Columns+1))
+	return b
+}
+
+// closeRow pads to tRAS from the activate (which happened cmds commands
+// ago), precharges, and waits out tRP.
+func (b *Builder) closeRow(ba addr.BankAddr, cmds int64) *Builder {
+	elapsed := cmds*b.timing.TCK + (b.timing.TRCD - b.timing.TCK)
+	b.Wait(b.timing.TRAS - elapsed)
+	b.Pre(ba)
+	b.Wait(b.timing.TRP)
+	return b
+}
+
+// HammerDouble emits the paper's double-sided RowHammer access pattern:
+// n iterations of alternating activations of the two aggressor rows, each
+// activation held for tRAS and separated by tRP. One iteration is one
+// "hammer" (a pair of activations).
+func (b *Builder) HammerDouble(ba addr.BankAddr, rowA, rowB int, n int64) *Builder {
+	return b.Loop(n, func(b *Builder) {
+		for _, r := range []int{rowA, rowB} {
+			b.Act(ba, r)
+			b.Wait(b.timing.TRAS - b.timing.TCK)
+			b.Pre(ba)
+			b.Wait(b.timing.TRP - b.timing.TCK)
+		}
+	})
+}
+
+// HammerSingle emits n single-sided activations of one aggressor row.
+func (b *Builder) HammerSingle(ba addr.BankAddr, row int, n int64) *Builder {
+	return b.Loop(n, func(b *Builder) {
+		b.Act(ba, row)
+		b.Wait(b.timing.TRAS - b.timing.TCK)
+		b.Pre(ba)
+		b.Wait(b.timing.TRP - b.timing.TCK)
+	})
+}
+
+// HammerDoubleHold is HammerDouble with each activation held open for
+// holdPS (>= tRAS) before its precharge — the RowPress access pattern,
+// which the paper lists as future characterization work.
+func (b *Builder) HammerDoubleHold(ba addr.BankAddr, rowA, rowB int, n, holdPS int64) *Builder {
+	if holdPS < b.timing.TRAS {
+		holdPS = b.timing.TRAS
+	}
+	return b.Loop(n, func(b *Builder) {
+		for _, r := range []int{rowA, rowB} {
+			b.Act(ba, r)
+			b.Wait(holdPS - b.timing.TCK)
+			b.Pre(ba)
+			b.Wait(b.timing.TRP - b.timing.TCK)
+		}
+	})
+}
+
+// RefreshBurst emits n REF commands to a pseudo channel, spaced tRFC
+// apart (the minimum legal spacing).
+func (b *Builder) RefreshBurst(ch, pc int, n int64) *Builder {
+	return b.Loop(n, func(b *Builder) {
+		b.Ref(ch, pc)
+		b.Wait(b.timing.TRFC - b.timing.TCK)
+	})
+}

@@ -1,0 +1,505 @@
+package bender_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/bender"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/hbm"
+)
+
+func newDevice(t testing.TB) *hbm.Device {
+	t.Helper()
+	d, err := hbm.New(config.SmallChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func ba(ch, pc, bank int) addr.BankAddr {
+	return addr.BankAddr{Channel: ch, PseudoChannel: pc, Bank: bank}
+}
+
+func run(t testing.TB, d *hbm.Device, p *bender.Program) *bender.Result {
+	t.Helper()
+	r := bender.NewRunner(d.Config().Timing)
+	res, err := r.Run(d, d.Geometry(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteThenReadRowViaProgram(t *testing.T) {
+	d := newDevice(t)
+	g := d.Geometry()
+	b := bender.NewBuilder(d.Config().Timing, g)
+	b.WriteRowFill(ba(1, 0, 2), 50, 0xA5)
+	b.ReadRowOut(ba(1, 0, 2), 50)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, d, prog)
+	if len(res.Reads) != g.Columns {
+		t.Fatalf("read %d columns, want %d", len(res.Reads), g.Columns)
+	}
+	for col, data := range res.Reads {
+		for i, v := range data {
+			if v != 0xA5 {
+				t.Fatalf("col %d byte %d = %#x, want 0xA5", col, i, v)
+			}
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("program consumed no simulated time")
+	}
+}
+
+// buildHammerProgram creates the paper's full per-row test: set up the
+// double-sided data pattern, hammer n times, read the victim back.
+func buildHammerProgram(t *testing.T, d *hbm.Device, bank addr.BankAddr, physVictim int, n int64) *bender.Program {
+	t.Helper()
+	m := d.Mapper()
+	lv := m.ToLogical(physVictim)
+	la := m.ToLogical(physVictim - 1)
+	lb := m.ToLogical(physVictim + 1)
+	b := bender.NewBuilder(d.Config().Timing, d.Geometry())
+	b.DisableECC()
+	b.WriteRowFill(bank, lv, 0xFF)
+	b.WriteRowFill(bank, la, 0x00)
+	b.WriteRowFill(bank, lb, 0x00)
+	b.HammerDouble(bank, la, lb, n)
+	b.ReadRowOut(bank, lv)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func countFlips(res *bender.Result, want byte) int {
+	n := 0
+	for _, col := range res.Reads {
+		for _, v := range col {
+			d := v ^ want
+			for d != 0 {
+				d &= d - 1
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestHammerProgramInducesFlips(t *testing.T) {
+	d := newDevice(t)
+	layout := d.Config().Layout()
+	phys := layout.Start(1) + layout.Size(1)/2
+	prog := buildHammerProgram(t, d, ba(7, 0, 0), phys, 256*1024)
+	res := run(t, d, prog)
+	if got := countFlips(res, 0xFF); got == 0 {
+		t.Fatal("hammer program induced no flips in channel 7")
+	}
+}
+
+func TestFastPathMatchesSlowPathExactly(t *testing.T) {
+	layout := config.SmallChip().Layout()
+	phys := layout.Start(1) + layout.Size(1)/2
+	const n = 2000 // keep the slow path affordable
+
+	exec := func(disableFast bool) (*bender.Result, int64, hbm.Stats) {
+		d := newDevice(t)
+		prog := buildHammerProgram(t, d, ba(7, 0, 0), phys, n)
+		r := bender.NewRunner(d.Config().Timing)
+		r.DisableFastPath = disableFast
+		res, err := r.Run(d, d.Geometry(), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, d.Now(), d.Stats()
+	}
+
+	fast, fastNow, fastStats := exec(false)
+	slow, slowNow, slowStats := exec(true)
+
+	if fastNow != slowNow {
+		t.Errorf("device clocks diverge: fast %d ps, slow %d ps", fastNow, slowNow)
+	}
+	if fast.Elapsed != slow.Elapsed {
+		t.Errorf("elapsed diverges: fast %d, slow %d", fast.Elapsed, slow.Elapsed)
+	}
+	if len(fast.Reads) != len(slow.Reads) {
+		t.Fatalf("read counts diverge: %d vs %d", len(fast.Reads), len(slow.Reads))
+	}
+	for i := range fast.Reads {
+		if !bytes.Equal(fast.Reads[i], slow.Reads[i]) {
+			t.Fatalf("read %d differs between fast and slow paths", i)
+		}
+	}
+	if fastStats.Acts != slowStats.Acts {
+		t.Errorf("activation counts diverge: %d vs %d", fastStats.Acts, slowStats.Acts)
+	}
+}
+
+func TestFastPathDeclinedForImpureLoops(t *testing.T) {
+	// A loop that reads inside cannot use the bulk path; it must still
+	// execute correctly and fill the FIFO once per iteration.
+	d := newDevice(t)
+	tm := d.Config().Timing
+	b := bender.NewBuilder(tm, d.Geometry())
+	b.WriteRowFill(ba(0, 0, 0), 9, 0x3C)
+	b.Loop(5, func(b *bender.Builder) {
+		b.Act(ba(0, 0, 0), 9)
+		b.Wait(tm.TRCD - tm.TCK)
+		b.Rd(ba(0, 0, 0), 0)
+		b.Wait(tm.TRAS)
+		b.Pre(ba(0, 0, 0))
+		b.Wait(tm.TRP)
+	})
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, d, prog)
+	if len(res.Reads) != 5 {
+		t.Fatalf("%d reads, want 5", len(res.Reads))
+	}
+}
+
+func TestNestedLoopsExecute(t *testing.T) {
+	d := newDevice(t)
+	tm := d.Config().Timing
+	b := bender.NewBuilder(tm, d.Geometry())
+	b.Loop(3, func(b *bender.Builder) {
+		b.Loop(4, func(b *bender.Builder) {
+			b.Ref(0, 0)
+			b.Wait(tm.TRFC - tm.TCK)
+		})
+	})
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, d, prog)
+	if got := d.Stats().Refreshes; got != 12 {
+		t.Fatalf("%d refreshes, want 12", got)
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	g := config.SmallChip().Geometry
+	cases := map[string]bender.Program{
+		"row out of range": {Instrs: []bender.Instr{{Op: bender.OpAct, Row: g.Rows}}},
+		"bad channel":      {Instrs: []bender.Instr{{Op: bender.OpRef, Ch: g.Channels}}},
+		"bad data index":   {Instrs: []bender.Instr{{Op: bender.OpWr}}},
+		"unclosed loop":    {Instrs: []bender.Instr{{Op: bender.OpLoop, Arg: 2}}},
+		"stray endloop":    {Instrs: []bender.Instr{{Op: bender.OpEndLoop}}},
+		"zero loop count":  {Instrs: []bender.Instr{{Op: bender.OpLoop}, {Op: bender.OpEndLoop}}},
+		"negative wait":    {Instrs: []bender.Instr{{Op: bender.OpWait, Arg: -1}}},
+		"unknown op":       {Instrs: []bender.Instr{{Op: bender.Op(99)}}},
+		"short payload": {
+			Instrs: []bender.Instr{{Op: bender.OpWr}},
+			Data:   [][]byte{{1, 2, 3}},
+		},
+	}
+	for name, p := range cases {
+		p := p
+		if err := p.Validate(g); err == nil {
+			t.Errorf("%s: invalid program accepted", name)
+		}
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	g := config.SmallChip().Geometry
+	src := `
+# set up and hammer
+mrs 0 4 0x0
+act 0 0 0 100
+wait 14000
+wr 0 0 0 0 fill a5
+wr 0 0 0 1 hex ` + strings.Repeat("0f", g.ColumnBytes) + `
+wait 33000
+pre 0 0 0
+wait 14000
+loop 1000
+  act 0 0 0 99  ; aggressor
+  wait 31334
+  pre 0 0 0
+  wait 12334
+endloop
+rd 0 0 0 0
+ref 0 0
+prea 0 0
+end
+`
+	p1, err := bender.Assemble(src, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := bender.Disassemble(p1)
+	p2, err := bender.Assemble(text, g)
+	if err != nil {
+		t.Fatalf("disassembly did not reassemble: %v\n%s", err, text)
+	}
+	if len(p1.Instrs) != len(p2.Instrs) {
+		t.Fatalf("instruction counts differ: %d vs %d", len(p1.Instrs), len(p2.Instrs))
+	}
+	for i := range p1.Instrs {
+		a, b := p1.Instrs[i], p2.Instrs[i]
+		if a.Op != b.Op || a.Ch != b.Ch || a.PC != b.PC || a.Bank != b.Bank ||
+			a.Row != b.Row || a.Col != b.Col || a.Arg != b.Arg {
+			t.Fatalf("instr %d differs: %+v vs %+v", i, a, b)
+		}
+		if a.Op == bender.OpWr && !bytes.Equal(p1.Data[a.Data], p2.Data[b.Data]) {
+			t.Fatalf("instr %d payload differs", i)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	g := config.SmallChip().Geometry
+	cases := map[string]string{
+		"unknown op":     "frobnicate 1 2 3",
+		"missing arg":    "act 0 0 0",
+		"bad int":        "wait abc",
+		"bad fill":       "wr 0 0 0 0 fill zz",
+		"bad hex":        "wr 0 0 0 0 hex xyz",
+		"short hex":      "wr 0 0 0 0 hex abcd",
+		"bad mode":       "wr 0 0 0 0 random ff",
+		"endloop extra":  "endloop 3",
+		"row overflow":   "act 0 0 0 999999",
+		"nested unclose": "loop 2\nloop 3\nendloop",
+	}
+	for name, src := range cases {
+		if _, err := bender.Assemble(src, g); err == nil {
+			t.Errorf("%s: assembler accepted %q", name, src)
+		}
+	}
+}
+
+func TestAssembledHammerUsesFastPath(t *testing.T) {
+	// An assembled text program with the canonical hammer loop should
+	// complete 256K iterations quickly (i.e. the fast path kicked in) and
+	// produce flips.
+	d := newDevice(t)
+	layout := d.Config().Layout()
+	phys := layout.Start(1) + layout.Size(1)/2
+	m := d.Mapper()
+	prog := buildHammerProgram(t, d, ba(7, 0, 0), phys, 256*1024)
+	text := bender.Disassemble(prog)
+	p2, err := bender.Assemble(text, d.Geometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, d, p2)
+	if countFlips(res, 0xFF) == 0 {
+		t.Fatal("assembled hammer program induced no flips")
+	}
+	_ = m
+}
+
+func TestRefreshBurstTriggersTRRPeriod(t *testing.T) {
+	d := newDevice(t)
+	tm := d.Config().Timing
+	b := bender.NewBuilder(tm, d.Geometry())
+	b.Wait(tm.TRFC) // space from power-up
+	b.RefreshBurst(0, 0, 40)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, d, prog)
+	if got := d.Stats().Refreshes; got != 40 {
+		t.Fatalf("%d refreshes, want 40", got)
+	}
+}
+
+func TestOpStringCoversAll(t *testing.T) {
+	ops := []bender.Op{
+		bender.OpAct, bender.OpPre, bender.OpPreA, bender.OpRd, bender.OpWr,
+		bender.OpRef, bender.OpMRS, bender.OpWait, bender.OpLoop, bender.OpEndLoop, bender.OpEnd,
+	}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		s := op.String()
+		if seen[s] {
+			t.Fatalf("duplicate mnemonic %q", s)
+		}
+		seen[s] = true
+	}
+	if got := bender.Op(99).String(); got != "Op(99)" {
+		t.Fatalf("unknown op renders as %q", got)
+	}
+}
+
+func TestHammerDoubleHoldFastMatchesSlow(t *testing.T) {
+	layout := config.SmallChip().Layout()
+	phys := layout.Start(1) + layout.Size(1)/2
+	const n = 8000
+
+	exec := func(disableFast bool) (*bender.Result, int64, int) {
+		d := newDevice(t)
+		tm := d.Config().Timing
+		m := d.Mapper()
+		lv := m.ToLogical(phys)
+		la, lb := m.ToLogical(phys-1), m.ToLogical(phys+1)
+		b := bender.NewBuilder(tm, d.Geometry())
+		b.DisableECC()
+		b.WriteRowFill(ba(7, 0, 0), lv, 0xFF)
+		b.WriteRowFill(ba(7, 0, 0), la, 0x00)
+		b.WriteRowFill(ba(7, 0, 0), lb, 0x00)
+		// Hold each activation open 20x tRAS: the RowPress pattern.
+		b.HammerDoubleHold(ba(7, 0, 0), la, lb, n, tm.TRAS*20)
+		b.ReadRowOut(ba(7, 0, 0), lv)
+		prog, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := bender.NewRunner(tm)
+		r.DisableFastPath = disableFast
+		res, err := r.Run(d, d.Geometry(), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, d.Now(), countFlips(res, 0xFF)
+	}
+
+	fast, fastNow, fastFlips := exec(false)
+	slow, slowNow, slowFlips := exec(true)
+	if fastNow != slowNow {
+		t.Errorf("clocks diverge: %d vs %d", fastNow, slowNow)
+	}
+	if fastFlips != slowFlips {
+		t.Errorf("flips diverge: fast %d, slow %d", fastFlips, slowFlips)
+	}
+	if fastFlips == 0 {
+		t.Error("300 pressed hammers flipped nothing; RowPress amplification missing")
+	}
+	if fast.Elapsed != slow.Elapsed {
+		t.Errorf("elapsed diverges: %d vs %d", fast.Elapsed, slow.Elapsed)
+	}
+}
+
+func TestTraceLogsCommands(t *testing.T) {
+	d := newDevice(t)
+	tm := d.Config().Timing
+	b := bender.NewBuilder(tm, d.Geometry())
+	b.MRS(0, 4, 0)
+	b.WriteRowFill(ba(0, 0, 0), 9, 0xAB)
+	b.HammerDouble(ba(0, 0, 0), 8, 10, 100)
+	b.ReadRowOut(ba(0, 0, 0), 9)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r := bender.NewRunner(tm)
+	r.Trace = &buf
+	if _, err := r.Run(d, d.Geometry(), prog); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"mrs  ch0 MR4 = 0x0",
+		"act  ch0.pc0.ba0 row 9",
+		"wr   ch0.pc0.ba0 col 0",
+		"double-sided hammer ch0.pc0.ba0 rows 8/10",
+		"(hold 33000 ps, bulk)",
+		"rd   ch0.pc0.ba0 col 0",
+		"] pre  ch0.pc0.ba0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Timestamps must be non-decreasing.
+	last := int64(-1)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var ts int64
+		if _, err := fmt.Sscanf(line, "[%d ps]", &ts); err != nil {
+			t.Fatalf("unparseable trace line %q", line)
+		}
+		if ts < last {
+			t.Fatalf("trace timestamps regress: %d after %d", ts, last)
+		}
+		last = ts
+	}
+}
+
+func TestTraceSlowPathLogsEveryIteration(t *testing.T) {
+	d := newDevice(t)
+	tm := d.Config().Timing
+	b := bender.NewBuilder(tm, d.Geometry())
+	b.HammerSingle(ba(0, 0, 0), 5, 3)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r := bender.NewRunner(tm)
+	r.Trace = &buf
+	r.DisableFastPath = true
+	if _, err := r.Run(d, d.Geometry(), prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "act  "); got != 3 {
+		t.Fatalf("%d act lines, want 3", got)
+	}
+}
+
+func TestAssembleNeverPanicsProperty(t *testing.T) {
+	g := config.SmallChip().Geometry
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		// Either a valid program or an error; never a panic.
+		p, err := bender.Assemble(src, g)
+		return err != nil || p != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// And a few adversarial fragments assembled verbatim.
+	for _, src := range []string{
+		"loop 9223372036854775807\nendloop",
+		"wait 9223372036854775807",
+		"act -1 -1 -1 -1",
+		"wr 0 0 0 0 hex " + strings.Repeat("00", 1<<10),
+		"\x00\x01\x02",
+		"loop 1\nloop 1\nloop 1\nendloop\nendloop\nendloop",
+	} {
+		f(src)
+	}
+}
+
+func TestLoopErrorReportsIteration(t *testing.T) {
+	// A timing violation inside a loop must name the failing iteration.
+	d := newDevice(t)
+	b := bender.NewBuilder(d.Config().Timing, d.Geometry())
+	b.Loop(3, func(b *bender.Builder) {
+		b.Act(ba(0, 0, 0), 1) // second iteration activates an open bank
+	})
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bender.NewRunner(d.Config().Timing)
+	_, err = r.Run(d, d.Geometry(), prog)
+	if err == nil {
+		t.Fatal("double activation accepted")
+	}
+	if !strings.Contains(err.Error(), "loop iteration 1") {
+		t.Fatalf("error %q does not name the failing iteration", err)
+	}
+}

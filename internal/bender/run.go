@@ -1,0 +1,332 @@
+package bender
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+)
+
+// Target is the device-side interface the interpreter drives. It is the
+// command-level surface of the simulated HBM2 stack; *hbm.Device
+// implements it.
+type Target interface {
+	Activate(b addr.BankAddr, row int) error
+	Precharge(b addr.BankAddr) error
+	PrechargeAll(ch, pc int) error
+	Read(b addr.BankAddr, col int) ([]byte, error)
+	Write(b addr.BankAddr, col int, data []byte) error
+	Refresh(ch, pc int) error
+	WriteModeRegister(ch, index int, value uint32) error
+	AdvanceTime(ps int64) error
+	HammerPairHold(b addr.BankAddr, rowA, rowB, n int, holdPS int64) error
+	HammerSingleHold(b addr.BankAddr, row, n int, holdPS int64) error
+	Now() int64
+}
+
+// Result carries a program's outputs.
+type Result struct {
+	// Reads holds the data of every OpRd in program order (the read FIFO).
+	Reads [][]byte
+	// Elapsed is the simulated time the program occupied, in picoseconds.
+	Elapsed int64
+}
+
+// Runner executes programs against a Target.
+type Runner struct {
+	// Timing lets the loop fast path prove a hammer loop is
+	// timing-legal and reproduce its exact simulated duration. With a
+	// zero Timing the fast path is disabled.
+	Timing config.Timing
+	// DisableFastPath forces per-iteration execution of all loops. The
+	// fast path is semantically equivalent (asserted by tests and an
+	// ablation benchmark); disabling it exists for those comparisons.
+	DisableFastPath bool
+	// Trace, when non-nil, receives one line per executed command (and
+	// one summary line per bulk-applied hammer loop), timestamped with
+	// the simulated clock — the command log a logic analyzer on the
+	// DRAM bus would capture.
+	Trace io.Writer
+}
+
+func (r *Runner) trace(t Target, format string, args ...any) {
+	if r.Trace == nil {
+		return
+	}
+	fmt.Fprintf(r.Trace, "[%14d ps] %s\n", t.Now(), fmt.Sprintf(format, args...))
+}
+
+// NewRunner returns a Runner with the loop fast path armed for the given
+// timing parameters.
+func NewRunner(t config.Timing) *Runner { return &Runner{Timing: t} }
+
+// Run validates and executes prog against t.
+func (r *Runner) Run(t Target, g addr.Geometry, prog *Program) (*Result, error) {
+	if err := prog.Validate(g); err != nil {
+		return nil, err
+	}
+	tree, err := parseBlocks(prog.Instrs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	start := t.Now()
+	if err := r.execBlock(t, prog, tree, res); err != nil {
+		return nil, err
+	}
+	res.Elapsed = t.Now() - start
+	return res, nil
+}
+
+// node is either a single instruction (body == nil) or a loop block.
+type node struct {
+	in   Instr
+	body []node // loop body when in.Op == OpLoop
+}
+
+func parseBlocks(instrs []Instr) ([]node, error) {
+	nodes, rest, err := parseUntil(instrs, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("bender: trailing instructions after end")
+	}
+	return nodes, nil
+}
+
+func parseUntil(instrs []Instr, inLoop bool) (nodes []node, rest []Instr, err error) {
+	for len(instrs) > 0 {
+		in := instrs[0]
+		instrs = instrs[1:]
+		switch in.Op {
+		case OpLoop:
+			body, r, err := parseUntil(instrs, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			nodes = append(nodes, node{in: in, body: body})
+			instrs = r
+		case OpEndLoop:
+			if !inLoop {
+				return nil, nil, fmt.Errorf("bender: endloop without loop")
+			}
+			return nodes, instrs, nil
+		case OpEnd:
+			if inLoop {
+				return nil, nil, fmt.Errorf("bender: end inside loop")
+			}
+			return nodes, nil, nil
+		default:
+			nodes = append(nodes, node{in: in})
+		}
+	}
+	if inLoop {
+		return nil, nil, fmt.Errorf("bender: unterminated loop")
+	}
+	return nodes, nil, nil
+}
+
+func (r *Runner) execBlock(t Target, prog *Program, nodes []node, res *Result) error {
+	for _, n := range nodes {
+		if n.in.Op == OpLoop {
+			if err := r.execLoop(t, prog, n, res); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := r.execInstr(t, prog, n.in, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runner) execLoop(t Target, prog *Program, n node, res *Result) error {
+	if !r.DisableFastPath && r.Timing.TCK > 0 {
+		if h, ok := matchHammerLoop(n); ok && h.uniform {
+			h.tck = r.Timing.TCK
+			if r.fastPathLegal(h) {
+				return r.runHammerFast(t, h, n.in.Arg)
+			}
+		}
+	}
+	for i := int64(0); i < n.in.Arg; i++ {
+		if err := r.execBlock(t, prog, n.body, res); err != nil {
+			return fmt.Errorf("loop iteration %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// fastPathLegal checks that the loop body satisfies tRAS and tRP on its
+// own, so bulk application cannot mask a timing bug, and that the bulk
+// path's hold-derived activation period never exceeds the body's actual
+// per-iteration time (the pad must be non-negative).
+func (r *Runner) fastPathLegal(h hammerShape) bool {
+	tm := r.Timing
+	if h.minActHold < tm.TRAS-tm.TCK || h.minPreGap < tm.TRP-tm.TCK {
+		return false
+	}
+	slowPer := h.perIterWaits + int64(len(h.rows))*2*tm.TCK
+	return slowPer >= int64(len(h.rows))*(h.hold()+tm.TRP)
+}
+
+// hold returns the per-activation open time the bulk path should model:
+// the wait between ACT and PRE plus the ACT command cycle itself.
+func (h hammerShape) hold() int64 { return h.minActHold + h.tck }
+
+func (r *Runner) execInstr(t Target, prog *Program, in Instr, res *Result) error {
+	ba := addr.BankAddr{Channel: in.Ch, PseudoChannel: in.PC, Bank: in.Bank}
+	if r.Trace != nil {
+		r.traceInstr(t, in)
+	}
+	switch in.Op {
+	case OpAct:
+		return t.Activate(ba, in.Row)
+	case OpPre:
+		return t.Precharge(ba)
+	case OpPreA:
+		return t.PrechargeAll(in.Ch, in.PC)
+	case OpRd:
+		data, err := t.Read(ba, in.Col)
+		if err != nil {
+			return err
+		}
+		res.Reads = append(res.Reads, data)
+		return nil
+	case OpWr:
+		return t.Write(ba, in.Col, prog.Data[in.Data])
+	case OpRef:
+		return t.Refresh(in.Ch, in.PC)
+	case OpMRS:
+		return t.WriteModeRegister(in.Ch, in.Row, uint32(in.Arg))
+	case OpWait:
+		return t.AdvanceTime(in.Arg)
+	default:
+		return fmt.Errorf("bender: cannot execute %s", in.Op)
+	}
+}
+
+// hammerShape describes a recognized pure hammer loop.
+type hammerShape struct {
+	bank addr.BankAddr
+	rows []int // 1 (single-sided) or 2 (double-sided) aggressors
+	// perIterWaits is the sum of explicit waits in one iteration.
+	perIterWaits int64
+	// minActHold is the smallest wait between an ACT and its PRE;
+	// minPreGap the smallest wait after a PRE. RowPress amplification
+	// depends on the hold time, so all ACT holds in the body must agree
+	// for the bulk path to apply (uniform is true then).
+	minActHold int64
+	minPreGap  int64
+	uniform    bool
+	tck        int64
+}
+
+// matchHammerLoop recognizes the canonical hammer body the paper's tests
+// use: per aggressor, ACT row / WAIT / PRE / WAIT, all on one bank, with
+// one or two distinct rows. Anything else falls back to per-iteration
+// execution.
+func matchHammerLoop(n node) (hammerShape, bool) {
+	var h hammerShape
+	body := n.body
+	if len(body)%4 != 0 || len(body) == 0 || len(body) > 8 {
+		return h, false
+	}
+	groups := len(body) / 4
+	for gi := 0; gi < groups; gi++ {
+		g := body[gi*4 : gi*4+4]
+		if g[0].in.Op != OpAct || g[1].in.Op != OpWait || g[2].in.Op != OpPre || g[3].in.Op != OpWait {
+			return h, false
+		}
+		ba := addr.BankAddr{Channel: g[0].in.Ch, PseudoChannel: g[0].in.PC, Bank: g[0].in.Bank}
+		pb := addr.BankAddr{Channel: g[2].in.Ch, PseudoChannel: g[2].in.PC, Bank: g[2].in.Bank}
+		if ba != pb {
+			return h, false
+		}
+		if gi == 0 {
+			h.bank = ba
+			h.minActHold = g[1].in.Arg
+			h.minPreGap = g[3].in.Arg
+			h.uniform = true
+		} else if ba != h.bank {
+			return h, false
+		}
+		if g[1].in.Arg != h.minActHold {
+			h.uniform = false
+		}
+		if g[1].in.Arg < h.minActHold {
+			h.minActHold = g[1].in.Arg
+		}
+		if g[3].in.Arg < h.minPreGap {
+			h.minPreGap = g[3].in.Arg
+		}
+		h.rows = append(h.rows, g[0].in.Row)
+		h.perIterWaits += g[1].in.Arg + g[3].in.Arg
+	}
+	switch len(h.rows) {
+	case 1:
+	case 2:
+		if h.rows[0] == h.rows[1] {
+			return h, false
+		}
+	default:
+		return h, false
+	}
+	return h, true
+}
+
+// traceInstr renders one instruction for the trace log.
+func (r *Runner) traceInstr(t Target, in Instr) {
+	switch in.Op {
+	case OpAct:
+		r.trace(t, "act  ch%d.pc%d.ba%d row %d", in.Ch, in.PC, in.Bank, in.Row)
+	case OpPre:
+		r.trace(t, "pre  ch%d.pc%d.ba%d", in.Ch, in.PC, in.Bank)
+	case OpPreA:
+		r.trace(t, "prea ch%d.pc%d", in.Ch, in.PC)
+	case OpRd:
+		r.trace(t, "rd   ch%d.pc%d.ba%d col %d", in.Ch, in.PC, in.Bank, in.Col)
+	case OpWr:
+		r.trace(t, "wr   ch%d.pc%d.ba%d col %d (payload %d)", in.Ch, in.PC, in.Bank, in.Col, in.Data)
+	case OpRef:
+		r.trace(t, "ref  ch%d.pc%d", in.Ch, in.PC)
+	case OpMRS:
+		r.trace(t, "mrs  ch%d MR%d = %#x", in.Ch, in.Row, uint32(in.Arg))
+	case OpWait:
+		r.trace(t, "wait %d ps", in.Arg)
+	}
+}
+
+// runHammerFast applies a recognized hammer loop in bulk, then pads the
+// clock so the total elapsed time matches per-iteration execution
+// exactly. fastPathLegal already proved the pad is non-negative.
+func (r *Runner) runHammerFast(t Target, h hammerShape, count int64) error {
+	n := int(count)
+	hold := h.hold()
+	if len(h.rows) == 2 {
+		r.trace(t, "loop %dx: double-sided hammer %v rows %d/%d (hold %d ps, bulk)",
+			count, h.bank, h.rows[0], h.rows[1], hold)
+	} else {
+		r.trace(t, "loop %dx: single-sided hammer %v row %d (hold %d ps, bulk)",
+			count, h.bank, h.rows[0], hold)
+	}
+	var err error
+	if len(h.rows) == 2 {
+		err = t.HammerPairHold(h.bank, h.rows[0], h.rows[1], n, hold)
+	} else {
+		err = t.HammerSingleHold(h.bank, h.rows[0], n, hold)
+	}
+	if err != nil {
+		return err
+	}
+	tm := r.Timing
+	slowPer := h.perIterWaits + int64(len(h.rows))*2*tm.TCK
+	bulkPer := int64(len(h.rows)) * (hold + tm.TRP)
+	if pad := count * (slowPer - bulkPer); pad > 0 {
+		return t.AdvanceTime(pad)
+	}
+	return nil
+}

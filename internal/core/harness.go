@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/bender"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/hbm"
+)
+
+// ErrEdgeVictim marks victims at the very first or last row of a bank,
+// which have no double-sided aggressor pair.
+var ErrEdgeVictim = errors.New("core: victim at bank edge has no double-sided aggressors")
+
+// RefreshBudget is the paper's experiment-time budget: every test must
+// finish within 27 ms, comfortably inside the 32 ms refresh window where
+// the standard guarantees no retention errors, so retention failures
+// cannot contaminate RowHammer measurements.
+const RefreshBudget = 27_000_000_000 // 27 ms in picoseconds
+
+// Harness drives the paper's per-row experiments through DRAM Bender
+// programs against one device.
+type Harness struct {
+	dev    *hbm.Device
+	runner *bender.Runner
+
+	// EnforceBudget makes BER fail if a measurement exceeds the 27 ms
+	// budget (on by default, as in the paper's methodology).
+	EnforceBudget bool
+
+	// HCPrecision is the absolute hammer-count resolution of the HCfirst
+	// binary search.
+	HCPrecision int
+}
+
+// NewHarness prepares a device for characterization: it disables on-die
+// ECC via the mode registers (the paper's step 4 of interference
+// elimination; periodic refresh is simply never issued, which also keeps
+// the proprietary TRR dormant — steps 1 and 2).
+func NewHarness(d *hbm.Device) (*Harness, error) {
+	h := &Harness{
+		dev:           d,
+		runner:        bender.NewRunner(d.Config().Timing),
+		EnforceBudget: true,
+		HCPrecision:   128,
+	}
+	b := h.builder()
+	b.DisableECC()
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := h.runner.Run(d, d.Geometry(), prog); err != nil {
+		return nil, fmt.Errorf("core: disabling ECC: %w", err)
+	}
+	return h, nil
+}
+
+// NewHarnessFromConfig builds a fresh device and a harness over it.
+func NewHarnessFromConfig(cfg *config.Config) (*Harness, error) {
+	d, err := hbm.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewHarness(d)
+}
+
+// Device returns the underlying device.
+func (h *Harness) Device() *hbm.Device { return h.dev }
+
+func (h *Harness) builder() *bender.Builder {
+	return bender.NewBuilder(h.dev.Config().Timing, h.dev.Geometry())
+}
+
+func (h *Harness) run(b *bender.Builder) (*bender.Result, error) {
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return h.runner.Run(h.dev, h.dev.Geometry(), prog)
+}
+
+// initPattern emits writes for the victim, aggressor and outer rows of
+// the Table 1 layout around the physical victim row.
+func (h *Harness) initPattern(b *bender.Builder, ba addr.BankAddr, physVictim int, p Pattern) {
+	m := h.dev.Mapper()
+	rows := h.dev.Geometry().Rows
+	for d := -PatternRadius; d <= PatternRadius; d++ {
+		phys := physVictim + d
+		if phys < 0 || phys >= rows {
+			continue
+		}
+		fill := p.Outer
+		switch {
+		case d == 0:
+			fill = p.Victim
+		case d == -1 || d == 1:
+			fill = p.Aggressor
+		}
+		b.WriteRowFill(ba, m.ToLogical(phys), fill)
+	}
+}
+
+// BERResult is one BER measurement.
+type BERResult struct {
+	Flips   int
+	Bits    int
+	Elapsed int64 // simulated picoseconds from first init to read-out
+}
+
+// BER returns the bit error rate as a fraction in [0, 1].
+func (r BERResult) BER() float64 { return float64(r.Flips) / float64(r.Bits) }
+
+// BER runs the paper's per-row BER experiment: initialize the Table 1
+// layout around the physical victim, hammer the two adjacent rows
+// double-sided at minimum timing, read the victim back and count
+// bitflips.
+func (h *Harness) BER(ba addr.BankAddr, physVictim int, p Pattern, hammers int) (BERResult, error) {
+	return h.BERHold(ba, physVictim, p, hammers, h.dev.Config().Timing.TRAS)
+}
+
+// BERHold is BER with each aggressor activation held open for holdPS
+// before its precharge — the RowPress access pattern the paper lists as
+// future work. The 27 ms refresh budget is enforced only for
+// minimum-timing runs: pressed runs intentionally trade time for
+// amplification.
+func (h *Harness) BERHold(ba addr.BankAddr, physVictim int, p Pattern, hammers int, holdPS int64) (BERResult, error) {
+	rows := h.dev.Geometry().Rows
+	if physVictim <= 0 || physVictim >= rows-1 {
+		return BERResult{}, fmt.Errorf("%w: physical row %d", ErrEdgeVictim, physVictim)
+	}
+	m := h.dev.Mapper()
+	lv := m.ToLogical(physVictim)
+	la := m.ToLogical(physVictim - 1)
+	lb := m.ToLogical(physVictim + 1)
+
+	minTiming := holdPS <= h.dev.Config().Timing.TRAS
+	b := h.builder()
+	h.initPattern(b, ba, physVictim, p)
+	if minTiming {
+		b.HammerDouble(ba, la, lb, int64(hammers))
+	} else {
+		b.HammerDoubleHold(ba, la, lb, int64(hammers), holdPS)
+	}
+	b.ReadRowOut(ba, lv)
+	res, err := h.run(b)
+	if err != nil {
+		return BERResult{}, err
+	}
+	if h.EnforceBudget && minTiming && res.Elapsed > RefreshBudget {
+		return BERResult{}, fmt.Errorf("core: experiment took %.2f ms, over the 27 ms refresh budget",
+			float64(res.Elapsed)/1e9)
+	}
+	flips := 0
+	for _, col := range res.Reads {
+		for _, v := range col {
+			d := v ^ p.Victim
+			for d != 0 {
+				d &= d - 1
+				flips++
+			}
+		}
+	}
+	return BERResult{
+		Flips:   flips,
+		Bits:    h.dev.Geometry().RowBits(),
+		Elapsed: res.Elapsed,
+	}, nil
+}
+
+// HCFirst measures the minimum hammer count that induces the first
+// bitflip in the victim, searching up to maxHammers (the paper uses up to
+// 256K). found is false when even maxHammers flips nothing. Bitflips are
+// monotone in the hammer count, so exponential-plus-binary search is
+// exact to HCPrecision.
+func (h *Harness) HCFirst(ba addr.BankAddr, physVictim int, p Pattern, maxHammers int) (hc int, found bool, err error) {
+	return h.HCFirstHold(ba, physVictim, p, maxHammers, h.dev.Config().Timing.TRAS)
+}
+
+// HCFirstHold is HCFirst with a per-activation hold time (RowPress).
+func (h *Harness) HCFirstHold(ba addr.BankAddr, physVictim int, p Pattern, maxHammers int, holdPS int64) (hc int, found bool, err error) {
+	probe := func(n int) (bool, error) {
+		r, err := h.BERHold(ba, physVictim, p, n, holdPS)
+		if err != nil {
+			return false, err
+		}
+		return r.Flips > 0, nil
+	}
+	flips, err := probe(maxHammers)
+	if err != nil {
+		return 0, false, err
+	}
+	if !flips {
+		return 0, false, nil
+	}
+	lo, hi := 0, maxHammers // lo: no flips; hi: flips
+	prec := h.HCPrecision
+	if prec < 1 {
+		prec = 1
+	}
+	for hi-lo > prec {
+		mid := lo + (hi-lo)/2
+		flips, err := probe(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if flips {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true, nil
+}
+
+// WCDPResult reports the worst-case data pattern of one row.
+type WCDPResult struct {
+	Pattern Pattern
+	// HCFirst is the row's minimum hammer count under the worst pattern;
+	// Found is false if no pattern flips within maxHammers.
+	HCFirst int
+	Found   bool
+	// BER is the row's bit error rate under the worst pattern at
+	// maxHammers hammers.
+	BER float64
+}
+
+// WCDP determines the worst-case data pattern of a row per the paper's
+// definition: the pattern with the smallest HCfirst; ties broken by the
+// largest BER at the maximum hammer count.
+func (h *Harness) WCDP(ba addr.BankAddr, physVictim int, maxHammers int) (WCDPResult, error) {
+	best := WCDPResult{HCFirst: maxHammers + 1}
+	for _, p := range Table1() {
+		hc, found, err := h.HCFirst(ba, physVictim, p, maxHammers)
+		if err != nil {
+			return WCDPResult{}, err
+		}
+		ber, err := h.BER(ba, physVictim, p, maxHammers)
+		if err != nil {
+			return WCDPResult{}, err
+		}
+		cand := WCDPResult{Pattern: p, HCFirst: hc, Found: found, BER: ber.BER()}
+		if better(cand, best) {
+			best = cand
+		}
+	}
+	if !best.Found {
+		best.HCFirst = 0
+	}
+	return best, nil
+}
+
+// better reports whether a beats b as the worst-case pattern.
+func better(a, b WCDPResult) bool {
+	if a.Found != b.Found {
+		return a.Found
+	}
+	if !a.Found {
+		return a.BER > b.BER
+	}
+	if a.HCFirst != b.HCFirst {
+		return a.HCFirst < b.HCFirst
+	}
+	return a.BER > b.BER
+}

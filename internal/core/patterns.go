@@ -1,0 +1,51 @@
+// Package core implements the paper's RowHammer characterization
+// methodology on top of the simulated device and the DRAM Bender
+// program layer: the Table 1 data patterns, double- and single-sided
+// hammering, BER and HCfirst measurement, worst-case data pattern (WCDP)
+// selection, and the single-sided adjacency probing that reverse-engineers
+// the in-DRAM row mapping.
+package core
+
+// Pattern is one of the paper's Table 1 data patterns: the byte written to
+// the victim row (V), to the aggressor rows (V±1), and to the surrounding
+// rows (V±[2:8]).
+type Pattern struct {
+	Name      string
+	Victim    byte
+	Aggressor byte
+	Outer     byte
+}
+
+// Table1 returns the four data patterns of Table 1 in paper order.
+func Table1() []Pattern {
+	return []Pattern{
+		{Name: "Rowstripe0", Victim: 0x00, Aggressor: 0xFF, Outer: 0x00},
+		{Name: "Rowstripe1", Victim: 0xFF, Aggressor: 0x00, Outer: 0xFF},
+		{Name: "Checkered0", Victim: 0x55, Aggressor: 0xAA, Outer: 0x55},
+		{Name: "Checkered1", Victim: 0xAA, Aggressor: 0x55, Outer: 0xAA},
+	}
+}
+
+// ExtendedPatterns returns data patterns beyond Table 1, part of the
+// paper's future work ("a richer set of data patterns"). Solid patterns
+// store the same value everywhere — no opposite-data aggressor coupling,
+// so they are the weakest stimulus; column stripes alternate data along
+// the row (in 4-bit runs) with uniform data across rows.
+func ExtendedPatterns() []Pattern {
+	return []Pattern{
+		{Name: "Solid0", Victim: 0x00, Aggressor: 0x00, Outer: 0x00},
+		{Name: "Solid1", Victim: 0xFF, Aggressor: 0xFF, Outer: 0xFF},
+		{Name: "Colstripe0", Victim: 0x0F, Aggressor: 0x0F, Outer: 0x0F},
+		{Name: "Colstripe1", Victim: 0xF0, Aggressor: 0xF0, Outer: 0xF0},
+	}
+}
+
+// WCDPName labels the per-row worst-case data pattern series in figures.
+const WCDPName = "WCDP"
+
+// DefaultHammers is the paper's BER hammer count: 256K hammers, i.e. 512K
+// activations split across the two aggressor rows.
+const DefaultHammers = 256 * 1024
+
+// PatternRadius is how far from the victim rows are initialized (V±[2:8]).
+const PatternRadius = 8

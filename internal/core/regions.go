@@ -1,0 +1,44 @@
+package core
+
+// Region is a contiguous physical row range within a bank.
+type Region struct {
+	Name  string
+	Start int // first physical row, inclusive
+	End   int // one past the last physical row
+}
+
+// Rows returns the number of rows in the region.
+func (r Region) Rows() int { return r.End - r.Start }
+
+// Regions returns the paper's three test regions, scaled to the bank
+// size: the first, middle and last 3K of a 16K-row bank, i.e. 3/16 of the
+// bank each, with the middle region starting at row 6.5K/16K — exactly the
+// windows of Fig. 5 (0-3K, 6.5K-9.5K, 13K-16K).
+func Regions(rows int) []Region {
+	span := rows * 3 / 16
+	midStart := rows * 13 / 32 // 6.5/16 of the bank
+	return []Region{
+		{Name: "first", Start: 0, End: span},
+		{Name: "middle", Start: midStart, End: midStart + span},
+		{Name: "last", Start: rows - span, End: rows},
+	}
+}
+
+// SampleRows returns up to max physical rows evenly spread across the
+// region (stride sampling). max <= 0 or max >= region size returns every
+// row. Sweeps use this to trade runtime for resolution.
+func (r Region) SampleRows(max int) []int {
+	n := r.Rows()
+	if max <= 0 || max >= n {
+		out := make([]int, 0, n)
+		for row := r.Start; row < r.End; row++ {
+			out = append(out, row)
+		}
+		return out
+	}
+	out := make([]int, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, r.Start+i*n/max)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/mapping"
+)
+
+// Reverse engineering of the logical-to-physical row mapping (paper
+// Section 3.1): single-sided hammering flips bits only in an aggressor's
+// true physical neighbours within the same subarray, so probing every row
+// recovers physical adjacency, subarray boundaries, and (by fitting known
+// schemes) the mapping function.
+
+// REWindow is how far (in logical rows) from the aggressor the prober
+// looks for victims. The supported mapping schemes displace a row by at
+// most 8 logical addresses.
+const REWindow = 8
+
+// REDataWindow is how far (in logical rows) the prober initializes data.
+// It exceeds REWindow so that every row within the disturbance blast
+// radius has controlled (same-as-victim) data in its own neighbours:
+// otherwise stale complement data from a previous probe would lower a
+// distance-2 row's effective threshold below the contamination-free bound
+// that REActivations is calibrated against.
+const REDataWindow = 20
+
+// REActivations is the single-sided activation count used for adjacency
+// probing. It is chosen so that distance-1 victims flip reliably (500K
+// disturbance units cover even hardened last-subarray edge rows) while
+// distance-2 disturbance stays provably below the absolute threshold
+// floor: 1M activations contribute 1M*0.03 = 30K units at distance 2,
+// under HCFloor (14K) times the minimum coupling factor for same-data
+// neighbours (2.3) = 32.2K units, so distance-2 rows can never flip.
+const REActivations = 1_000_000
+
+// VictimsOf hammers the logical row single-sided and returns the logical
+// rows that exhibit bitflips inside the probe window. To cover both true
+// and anti cells it probes twice with complementary data.
+func (h *Harness) VictimsOf(ba addr.BankAddr, logicalAggr int) ([]int, error) {
+	rows := h.dev.Geometry().Rows
+	if logicalAggr < 0 || logicalAggr >= rows {
+		return nil, fmt.Errorf("core: aggressor row %d out of range", logicalAggr)
+	}
+	var candidates, initRows []int
+	for l := logicalAggr - REDataWindow; l <= logicalAggr+REDataWindow; l++ {
+		if l < 0 || l >= rows || l == logicalAggr {
+			continue
+		}
+		initRows = append(initRows, l)
+		if l >= logicalAggr-REWindow && l <= logicalAggr+REWindow {
+			candidates = append(candidates, l)
+		}
+	}
+	victims := make(map[int]bool)
+	for _, round := range []struct{ aggr, victim byte }{
+		{aggr: 0x00, victim: 0xFF},
+		{aggr: 0xFF, victim: 0x00},
+	} {
+		b := h.builder()
+		for _, c := range initRows {
+			b.WriteRowFill(ba, c, round.victim)
+		}
+		b.WriteRowFill(ba, logicalAggr, round.aggr)
+		b.HammerSingle(ba, logicalAggr, REActivations)
+		for _, c := range candidates {
+			b.ReadRowOut(ba, c)
+		}
+		res, err := h.run(b)
+		if err != nil {
+			return nil, err
+		}
+		cols := h.dev.Geometry().Columns
+		for i, c := range candidates {
+			for _, col := range res.Reads[i*cols : (i+1)*cols] {
+				flipped := false
+				for _, v := range col {
+					if v != round.victim {
+						flipped = true
+						break
+					}
+				}
+				if flipped {
+					victims[c] = true
+					break
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(victims))
+	for l := logicalAggr - REWindow; l <= logicalAggr+REWindow; l++ {
+		if victims[l] {
+			out = append(out, l)
+		}
+	}
+	return out, nil
+}
+
+// RecoverMapping probes every row of a bank, symmetrizes the observed
+// adjacency (a marginally strong row may flip in only one probing
+// direction), and reconstructs the physical row order and subarray
+// boundaries. It also classifies which known mapping scheme fits.
+func (h *Harness) RecoverMapping(ba addr.BankAddr) (*mapping.RecoveredMap, config.MappingScheme, error) {
+	rows := h.dev.Geometry().Rows
+	adj := make([][]int, rows)
+	for l := 0; l < rows; l++ {
+		vs, err := h.VictimsOf(ba, l)
+		if err != nil {
+			return nil, 0, err
+		}
+		adj[l] = vs
+	}
+	// Symmetrize: if hammering a flipped b, a and b are adjacent even if
+	// the reverse probe did not flip anything.
+	sym := make([]map[int]bool, rows)
+	for l := range sym {
+		sym[l] = make(map[int]bool, 2)
+	}
+	for l, vs := range adj {
+		for _, v := range vs {
+			sym[l][v] = true
+			sym[v][l] = true
+		}
+	}
+	rec, err := mapping.Recover(mapping.OracleFunc(func(l int) []int {
+		out := make([]int, 0, len(sym[l]))
+		for v := range sym[l] {
+			out = append(out, v)
+		}
+		sortInts(out)
+		return out
+	}), rows)
+	if err != nil {
+		return nil, 0, err
+	}
+	scheme, err := mapping.Classify(rec, rows)
+	if err != nil {
+		return rec, scheme, err
+	}
+	return rec, scheme, nil
+}
+
+// sortInts is a tiny insertion sort; adjacency lists have at most two
+// entries, so pulling in package sort is overkill.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/config"
+)
+
+func TestRecoverMappingFullBank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-bank reverse engineering is the heavyweight test")
+	}
+	cfg := config.SmallChip()
+	h, err := NewHarnessFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, scheme, err := h.RecoverMapping(ba(2, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovered subarray sizes must match the configured layout.
+	got := rec.SubarraySizes()
+	want := cfg.SubarraySizes
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d subarrays (%v), want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recovered sizes %v, want %v", got, want)
+		}
+	}
+	if scheme != cfg.Mapping {
+		t.Fatalf("classified scheme %v, device uses %v", scheme, cfg.Mapping)
+	}
+}
+
+func TestRecoverMappingAgreesWithDeviceMapper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-bank reverse engineering is the heavyweight test")
+	}
+	cfg := config.SmallChip()
+	cfg.Mapping = config.MappingMirrored // a second scheme, recovered blind
+	h, err := NewHarnessFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, scheme, err := h.RecoverMapping(ba(5, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme != config.MappingMirrored {
+		t.Fatalf("classified %v, want mirrored", scheme)
+	}
+	// Every consecutive pair in each recovered subarray must be
+	// physically adjacent per the device's actual mapper.
+	m := h.Device().Mapper()
+	for _, sa := range rec.Subarrays {
+		for i := 0; i+1 < len(sa); i++ {
+			d := m.ToPhysical(sa[i]) - m.ToPhysical(sa[i+1])
+			if d != 1 && d != -1 {
+				t.Fatalf("rows %d,%d recovered adjacent but are %d apart physically", sa[i], sa[i+1], d)
+			}
+		}
+	}
+}

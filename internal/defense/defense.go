@@ -1,0 +1,163 @@
+// Package defense implements the paper's defense implication: a
+// memory-controller-side preventive-refresh mechanism that adapts to the
+// heterogeneous RowHammer vulnerability the characterization uncovers.
+//
+// The guard watches the activation stream per bank (a Graphene-style
+// counter table, simplified to exact per-row counters) and refreshes a
+// row's neighbours once its activation count reaches a safety threshold,
+// then resets the counter. A uniform policy must derive its single
+// threshold from the most vulnerable channel of the whole stack; an
+// adaptive policy uses each channel's own measured HCfirst, spending far
+// fewer preventive refreshes in robust channels while preventing every
+// bitflip — the efficiency gain the paper anticipates.
+package defense
+
+import (
+	"fmt"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/hbm"
+)
+
+// Policy yields the per-channel activation threshold at which a row's
+// neighbours are preventively refreshed.
+type Policy interface {
+	// Threshold returns the guard threshold for a channel, in
+	// activations of a single aggressor row.
+	Threshold(channel int) int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Uniform applies one threshold everywhere, derived from the worst
+// channel's HCfirst (what a vendor without per-channel knowledge ships).
+type Uniform struct{ T int }
+
+// Threshold implements Policy.
+func (u Uniform) Threshold(int) int { return u.T }
+
+// Name implements Policy.
+func (u Uniform) Name() string { return "uniform" }
+
+// Adaptive applies per-channel thresholds from the characterization.
+type Adaptive struct{ PerChannel []int }
+
+// Threshold implements Policy.
+func (a Adaptive) Threshold(ch int) int { return a.PerChannel[ch] }
+
+// Name implements Policy.
+func (a Adaptive) Name() string { return "adaptive" }
+
+// SafetyFromHCFirst converts a measured minimum HCfirst (in double-sided
+// hammers) into a guard threshold in single-row activations, with a 2x
+// safety margin: one double-sided hammer activates each aggressor once,
+// so a victim is safe while each neighbour stays under HCfirst
+// activations; the guard fires at half that.
+func SafetyFromHCFirst(hcFirst int) int {
+	t := hcFirst / 2
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Stats reports what the guard did.
+type Stats struct {
+	ObservedActs        int64
+	PreventiveRefreshes int64
+}
+
+// Guard wraps a device's activation path with the preventive-refresh
+// defense. Drive hammering through Hammer (the guarded equivalent of
+// Device.HammerPair) so the guard sees every activation, as a memory
+// controller would.
+type Guard struct {
+	dev    *hbm.Device
+	policy Policy
+
+	counters map[counterKey]int
+	stats    Stats
+}
+
+type counterKey struct {
+	bank addr.BankAddr
+	row  int // logical row
+}
+
+// NewGuard wraps dev with the policy.
+func NewGuard(dev *hbm.Device, policy Policy) *Guard {
+	return &Guard{
+		dev:      dev,
+		policy:   policy,
+		counters: make(map[counterKey]int),
+	}
+}
+
+// Stats returns what the guard has done so far.
+func (g *Guard) Stats() Stats { return g.stats }
+
+// Hammer performs n double-sided hammers of the two aggressor rows while
+// enforcing the policy: whenever an aggressor's activation count reaches
+// the channel's threshold, the guard refreshes the aggressor's logical
+// neighbours and resets its counter. Hammering is chunked so thresholds
+// are honoured mid-burst.
+func (g *Guard) Hammer(b addr.BankAddr, rowA, rowB, n int) error {
+	thr := g.policy.Threshold(b.Channel)
+	if thr <= 0 {
+		return fmt.Errorf("defense: non-positive threshold for channel %d", b.Channel)
+	}
+	remaining := n
+	for remaining > 0 {
+		// Largest chunk that keeps both aggressors under threshold.
+		chunk := remaining
+		for _, row := range []int{rowA, rowB} {
+			if room := thr - g.counters[counterKey{b, row}]; room < chunk {
+				chunk = room
+			}
+		}
+		if chunk <= 0 {
+			// A counter is saturated: preventively refresh and reset.
+			for _, row := range []int{rowA, rowB} {
+				key := counterKey{b, row}
+				if g.counters[key] >= thr {
+					if err := g.refreshNeighbours(b, row); err != nil {
+						return err
+					}
+					g.counters[key] = 0
+				}
+			}
+			continue
+		}
+		if err := g.dev.HammerPair(b, rowA, rowB, chunk); err != nil {
+			return err
+		}
+		if err := g.dev.AdvanceTime(g.dev.Config().Timing.TRP); err != nil {
+			return err
+		}
+		g.counters[counterKey{b, rowA}] += chunk
+		g.counters[counterKey{b, rowB}] += chunk
+		g.stats.ObservedActs += int64(2 * chunk)
+		remaining -= chunk
+	}
+	return nil
+}
+
+// refreshNeighbours activates and precharges the logical neighbours of
+// the saturated aggressor, restoring their charge and clearing their
+// accumulated disturbance. The logical neighbours suffice for the
+// supported mappings only because the guard, like the paper's defender,
+// uses the recovered physical adjacency: translate through the mapper.
+func (g *Guard) refreshNeighbours(b addr.BankAddr, logicalRow int) error {
+	m := g.dev.Mapper()
+	phys := m.ToPhysical(logicalRow)
+	for _, p := range []int{phys - 1, phys + 1} {
+		if p < 0 || p >= g.dev.Geometry().Rows {
+			continue
+		}
+		if err := hbm.RefreshRow(g.dev, b, m.ToLogical(p)); err != nil {
+			return err
+		}
+		g.stats.PreventiveRefreshes++
+	}
+	return nil
+}

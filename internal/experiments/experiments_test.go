@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
+)
+
+func smallSweep(t testing.TB, rowsPerRegion int) *Sweep {
+	t.Helper()
+	s, err := RunSweep(Options{
+		Cfg:           config.SmallChip(),
+		RowsPerRegion: rowsPerRegion,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSweepStructure(t *testing.T) {
+	s := smallSweep(t, 6)
+	g := s.Opts.Cfg.Geometry
+	// 8 channels x 3 regions x 6 rows, minus bank-edge skips.
+	if len(s.Rows) < g.Channels*3*5 {
+		t.Fatalf("sweep has %d rows, want at least %d", len(s.Rows), g.Channels*3*5)
+	}
+	regions := map[string]bool{}
+	for _, r := range s.Rows {
+		if len(r.BER) != 4 || len(r.HCFirst) != 4 || len(r.Found) != 4 {
+			t.Fatalf("row %+v has wrong pattern arity", r)
+		}
+		if r.WCDP < 0 || r.WCDP >= 4 {
+			t.Fatalf("WCDP index %d out of range", r.WCDP)
+		}
+		for _, b := range r.BER {
+			if b < 0 || b > 1 {
+				t.Fatalf("BER %v out of [0,1]", b)
+			}
+		}
+		regions[r.Region] = true
+	}
+	for _, want := range []string{"first", "middle", "last"} {
+		if !regions[want] {
+			t.Errorf("region %q missing from sweep", want)
+		}
+	}
+}
+
+func TestSweepIndependentOfWorkerCount(t *testing.T) {
+	opts := Options{Cfg: config.SmallChip(), RowsPerRegion: 3}
+	opts.Workers = 1
+	a, err := RunSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	b, err := RunSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.Channel != rb.Channel || ra.PhysRow != rb.PhysRow || ra.WCDP != rb.WCDP {
+			t.Fatalf("row %d differs across worker counts: %+v vs %+v", i, ra, rb)
+		}
+		for pi := range ra.BER {
+			if ra.BER[pi] != rb.BER[pi] || ra.HCFirst[pi] != rb.HCFirst[pi] {
+				t.Fatalf("row %d pattern %d differs across worker counts", i, pi)
+			}
+		}
+	}
+}
+
+func TestFig3ChannelOrdering(t *testing.T) {
+	s := smallSweep(t, 8)
+	h := Fig3{s}.Headlines()
+	if len(h.WCDPMeanBER) != 8 {
+		t.Fatalf("%d channels in headlines, want 8", len(h.WCDPMeanBER))
+	}
+	// Channel 7 must be the most vulnerable, channel 0 among the least:
+	// the paper's first key takeaway.
+	for ch := 0; ch < 7; ch++ {
+		if h.WCDPMeanBER[ch] > h.WCDPMeanBER[7] {
+			t.Errorf("channel %d mean WCDP BER %.3f%% exceeds channel 7's %.3f%%",
+				ch, h.WCDPMeanBER[ch], h.WCDPMeanBER[7])
+		}
+	}
+	if h.MaxOverMinWCDP <= 1.3 {
+		t.Errorf("max/min channel BER ratio = %.2f, want a clear spread (paper: 2.03)", h.MaxOverMinWCDP)
+	}
+	if h.MaxSpreadPct <= 30 {
+		t.Errorf("max cross-channel spread = %.1f%%, want substantial (paper: 79%%)", h.MaxSpreadPct)
+	}
+	if h.MaxBER <= 0 {
+		t.Error("no bitflips anywhere")
+	}
+}
+
+func TestFig3RenderMentionsAllSeries(t *testing.T) {
+	s := smallSweep(t, 4)
+	out := Fig3{s}.Render()
+	for _, want := range []string{"Rowstripe0", "Rowstripe1", "Checkered0", "Checkered1", "WCDP", "ch0", "ch7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig3 render missing %q", want)
+		}
+	}
+}
+
+func TestFig4Headlines(t *testing.T) {
+	s := smallSweep(t, 8)
+	h := Fig4{s}.Headlines()
+	floor := int(s.Opts.Cfg.Fault.HCFloor)
+	if h.MinHCFirst < floor {
+		t.Errorf("min HCfirst %d below model floor %d", h.MinHCFirst, floor)
+	}
+	if h.MinHCFirst > core.DefaultHammers {
+		t.Errorf("min HCfirst %d above the search ceiling", h.MinHCFirst)
+	}
+	// Channel 7 hammers more easily than channel 0.
+	if h.WCDPMeanHC[7] >= h.WCDPMeanHC[0] {
+		t.Errorf("ch7 mean WCDP HCfirst %.0f not below ch0's %.0f", h.WCDPMeanHC[7], h.WCDPMeanHC[0])
+	}
+	// Channel 0 is anti-cell rich: Rowstripe0 flips with fewer hammers.
+	if h.Ch0Rowstripe0 >= h.Ch0Rowstripe1 {
+		t.Errorf("ch0 Rowstripe0 mean HCfirst %.0f not below Rowstripe1's %.0f (paper: 57.9K vs 79.2K)",
+			h.Ch0Rowstripe0, h.Ch0Rowstripe1)
+	}
+}
+
+func TestFig5LastSubarrayIsWeak(t *testing.T) {
+	s := smallSweep(t, 10)
+	h := Fig5{s}.Headlines()
+	if h.LastSubarrayRatio <= 0 || h.LastSubarrayRatio >= 0.8 {
+		t.Errorf("last-subarray BER ratio = %.2f, want clearly below 0.8 (paper: far fewer flips)", h.LastSubarrayRatio)
+	}
+	if h.MidOverEdge <= 1 {
+		t.Errorf("mid/edge BER ratio = %.2f, want > 1 (BER peaks mid-subarray)", h.MidOverEdge)
+	}
+}
+
+func TestFig5ProfileShape(t *testing.T) {
+	s := smallSweep(t, 5)
+	xs, series := Fig5{s}.Profile("middle")
+	if len(series) != 8 {
+		t.Fatalf("%d channel series, want 8", len(series))
+	}
+	for _, sr := range series {
+		if len(sr.Values) != len(xs) {
+			t.Fatalf("series %s has %d values for %d rows", sr.Label, len(sr.Values), len(xs))
+		}
+	}
+	out := Fig5{s}.Render()
+	for _, want := range []string{"first", "middle", "last"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig5 render missing region %q", want)
+		}
+	}
+}
+
+func TestSweepCSVExport(t *testing.T) {
+	s := smallSweep(t, 2)
+	headers, rows := s.CSV()
+	if len(headers) != 8 {
+		t.Fatalf("%d headers", len(headers))
+	}
+	if len(rows) != len(s.Rows)*4 {
+		t.Fatalf("%d CSV rows for %d sweep rows", len(rows), len(s.Rows))
+	}
+}
+
+func TestFig6BankScatter(t *testing.T) {
+	f, err := RunFig6(Fig6Options{
+		Cfg:               config.SmallChip(),
+		RowsPerBankRegion: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Opts.Cfg.Geometry
+	if len(f.Points) != g.TotalBanks() {
+		t.Fatalf("%d bank points, want %d", len(f.Points), g.TotalBanks())
+	}
+	h := f.Headlines()
+	if h.MeanLo <= 0 || h.MeanHi <= h.MeanLo {
+		t.Errorf("mean BER range [%v, %v] implausible", h.MeanLo, h.MeanHi)
+	}
+	if h.CVLo <= 0 || h.CVHi <= h.CVLo {
+		t.Errorf("CV range [%v, %v] implausible", h.CVLo, h.CVHi)
+	}
+	// Paper observation 2: channel-to-channel variation dominates
+	// bank-to-bank variation within a channel.
+	if h.CrossOverIntra <= 1 {
+		t.Errorf("cross/intra channel spread ratio %.2f, want > 1", h.CrossOverIntra)
+	}
+	out := f.Render()
+	if !strings.Contains(out, "Fig. 6") {
+		t.Error("render missing title")
+	}
+	hd, rows := f.CSV()
+	if len(hd) != 5 || len(rows) != len(f.Points) {
+		t.Error("CSV export malformed")
+	}
+}
+
+func TestTRRStudyReproducesSection5(t *testing.T) {
+	s, err := RunTRRStudy(TRRStudyOptions{
+		Cfg:  config.SmallChip(),
+		Bank: addr.BankAddr{Channel: 2, PseudoChannel: 1, Bank: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Periodic || s.Period != 17 {
+		t.Fatalf("inferred period (%d, periodic=%v), paper observes 17", s.Period, s.Periodic)
+	}
+	out := s.Render()
+	for _, want := range []string{"every 17 REFs", "timeline", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	hd, rows := s.CSV()
+	if len(hd) != 2 || len(rows) != len(s.Result.Refreshed) {
+		t.Error("CSV export malformed")
+	}
+}
+
+func TestSweepRejectsBadBank(t *testing.T) {
+	if _, err := RunSweep(Options{Cfg: config.SmallChip(), Bank: 99, RowsPerRegion: 1}); err == nil {
+		t.Fatal("bad bank accepted")
+	}
+}

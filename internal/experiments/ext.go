@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
+	"github.com/safari-repro/hbmrh/internal/hbm"
+	"github.com/safari-repro/hbmrh/internal/stats"
+	"github.com/safari-repro/hbmrh/internal/thermal"
+)
+
+// Extension studies implementing the paper's Section 6 future-work
+// directions: RowPress sensitivity (aggressor-on time), temperature
+// sensitivity, and cross-channel interference.
+
+// RowPressOptions configures the aggressor-on-time study.
+type RowPressOptions struct {
+	// Cfg is the device configuration; nil means config.PaperChip().
+	Cfg *config.Config
+	// Bank and Channel select where victims are tested.
+	Bank addr.BankAddr
+	// Rows is how many mid-bank victim rows are averaged per point.
+	Rows int
+	// HoldMultipliers are the tRAS multiples to sweep (paper-adjacent
+	// work sweeps aggressor-on time; 1 = standard RowHammer).
+	HoldMultipliers []int
+	// MaxHammers bounds the per-point HCfirst search.
+	MaxHammers int
+}
+
+// RowPressPoint is one sweep point: the mean HCfirst at a hold time.
+type RowPressPoint struct {
+	HoldMultiplier int
+	MeanHCFirst    float64
+	// FoundAll is false if some sampled row never flipped within the
+	// hammer budget at this hold time.
+	FoundAll bool
+}
+
+// RowPressStudy is the outcome of the aggressor-on-time study.
+type RowPressStudy struct {
+	Opts   RowPressOptions
+	Points []RowPressPoint
+}
+
+// RunRowPress sweeps the aggressor hold time and measures how many
+// hammers the first bitflip needs: keeping aggressor rows open longer
+// amplifies read disturbance, so HCfirst falls as the hold grows.
+func RunRowPress(o RowPressOptions) (*RowPressStudy, error) {
+	if o.Cfg == nil {
+		o.Cfg = config.PaperChip()
+	}
+	if o.Rows <= 0 {
+		o.Rows = 6
+	}
+	if len(o.HoldMultipliers) == 0 {
+		o.HoldMultipliers = []int{1, 2, 4, 8, 16}
+	}
+	if o.MaxHammers <= 0 {
+		o.MaxHammers = core.DefaultHammers
+	}
+	h, err := core.NewHarnessFromConfig(o.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	layout := o.Cfg.Layout()
+	sa := layout.Count() / 2
+	start := layout.Start(sa) + layout.Size(sa)/4
+	tras := o.Cfg.Timing.TRAS
+	pattern := core.Table1()[1] // Rowstripe1
+
+	s := &RowPressStudy{Opts: o}
+	for _, mult := range o.HoldMultipliers {
+		var hcs []float64
+		foundAll := true
+		for i := 0; i < o.Rows; i++ {
+			phys := start + i*3
+			hc, found, err := h.HCFirstHold(o.Bank, phys, pattern, o.MaxHammers, tras*int64(mult))
+			if err != nil {
+				return nil, err
+			}
+			if !found {
+				foundAll = false
+				continue
+			}
+			hcs = append(hcs, float64(hc))
+		}
+		p := RowPressPoint{HoldMultiplier: mult, FoundAll: foundAll}
+		if len(hcs) > 0 {
+			p.MeanHCFirst = stats.Mean(hcs)
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// Render prints the sweep as a table.
+func (s *RowPressStudy) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: RowPress — HCfirst vs aggressor-on time\n")
+	sb.WriteString("hold (x tRAS)  mean HCfirst\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&sb, "%13d  %.0f\n", p.HoldMultiplier, p.MeanHCFirst)
+	}
+	return sb.String()
+}
+
+// TempSweepOptions configures the temperature-sensitivity study.
+type TempSweepOptions struct {
+	// Cfg is the device configuration; nil means config.PaperChip().
+	Cfg *config.Config
+	// Bank selects where victims are tested.
+	Bank addr.BankAddr
+	// Rows is how many victim rows are averaged per temperature.
+	Rows int
+	// TemperaturesC are the setpoints; the thermal rig settles each.
+	TemperaturesC []float64
+	// Hammers is the per-row BER hammer count.
+	Hammers int
+}
+
+// TempPoint is one temperature's measurement.
+type TempPoint struct {
+	TempC   float64
+	MeanBER float64 // percent
+}
+
+// TempSweepStudy is the outcome of the temperature study.
+type TempSweepStudy struct {
+	Opts   TempSweepOptions
+	Points []TempPoint
+}
+
+// RunTempSweep drives the simulated heating-pad/fan rig to each setpoint
+// with its PID controller (as the paper's Arduino-based rig does), then
+// measures RowHammer BER: hotter chips flip more.
+func RunTempSweep(o TempSweepOptions) (*TempSweepStudy, error) {
+	if o.Cfg == nil {
+		o.Cfg = config.PaperChip()
+	}
+	if o.Rows <= 0 {
+		o.Rows = 6
+	}
+	if len(o.TemperaturesC) == 0 {
+		o.TemperaturesC = []float64{55, 65, 75, 85, 95}
+	}
+	if o.Hammers <= 0 {
+		o.Hammers = core.DefaultHammers
+	}
+	layout := o.Cfg.Layout()
+	sa := layout.Count() / 2
+	start := layout.Start(sa) + layout.Size(sa)/4
+	pattern := core.Table1()[1]
+
+	s := &TempSweepStudy{Opts: o}
+	for _, target := range o.TemperaturesC {
+		// A fresh device per setpoint keeps points independent; the PID
+		// rig settles the chip as on the real bench.
+		d, err := hbm.New(o.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		ctl := thermal.NewController(d, thermal.NewPlant(25))
+		if err := ctl.SettleTo(target, 0.5, 5, 1800); err != nil {
+			return nil, fmt.Errorf("experiments: settling to %.0f C: %w", target, err)
+		}
+		h, err := core.NewHarness(d)
+		if err != nil {
+			return nil, err
+		}
+		var bers []float64
+		for i := 0; i < o.Rows; i++ {
+			phys := start + i*3
+			r, err := h.BER(o.Bank, phys, pattern, o.Hammers)
+			if err != nil {
+				return nil, err
+			}
+			bers = append(bers, r.BER()*100)
+		}
+		s.Points = append(s.Points, TempPoint{TempC: target, MeanBER: stats.Mean(bers)})
+	}
+	return s, nil
+}
+
+// Render prints the sweep as a table.
+func (s *TempSweepStudy) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: RowHammer BER vs chip temperature (PID-settled)\n")
+	sb.WriteString("temp (C)  mean BER (%)\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&sb, "%8.0f  %.3f\n", p.TempC, p.MeanBER)
+	}
+	return sb.String()
+}
+
+// CrossChannelOptions configures the cross-channel interference probe.
+type CrossChannelOptions struct {
+	// Cfg is the device configuration; nil means config.PaperChip().
+	// The study runs it twice: once as-is and once with the synthetic
+	// vertical coupling below.
+	Cfg *config.Config
+	// SyntheticCoupling is the VerticalCoupling used for the "what if"
+	// arm of the study.
+	SyntheticCoupling float64
+	// AggressorChannel is hammered; victims are read in channel +/- 2.
+	AggressorChannel int
+	// Activations per probed row.
+	Activations int
+	// Rows probed.
+	Rows int
+}
+
+// CrossChannelStudy is the outcome of the interference probe.
+type CrossChannelStudy struct {
+	Opts CrossChannelOptions
+	// BaselineFlips is the cross-channel flip count on the paper-default
+	// chip (no vertical coupling observed).
+	BaselineFlips int
+	// CoupledFlips is the flip count with SyntheticCoupling injected.
+	CoupledFlips int
+}
+
+// RunCrossChannel hammers rows in one channel and checks the same
+// physical rows of the vertically adjacent channels for bitflips —
+// the paper's future-work question 3. On the default chip nothing
+// crosses; the synthetic arm shows what the methodology would detect if
+// the dies did couple.
+func RunCrossChannel(o CrossChannelOptions) (*CrossChannelStudy, error) {
+	if o.Cfg == nil {
+		o.Cfg = config.PaperChip()
+	}
+	if o.SyntheticCoupling <= 0 {
+		o.SyntheticCoupling = 0.5
+	}
+	if o.Activations <= 0 {
+		o.Activations = 1_000_000
+	}
+	if o.Rows <= 0 {
+		o.Rows = 4
+	}
+	s := &CrossChannelStudy{Opts: o}
+	run := func(coupling float64) (int, error) {
+		cfg := *o.Cfg
+		cfg.Fault.VerticalCoupling = coupling
+		d, err := hbm.New(&cfg)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := core.NewHarness(d); err != nil { // ECC off
+			return 0, err
+		}
+		layout := cfg.Layout()
+		sa := layout.Count() / 2
+		start := layout.Start(sa) + layout.Size(sa)/4
+		g := cfg.Geometry
+		m := d.Mapper()
+		victimChannels := []int{o.AggressorChannel - 2, o.AggressorChannel + 2}
+		pattern := make([]byte, g.RowBytes())
+		for i := range pattern {
+			pattern[i] = 0xFF
+		}
+		flips := 0
+		for i := 0; i < o.Rows; i++ {
+			phys := start + i*5
+			logical := m.ToLogical(phys)
+			for _, vch := range victimChannels {
+				if vch < 0 || vch >= g.Channels {
+					continue
+				}
+				vb := addr.BankAddr{Channel: vch, PseudoChannel: 0, Bank: 0}
+				if err := hbm.WriteRow(d, vb, logical, pattern); err != nil {
+					return 0, err
+				}
+			}
+			ab := addr.BankAddr{Channel: o.AggressorChannel, PseudoChannel: 0, Bank: 0}
+			if err := d.HammerSingle(ab, logical, o.Activations); err != nil {
+				return 0, err
+			}
+			if err := d.AdvanceTime(cfg.Timing.TRP); err != nil {
+				return 0, err
+			}
+			for _, vch := range victimChannels {
+				if vch < 0 || vch >= g.Channels {
+					continue
+				}
+				vb := addr.BankAddr{Channel: vch, PseudoChannel: 0, Bank: 0}
+				got, err := hbm.ReadRow(d, vb, logical)
+				if err != nil {
+					return 0, err
+				}
+				flips += hbm.CountMismatches(got, pattern)
+			}
+		}
+		return flips, nil
+	}
+	var err error
+	if s.BaselineFlips, err = run(o.Cfg.Fault.VerticalCoupling); err != nil {
+		return nil, err
+	}
+	if s.CoupledFlips, err = run(o.SyntheticCoupling); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Render summarizes the probe.
+func (s *CrossChannelStudy) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: cross-channel interference probe (vertically stacked dies)\n")
+	fmt.Fprintf(&sb, "aggressor channel %d, %d activations per row, victims in channels +/- 2\n",
+		s.Opts.AggressorChannel, s.Opts.Activations)
+	fmt.Fprintf(&sb, "default chip:            %d cross-channel bitflips\n", s.BaselineFlips)
+	fmt.Fprintf(&sb, "synthetic coupling %.2f: %d cross-channel bitflips\n",
+		s.Opts.SyntheticCoupling, s.CoupledFlips)
+	return sb.String()
+}

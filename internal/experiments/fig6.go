@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
+	"github.com/safari-repro/hbmrh/internal/report"
+	"github.com/safari-repro/hbmrh/internal/stats"
+)
+
+// Fig6Options configures the per-bank variation study.
+type Fig6Options struct {
+	// Cfg is the device configuration; nil means config.PaperChip().
+	Cfg *config.Config
+	// Hammers is the BER hammer count (paper: 256K).
+	Hammers int
+	// RowsPerBankRegion is how many rows are tested at the start, middle
+	// and end of each bank (paper: 100 each, 300 per bank).
+	RowsPerBankRegion int
+	// Workers is the number of parallel measurement devices.
+	Workers int
+}
+
+func (o *Fig6Options) setDefaults() {
+	if o.Cfg == nil {
+		o.Cfg = config.PaperChip()
+	}
+	if o.Hammers <= 0 {
+		o.Hammers = core.DefaultHammers
+	}
+	if o.RowsPerBankRegion <= 0 {
+		o.RowsPerBankRegion = 100
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+		if o.Workers > o.Cfg.Geometry.Channels {
+			o.Workers = o.Cfg.Geometry.Channels
+		}
+	}
+}
+
+// BankPoint is one bank's marker in the Fig. 6 scatter: the mean and the
+// coefficient of variation of its per-row BER distribution.
+type BankPoint struct {
+	Bank    addr.BankAddr
+	MeanBER float64 // percent
+	CV      float64
+}
+
+// Fig6 is the per-bank BER variation figure.
+type Fig6 struct {
+	Opts   Fig6Options
+	Points []BankPoint
+}
+
+// RunFig6 measures the BER distribution over the first, middle and last
+// RowsPerBankRegion rows of every bank in the stack (the paper's 300 rows
+// across all 256 banks). Each row's BER is taken under its best Table 1
+// pattern at the full hammer count — a BER-maximizing proxy for the WCDP
+// that avoids the per-row HCfirst search, which Fig. 6 does not need.
+func RunFig6(o Fig6Options) (*Fig6, error) {
+	o.setDefaults()
+	if err := o.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := o.Cfg.Geometry
+
+	perChannel := make([][]BankPoint, g.Channels)
+	chans := make(chan int)
+	var wg sync.WaitGroup
+	errs := make([]error, o.Workers)
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, err := core.NewHarnessFromConfig(o.Cfg)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for ch := range chans {
+				pts, err := fig6Channel(h, o, ch)
+				if err != nil {
+					errs[w] = fmt.Errorf("channel %d: %w", ch, err)
+					return
+				}
+				perChannel[ch] = pts
+			}
+		}(w)
+	}
+	for ch := 0; ch < g.Channels; ch++ {
+		chans <- ch
+	}
+	close(chans)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	f := &Fig6{Opts: o}
+	for ch := 0; ch < g.Channels; ch++ {
+		f.Points = append(f.Points, perChannel[ch]...)
+	}
+	return f, nil
+}
+
+func fig6Channel(h *core.Harness, o Fig6Options, ch int) ([]BankPoint, error) {
+	g := o.Cfg.Geometry
+	span := o.RowsPerBankRegion
+	regions := []core.Region{
+		{Name: "first", Start: 0, End: span},
+		{Name: "middle", Start: (g.Rows - span) / 2, End: (g.Rows-span)/2 + span},
+		{Name: "last", Start: g.Rows - span, End: g.Rows},
+	}
+	patterns := core.Table1()
+	var pts []BankPoint
+	for pc := 0; pc < g.PseudoChannels; pc++ {
+		for bank := 0; bank < g.Banks; bank++ {
+			ba := addr.BankAddr{Channel: ch, PseudoChannel: pc, Bank: bank}
+			var bers []float64
+			for _, region := range regions {
+				for phys := region.Start; phys < region.End; phys++ {
+					if phys <= 0 || phys >= g.Rows-1 {
+						continue
+					}
+					best := 0.0
+					for _, p := range patterns {
+						r, err := h.BER(ba, phys, p, o.Hammers)
+						if err != nil {
+							return nil, err
+						}
+						if b := r.BER(); b > best {
+							best = b
+						}
+					}
+					bers = append(bers, best*100)
+				}
+			}
+			sum := stats.Summarize(bers)
+			pts = append(pts, BankPoint{Bank: ba, MeanBER: sum.Mean, CV: sum.CV()})
+		}
+	}
+	return pts, nil
+}
+
+// Render draws the scatter plot; each point's glyph is its channel digit,
+// matching the paper's colour coding.
+func (f *Fig6) Render() string {
+	pts := make([]report.Point, 0, len(f.Points))
+	for _, p := range f.Points {
+		pts = append(pts, report.Point{
+			X:   p.CV,
+			Y:   p.MeanBER,
+			Tag: rune('0' + p.Bank.Channel%10),
+		})
+	}
+	return report.RenderScatter(
+		"Fig. 6: BER variation across banks (mean vs coefficient of variation)",
+		"CV of BER distribution", "mean BER (%)", pts)
+}
+
+// Fig6Headlines carries the figure's quantitative takeaways.
+type Fig6Headlines struct {
+	// MeanLo/MeanHi bound the bank mean BER across the stack.
+	MeanLo, MeanHi float64
+	// CVLo/CVHi bound the coefficient of variation.
+	CVLo, CVHi float64
+	// MaxIntraChannelSpread is the largest within-channel difference of
+	// bank mean BER (paper: up to 0.23 % in channel 7).
+	MaxIntraChannelSpread float64
+	// CrossOverIntra compares the global spread of bank means to the
+	// largest within-channel spread; > 1 means channel variation
+	// dominates bank variation, the paper's second Fig. 6 observation.
+	CrossOverIntra float64
+}
+
+// Headlines computes Fig6Headlines.
+func (f *Fig6) Headlines() Fig6Headlines {
+	h := Fig6Headlines{}
+	if len(f.Points) == 0 {
+		return h
+	}
+	means := make([]float64, 0, len(f.Points))
+	cvs := make([]float64, 0, len(f.Points))
+	byCh := map[int][]float64{}
+	for _, p := range f.Points {
+		means = append(means, p.MeanBER)
+		cvs = append(cvs, p.CV)
+		byCh[p.Bank.Channel] = append(byCh[p.Bank.Channel], p.MeanBER)
+	}
+	h.MeanLo, h.MeanHi = stats.MinMax(means)
+	h.CVLo, h.CVHi = stats.MinMax(cvs)
+	for _, ms := range byCh {
+		lo, hi := stats.MinMax(ms)
+		if hi-lo > h.MaxIntraChannelSpread {
+			h.MaxIntraChannelSpread = hi - lo
+		}
+	}
+	if h.MaxIntraChannelSpread > 0 {
+		h.CrossOverIntra = (h.MeanHi - h.MeanLo) / h.MaxIntraChannelSpread
+	}
+	return h
+}
+
+// CSV exports the scatter's raw data.
+func (f *Fig6) CSV() (headers []string, rows [][]string) {
+	headers = []string{"channel", "pseudo_channel", "bank", "mean_ber_pct", "cv"}
+	for _, p := range f.Points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Bank.Channel),
+			strconv.Itoa(p.Bank.PseudoChannel),
+			strconv.Itoa(p.Bank.Bank),
+			strconv.FormatFloat(p.MeanBER, 'f', 5, 64),
+			strconv.FormatFloat(p.CV, 'f', 5, 64),
+		})
+	}
+	return headers, rows
+}

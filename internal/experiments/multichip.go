@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/stats"
+)
+
+// Multi-chip study: the paper's future work 1 ("repeat our experiments on
+// a larger number of HBM2 chips to improve the statistical significance
+// of our observations"). Every simulated chip instance is a seed; the
+// study reruns the headline measurements across seeds and checks which
+// observations are stable chip-to-chip.
+
+// MultiChipOptions configures the study.
+type MultiChipOptions struct {
+	// Base is the chip design; each seed instantiates one chip of it.
+	// nil means config.PaperChip().
+	Base *config.Config
+	// Seeds are the chip instances to test.
+	Seeds []uint64
+	// RowsPerRegion is the sweep sampling density per chip.
+	RowsPerRegion int
+	// Workers bounds per-chip sweep parallelism.
+	Workers int
+}
+
+// ChipSummary is one chip's headline numbers.
+type ChipSummary struct {
+	Seed uint64
+	// MinHCFirst is the chip's global minimum HCfirst.
+	MinHCFirst int
+	// WCDPRatio is the most/least vulnerable channel BER ratio.
+	WCDPRatio float64
+	// WorstChannel is the channel with the highest mean WCDP BER.
+	WorstChannel int
+	// TRRPeriod is the uncovered mitigation period (0 if aperiodic).
+	TRRPeriod int
+}
+
+// MultiChipStudy aggregates the per-chip summaries.
+type MultiChipStudy struct {
+	Opts  MultiChipOptions
+	Chips []ChipSummary
+}
+
+// RunMultiChip measures every seed's headline numbers.
+func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
+	if o.Base == nil {
+		o.Base = config.PaperChip()
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1, 2, 3}
+	}
+	if o.RowsPerRegion <= 0 {
+		o.RowsPerRegion = 8
+	}
+	s := &MultiChipStudy{Opts: o}
+	for _, seed := range o.Seeds {
+		cfg := *o.Base
+		cfg.Seed = seed
+		sweep, err := RunSweep(Options{
+			Cfg:           &cfg,
+			RowsPerRegion: o.RowsPerRegion,
+			Workers:       o.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chip %#x: %w", seed, err)
+		}
+		h3 := Fig3{sweep}.Headlines()
+		h4 := Fig4{sweep}.Headlines()
+		worst := 0
+		for ch, ber := range h3.WCDPMeanBER {
+			if ber > h3.WCDPMeanBER[worst] {
+				worst = ch
+			}
+		}
+		trr, err := RunTRRStudy(TRRStudyOptions{
+			Cfg:  &cfg,
+			Bank: addr.BankAddr{Channel: 0, PseudoChannel: 0, Bank: 0},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chip %#x: %w", seed, err)
+		}
+		s.Chips = append(s.Chips, ChipSummary{
+			Seed:         seed,
+			MinHCFirst:   h4.MinHCFirst,
+			WCDPRatio:    h3.MaxOverMinWCDP,
+			WorstChannel: worst,
+			TRRPeriod:    trr.Period,
+		})
+	}
+	return s, nil
+}
+
+// Render prints the chip-to-chip comparison.
+func (s *MultiChipStudy) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: chip-to-chip variation (future work 1)\n")
+	sb.WriteString("chip seed     min HCfirst  BER ratio  worst ch  TRR period\n")
+	for _, c := range s.Chips {
+		fmt.Fprintf(&sb, "%#-12x  %11d  %8.2fx  %8d  %10d\n",
+			c.Seed, c.MinHCFirst, c.WCDPRatio, c.WorstChannel, c.TRRPeriod)
+	}
+	if len(s.Chips) > 1 {
+		var mins []float64
+		for _, c := range s.Chips {
+			mins = append(mins, float64(c.MinHCFirst))
+		}
+		sum := stats.Summarize(mins)
+		fmt.Fprintf(&sb, "min HCfirst across chips: %.0f .. %.0f (mean %.0f)\n", sum.Min, sum.Max, sum.Mean)
+	}
+	return sb.String()
+}
+
+// StableObservations reports which of the paper's key observations hold
+// on every tested chip: the design-level ones (channel grouping, TRR
+// period) should; exact cell-level numbers should not.
+func (s *MultiChipStudy) StableObservations() (worstChannelStable, trrPeriodStable bool) {
+	if len(s.Chips) == 0 {
+		return false, false
+	}
+	worstChannelStable, trrPeriodStable = true, true
+	for _, c := range s.Chips[1:] {
+		if c.WorstChannel != s.Chips[0].WorstChannel {
+			worstChannelStable = false
+		}
+		if c.TRRPeriod != s.Chips[0].TRRPeriod {
+			trrPeriodStable = false
+		}
+	}
+	return worstChannelStable, trrPeriodStable
+}

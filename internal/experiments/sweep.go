@@ -1,0 +1,206 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: the spatial-variation study of Section 4 (Figs. 3-6) and
+// the TRR-uncovering study of Section 5, with scale knobs so the same
+// drivers power fast tests, benchmarks and full-resolution runs.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
+)
+
+// Options configures the shared spatial sweep behind Figs. 3, 4 and 5.
+type Options struct {
+	// Cfg is the device configuration; nil means config.PaperChip().
+	Cfg *config.Config
+	// Hammers is the BER hammer count and the HCfirst search ceiling
+	// (paper: 256K).
+	Hammers int
+	// RowsPerRegion caps how many victim rows are sampled per region;
+	// 0 tests every row, as the paper does.
+	RowsPerRegion int
+	// PC and Bank select the bank tested in every channel.
+	PC, Bank int
+	// Workers is the number of parallel measurement devices. Results are
+	// independent of the worker count (each worker instantiates the same
+	// deterministic chip).
+	Workers int
+}
+
+func (o *Options) setDefaults() {
+	if o.Cfg == nil {
+		o.Cfg = config.PaperChip()
+	}
+	if o.Hammers <= 0 {
+		o.Hammers = core.DefaultHammers
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+		if o.Workers > o.Cfg.Geometry.Channels {
+			o.Workers = o.Cfg.Geometry.Channels
+		}
+	}
+}
+
+// RowResult holds every measurement of one victim row: per-pattern BER
+// and HCfirst plus the row's worst-case data pattern selection.
+type RowResult struct {
+	Channel int
+	PhysRow int
+	Region  string
+
+	// BER, HCFirst and Found are indexed like core.Table1().
+	BER     []float64
+	HCFirst []int
+	Found   []bool
+
+	// WCDP is the index of the row's worst-case data pattern.
+	WCDP int
+}
+
+// WCDPBER returns the row's BER under its worst-case pattern.
+func (r *RowResult) WCDPBER() float64 { return r.BER[r.WCDP] }
+
+// WCDPHCFirst returns the row's HCfirst under its worst-case pattern and
+// whether any pattern flipped at all.
+func (r *RowResult) WCDPHCFirst() (int, bool) { return r.HCFirst[r.WCDP], r.Found[r.WCDP] }
+
+// Sweep is the complete spatial dataset for one bank across all channels.
+type Sweep struct {
+	Opts Options
+	Rows []RowResult
+}
+
+// RunSweep measures every sampled victim row in the paper's three regions
+// of one bank in every channel: per Table 1 pattern, the BER at the full
+// hammer count and the HCfirst search, then the WCDP choice.
+func RunSweep(o Options) (*Sweep, error) {
+	o.setDefaults()
+	if err := o.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := o.Cfg.Geometry
+	if o.PC < 0 || o.PC >= g.PseudoChannels || o.Bank < 0 || o.Bank >= g.Banks {
+		return nil, fmt.Errorf("experiments: bank pc%d.ba%d out of range", o.PC, o.Bank)
+	}
+
+	results := make([][]RowResult, g.Channels)
+	chans := make(chan int)
+	var wg sync.WaitGroup
+	errs := make([]error, o.Workers)
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, err := core.NewHarnessFromConfig(o.Cfg)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for ch := range chans {
+				rows, err := sweepChannel(h, o, ch)
+				if err != nil {
+					errs[w] = fmt.Errorf("channel %d: %w", ch, err)
+					return
+				}
+				results[ch] = rows
+			}
+		}(w)
+	}
+	for ch := 0; ch < g.Channels; ch++ {
+		chans <- ch
+	}
+	close(chans)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s := &Sweep{Opts: o}
+	for ch := 0; ch < g.Channels; ch++ {
+		s.Rows = append(s.Rows, results[ch]...)
+	}
+	return s, nil
+}
+
+func sweepChannel(h *core.Harness, o Options, ch int) ([]RowResult, error) {
+	g := o.Cfg.Geometry
+	ba := addr.BankAddr{Channel: ch, PseudoChannel: o.PC, Bank: o.Bank}
+	patterns := core.Table1()
+	var out []RowResult
+	for _, region := range core.Regions(g.Rows) {
+		for _, phys := range region.SampleRows(o.RowsPerRegion) {
+			if phys <= 0 || phys >= g.Rows-1 {
+				continue // bank-edge rows have no double-sided pair
+			}
+			rr := RowResult{
+				Channel: ch,
+				PhysRow: phys,
+				Region:  region.Name,
+				BER:     make([]float64, len(patterns)),
+				HCFirst: make([]int, len(patterns)),
+				Found:   make([]bool, len(patterns)),
+			}
+			for pi, p := range patterns {
+				ber, err := h.BER(ba, phys, p, o.Hammers)
+				if err != nil {
+					return nil, err
+				}
+				rr.BER[pi] = ber.BER()
+				hc, found, err := h.HCFirst(ba, phys, p, o.Hammers)
+				if err != nil {
+					return nil, err
+				}
+				rr.HCFirst[pi], rr.Found[pi] = hc, found
+			}
+			rr.WCDP = chooseWCDP(rr)
+			out = append(out, rr)
+		}
+	}
+	return out, nil
+}
+
+// chooseWCDP applies the paper's worst-case pattern rule: smallest
+// HCfirst; ties (and the nothing-flipped case) broken by the largest BER
+// at the maximum hammer count.
+func chooseWCDP(r RowResult) int {
+	best := 0
+	for i := 1; i < len(r.BER); i++ {
+		switch {
+		case r.Found[i] != r.Found[best]:
+			if r.Found[i] {
+				best = i
+			}
+		case r.Found[i] && r.HCFirst[i] != r.HCFirst[best]:
+			if r.HCFirst[i] < r.HCFirst[best] {
+				best = i
+			}
+		default:
+			if r.BER[i] > r.BER[best] {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// ByChannel groups the sweep's rows per channel, in channel order.
+func (s *Sweep) ByChannel() [][]RowResult {
+	g := s.Opts.Cfg.Geometry
+	out := make([][]RowResult, g.Channels)
+	for _, r := range s.Rows {
+		out[r.Channel] = append(out[r.Channel], r)
+	}
+	for _, rows := range out {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].PhysRow < rows[j].PhysRow })
+	}
+	return out
+}

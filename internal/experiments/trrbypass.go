@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
+	"github.com/safari-repro/hbmrh/internal/hbm"
+)
+
+// TRR bypass: the attack-side consequence of Section 5. Once the
+// proprietary mechanism is uncovered — a single-slot sampler holding the
+// most recently activated row, firing a victim refresh every 17 REFs —
+// an attacker defeats it by activating a harmless decoy row right before
+// every REF. The sampler then always holds the decoy, the TRR spends its
+// fires refreshing the decoy's neighbours, and the true victim
+// accumulates the full hammer count under completely nominal refresh.
+
+// TRRBypassOptions configures the study.
+type TRRBypassOptions struct {
+	// Cfg is the device configuration; nil means config.PaperChip().
+	// The study models nominal operation (periodic REFs at tREFI), so
+	// the paper-geometry refresh pointer cadence matters; SmallChip's
+	// short bank makes the pointer sweep victims mid-attack.
+	Cfg *config.Config
+	// Bank is where the attack runs.
+	Bank addr.BankAddr
+	// Hammers is the double-sided hammer budget (paper: 256K).
+	Hammers int
+}
+
+// TRRBypassStudy compares the attack with and without the decoy.
+type TRRBypassStudy struct {
+	Opts TRRBypassOptions
+	// ProtectedFlips is the victim bitflip count when hammering naively
+	// under nominal refresh: the TRR samples the aggressors and protects
+	// the victim.
+	ProtectedFlips int
+	// BypassedFlips is the count with a decoy activation before every
+	// REF, blinding the sampler.
+	BypassedFlips int
+	// Refreshes is the number of periodic REFs issued per arm.
+	Refreshes int
+}
+
+// RunTRRBypass runs both arms: interleaved hammering with REFs at the
+// nominal tREFI cadence, without and with the decoy.
+func RunTRRBypass(o TRRBypassOptions) (*TRRBypassStudy, error) {
+	if o.Cfg == nil {
+		o.Cfg = config.PaperChip()
+	}
+	if o.Hammers <= 0 {
+		o.Hammers = core.DefaultHammers
+	}
+	s := &TRRBypassStudy{Opts: o}
+	var err error
+	if s.ProtectedFlips, s.Refreshes, err = runBypassArm(o, false); err != nil {
+		return nil, err
+	}
+	if s.BypassedFlips, _, err = runBypassArm(o, true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func runBypassArm(o TRRBypassOptions, decoy bool) (flips, refs int, err error) {
+	d, err := hbm.New(o.Cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := core.NewHarness(d); err != nil { // ECC off
+		return 0, 0, err
+	}
+	tm := o.Cfg.Timing
+	layout := o.Cfg.Layout()
+	// Place the victim late in the bank (but not in the hardened last
+	// subarray) so the refresh pointer does not sweep it mid-attack.
+	sa := layout.Count() - 2
+	physVictim := layout.Start(sa) + layout.Size(sa)/2
+	m := d.Mapper()
+	lv := m.ToLogical(physVictim)
+	la := m.ToLogical(physVictim - 1)
+	lb := m.ToLogical(physVictim + 1)
+	decoyRow := m.ToLogical(physVictim + 16) // outside the blast radius
+
+	g := d.Geometry()
+	pattern := make([]byte, g.RowBytes())
+	for i := range pattern {
+		pattern[i] = 0xFF
+	}
+	for r, fill := range map[int]byte{lv: 0xFF, la: 0x00, lb: 0x00} {
+		rowData := pattern
+		if fill == 0x00 {
+			rowData = make([]byte, g.RowBytes())
+		}
+		if err := hbm.WriteRow(d, o.Bank, r, rowData); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Nominal refresh: one REF per tREFI, with the hammers that fit in
+	// between (one double-sided hammer occupies 2*tRC).
+	perREF := int(tm.TREFI / (2 * tm.TRC))
+	remaining := o.Hammers
+	for remaining > 0 {
+		chunk := perREF
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if err := d.HammerPair(o.Bank, la, lb, chunk); err != nil {
+			return 0, 0, err
+		}
+		remaining -= chunk
+		if err := d.AdvanceTime(tm.TRP); err != nil {
+			return 0, 0, err
+		}
+		if decoy {
+			// The bypass: one decoy activation right before the REF, so
+			// the sampler forgets the real aggressors.
+			if err := hbm.RefreshRow(d, o.Bank, decoyRow); err != nil {
+				return 0, 0, err
+			}
+		}
+		if err := d.Refresh(o.Bank.Channel, o.Bank.PseudoChannel); err != nil {
+			return 0, 0, err
+		}
+		refs++
+		if err := d.AdvanceTime(tm.TRFC); err != nil {
+			return 0, 0, err
+		}
+	}
+	got, err := hbm.ReadRow(d, o.Bank, lv)
+	if err != nil {
+		return 0, 0, err
+	}
+	return hbm.CountMismatches(got, pattern), refs, nil
+}
+
+// Render summarizes the two arms.
+func (s *TRRBypassStudy) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Extension: defeating the uncovered TRR (Section 5 attack implication)\n")
+	fmt.Fprintf(&sb, "%d double-sided hammers interleaved with %d periodic REFs at tREFI\n",
+		s.Opts.Hammers, s.Refreshes)
+	fmt.Fprintf(&sb, "naive hammering (TRR samples the aggressors): %4d victim bitflips\n", s.ProtectedFlips)
+	fmt.Fprintf(&sb, "decoy activation before every REF:            %4d victim bitflips\n", s.BypassedFlips)
+	if s.ProtectedFlips == 0 && s.BypassedFlips > 0 {
+		sb.WriteString("=> the mitigation protects naive attacks but a sampler-aware attacker bypasses it\n")
+	}
+	return sb.String()
+}

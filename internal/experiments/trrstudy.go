@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/hbm"
+	"github.com/safari-repro/hbmrh/internal/utrr"
+)
+
+// TRRStudyOptions configures the Section 5 experiment.
+type TRRStudyOptions struct {
+	// Cfg is the device configuration; nil means config.PaperChip().
+	Cfg *config.Config
+	// Bank selects where the profiled row lives.
+	Bank addr.BankAddr
+	// Iterations is the number of U-TRR iterations (paper: 100).
+	Iterations int
+	// StartRow is where the retention scan begins. It defaults to a row
+	// range the periodic-refresh pointer does not sweep during the run.
+	StartRow int
+}
+
+// TRRStudy is the outcome of the Section 5 reproduction.
+type TRRStudy struct {
+	Opts   TRRStudyOptions
+	Result *utrr.Result
+	// Period is the inferred victim-refresh period (paper: 17), with
+	// Periodic indicating the fires were strictly periodic.
+	Period   int
+	Periodic bool
+}
+
+// RunTRRStudy reproduces Section 5: profile a retention-weak row, run the
+// U-TRR iterations, and infer the proprietary TRR mechanism's period.
+func RunTRRStudy(o TRRStudyOptions) (*TRRStudy, error) {
+	if o.Cfg == nil {
+		o.Cfg = config.PaperChip()
+	}
+	if err := o.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := hbm.New(o.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Section 3.1 setup: ECC off so raw retention errors are visible.
+	for ch := 0; ch < o.Cfg.Geometry.Channels; ch++ {
+		if err := d.WriteModeRegister(ch, hbm.MRECC, 0); err != nil {
+			return nil, err
+		}
+	}
+	e := utrr.New(d)
+	if o.Iterations > 0 {
+		e.Iterations = o.Iterations
+	}
+	start := o.StartRow
+	if start <= 0 {
+		// Keep clear of the rows the refresh pointer sweeps: one REF per
+		// iteration refreshes a couple of physical rows from address 0.
+		start = o.Cfg.Geometry.Rows / 4
+	}
+	res, err := e.Run(o.Bank, start)
+	if err != nil {
+		return nil, err
+	}
+	s := &TRRStudy{Opts: o, Result: res}
+	s.Period, s.Periodic = res.InferPeriod()
+	return s, nil
+}
+
+// Render summarizes the study the way Section 5 reports it.
+func (s *TRRStudy) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Section 5: uncovering the proprietary in-DRAM TRR mechanism (U-TRR)\n")
+	fmt.Fprintf(&sb, "profiled row: %s row %d (retention %.2f s), aggressor row %d\n",
+		s.Opts.Bank, s.Result.Row, s.Result.RetentionSec, s.Result.Aggressor)
+	fires := s.Result.Fires()
+	fmt.Fprintf(&sb, "iterations: %d, victim refreshes observed: %d (at %v)\n",
+		len(s.Result.Refreshed), len(fires), fires)
+	if s.Periodic {
+		fmt.Fprintf(&sb, "=> the chip refreshes the sampled aggressor's victims once every %d REFs\n", s.Period)
+	} else {
+		sb.WriteString("=> no strictly periodic victim refresh observed\n")
+	}
+	// Iteration strip chart: '#' = refreshed by TRR, '.' = decayed.
+	glyphs := make([]byte, len(s.Result.Refreshed))
+	for i, r := range s.Result.Refreshed {
+		if r {
+			glyphs[i] = '#'
+		} else {
+			glyphs[i] = '.'
+		}
+	}
+	fmt.Fprintf(&sb, "timeline: %s\n", glyphs)
+	return sb.String()
+}
+
+// CSV exports the per-iteration observations.
+func (s *TRRStudy) CSV() (headers []string, rows [][]string) {
+	headers = []string{"iteration", "refreshed"}
+	for i, r := range s.Result.Refreshed {
+		rows = append(rows, []string{strconv.Itoa(i + 1), strconv.FormatBool(r)})
+	}
+	return headers, rows
+}

@@ -1,0 +1,276 @@
+// Package faultmodel computes per-cell physical properties of the
+// simulated HBM2 chip: RowHammer disturbance thresholds, data-retention
+// times, and cell orientation (true vs anti cells).
+//
+// Every quantity is a deterministic function of (seed, coordinates), so the
+// full 4 GiB device needs no materialized state. The model composes, per
+// cell:
+//
+//	threshold = channelMedian                      (die/channel process corner)
+//	          x exp(channelSigma * Z_cell)         (cell-to-cell lognormal)
+//	          x positionFactor(row in subarray)    (distance to sense amps)
+//	          x lastSubarrayFactor                 (weak final subarray)
+//	          x rowJitter x bankJitter             (local process variation)
+//
+// with Z_cell truncated from below and the product clamped to an absolute
+// floor. Data-dependent factors (neighbour coupling, intra-row pattern) are
+// applied by the device at sense time, because they depend on stored data.
+package faultmodel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/rng"
+)
+
+// Hash domain separators so draws for different per-cell quantities are
+// independent even at equal coordinates.
+const (
+	domThreshold uint64 = 0x7468726573686F6C // "threshol"
+	domOrient    uint64 = 0x6F7269656E740000 // "orient"
+	domRowJit    uint64 = 0x726F776A69740000 // "rowjit"
+	domBankJit   uint64 = 0x62616E6B6A697400 // "bankjit"
+	domRetention uint64 = 0x726574656E740000 // "retent"
+)
+
+// Model evaluates the fault model for one chip instance.
+type Model struct {
+	cfg    *config.Config
+	layout *addr.SubarrayLayout
+
+	mu    sync.RWMutex
+	cache map[cacheKey]*RowProfile
+	// cacheCap bounds memory: each entry costs ~4 bytes per row bit.
+	cacheCap int
+}
+
+type cacheKey struct {
+	bank addr.BankAddr
+	row  int
+}
+
+// RowProfile holds the precomputed per-bit properties of one physical row.
+// Slices are shared with the model's cache: callers must treat them as
+// read-only.
+type RowProfile struct {
+	// Threshold[i] is the intrinsic disturbance threshold of bit i, in
+	// double-sided hammer units.
+	Threshold []float32
+	// TrueCell has bit i set when cell i is a true cell (charged at 1).
+	TrueCell []uint64
+}
+
+// IsTrue reports whether bit i is a true cell.
+func (p *RowProfile) IsTrue(i int) bool {
+	return p.TrueCell[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// New builds a fault model for the given validated configuration.
+func New(cfg *config.Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("faultmodel: %w", err)
+	}
+	return &Model{
+		cfg:      cfg,
+		layout:   cfg.Layout(),
+		cache:    make(map[cacheKey]*RowProfile),
+		cacheCap: 2048,
+	}, nil
+}
+
+// Layout exposes the subarray layout the model was built with.
+func (m *Model) Layout() *addr.SubarrayLayout { return m.layout }
+
+// PositionFactor returns the threshold multiplier for a physical row due
+// to its position within its subarray and the last-subarray effect. Edge
+// rows (near the sense amplifiers) get the highest thresholds and centre
+// rows the lowest, so BER peaks mid-subarray, reproducing Fig. 5's
+// periodic pattern. The bank's final subarray is additionally hardened by
+// LastSubarrayFactor: it exhibits far fewer bitflips in the paper, and
+// fewer bitflips means higher thresholds.
+func (m *Model) PositionFactor(physRow int) float64 {
+	sa, off := m.layout.Locate(physRow)
+	size := m.layout.Size(sa)
+	f := m.cfg.Fault
+	factor := f.MidFactor
+	if size > 1 {
+		t := float64(off) / float64(size-1) // 0 at first row, 1 at last
+		// Cosine bump: EdgeFactor at t=0 and t=1, MidFactor at t=0.5.
+		factor = f.MidFactor + (f.EdgeFactor-f.MidFactor)*(math.Cos(2*math.Pi*t)+1)/2
+	}
+	if sa == m.layout.Count()-1 {
+		factor *= f.LastSubarrayFactor
+	}
+	return factor
+}
+
+// rowScale returns the row-level multiplier: position x row jitter x bank
+// jitter.
+func (m *Model) rowScale(b addr.BankAddr, physRow int) float64 {
+	f := m.cfg.Fault
+	seed := m.cfg.Seed
+	rj := math.Exp(f.RowJitterSigma * rng.Normal(rng.Combine(
+		seed, domRowJit, uint64(b.Channel), uint64(b.PseudoChannel), uint64(b.Bank), uint64(physRow))))
+	bj := math.Exp(f.BankJitterSigma * rng.Normal(rng.Combine(
+		seed, domBankJit, uint64(b.Channel), uint64(b.PseudoChannel), uint64(b.Bank))))
+	return m.PositionFactor(physRow) * rj * bj
+}
+
+// Profile returns the cached per-bit profile of a physical row, computing
+// it on first use. The returned profile is shared: treat it as read-only.
+func (m *Model) Profile(b addr.BankAddr, physRow int) *RowProfile {
+	key := cacheKey{bank: b, row: physRow}
+	m.mu.RLock()
+	p, ok := m.cache[key]
+	m.mu.RUnlock()
+	if ok {
+		return p
+	}
+	p = m.computeProfile(b, physRow)
+	m.mu.Lock()
+	if len(m.cache) >= m.cacheCap {
+		// Evict an arbitrary entry; profiles are cheap to recompute and
+		// access patterns are region-local, so simple eviction suffices.
+		for k := range m.cache {
+			delete(m.cache, k)
+			break
+		}
+	}
+	m.cache[key] = p
+	m.mu.Unlock()
+	return p
+}
+
+func (m *Model) computeProfile(b addr.BankAddr, physRow int) *RowProfile {
+	bits := m.cfg.Geometry.RowBits()
+	prof := &RowProfile{
+		Threshold: make([]float32, bits),
+		TrueCell:  make([]uint64, (bits+63)/64),
+	}
+	ch := m.cfg.Fault.Channels[b.Channel]
+	f := m.cfg.Fault
+	seed := m.cfg.Seed
+	scale := ch.MedianHC * m.rowScale(b, physRow)
+	base := rng.Combine(seed, domThreshold,
+		uint64(b.Channel), uint64(b.PseudoChannel), uint64(b.Bank), uint64(physRow))
+	orientBase := rng.Combine(seed, domOrient,
+		uint64(b.Channel), uint64(b.PseudoChannel), uint64(b.Bank), uint64(physRow))
+	for i := 0; i < bits; i++ {
+		z := rng.Normal(rng.Mix64(base + uint64(i)))
+		if z < f.ZFloor {
+			z = f.ZFloor
+		}
+		thr := scale * math.Exp(ch.Sigma*z)
+		if thr < f.HCFloor {
+			thr = f.HCFloor
+		}
+		prof.Threshold[i] = float32(thr)
+		if rng.Bool(rng.Mix64(orientBase+uint64(i)), ch.TrueCellFrac) {
+			prof.TrueCell[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	return prof
+}
+
+// RetentionSec returns the retention time of one cell at the reference
+// temperature (85 C), in seconds. The device scales it by the Arrhenius
+// factor for the current ambient temperature.
+func (m *Model) RetentionSec(b addr.BankAddr, physRow, bit int) float64 {
+	r := m.cfg.Ret
+	h := rng.Combine(m.cfg.Seed, domRetention,
+		uint64(b.Channel), uint64(b.PseudoChannel), uint64(b.Bank), uint64(physRow), uint64(bit))
+	t := rng.LogNormal(h, math.Log(r.MedianSec), r.Sigma)
+	if t < r.FloorSec {
+		t = r.FloorSec
+	}
+	return t
+}
+
+// RowMinRetention returns the smallest retention time in a physical row
+// and the bit holding it. The U-TRR methodology profiles exactly this: the
+// row's weakest cell determines when retention errors appear.
+func (m *Model) RowMinRetention(b addr.BankAddr, physRow int) (sec float64, bit int) {
+	bits := m.cfg.Geometry.RowBits()
+	sec = math.Inf(1)
+	for i := 0; i < bits; i++ {
+		if t := m.RetentionSec(b, physRow, i); t < sec {
+			sec, bit = t, i
+		}
+	}
+	return sec, bit
+}
+
+// Charged reports whether a cell holding the given bit value stores
+// charge. True cells are charged when storing 1, anti cells when storing
+// 0. Only charged cells can lose charge, so only they can flip — this is
+// what makes RowHammer data-pattern dependent.
+func Charged(isTrue, bitSet bool) bool { return isTrue == bitSet }
+
+// CouplingFactor returns the threshold multiplier given how many of the
+// two adjacent physical rows store the opposite value in the victim bit's
+// column. More opposite-data aggressors couple more strongly (lower
+// effective threshold multiplier).
+func (m *Model) CouplingFactor(opposite int) float64 {
+	f := m.cfg.Fault
+	switch opposite {
+	case 2:
+		return f.CouplingBoth
+	case 1:
+		return f.CouplingOne
+	default:
+		return f.CouplingNone
+	}
+}
+
+// IntraRowFactor returns the threshold multiplier due to the victim's
+// same-row neighbours: alternating data (checkered patterns) protects
+// slightly compared to uniform data (stripe patterns).
+func (m *Model) IntraRowFactor(alternating bool) float64 {
+	if alternating {
+		return m.cfg.Fault.IntraRowAlternating
+	}
+	return 1
+}
+
+// DistanceWeight returns the disturbance contributed to a victim by one
+// activation of an aggressor at the given physical row distance, or 0
+// beyond the blast radius.
+func (m *Model) DistanceWeight(distance int) float64 {
+	if distance <= 0 || distance > len(m.cfg.Fault.DistanceWeights) {
+		return 0
+	}
+	return m.cfg.Fault.DistanceWeights[distance-1]
+}
+
+// BlastRadius returns the maximum distance with nonzero disturbance.
+func (m *Model) BlastRadius() int { return m.cfg.Fault.BlastRadius() }
+
+// CacheLen reports the number of cached row profiles (for tests and
+// ablation benchmarks).
+func (m *Model) CacheLen() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.cache)
+}
+
+// SetCacheCap overrides the profile cache capacity. A capacity of zero
+// disables caching benefits (every insert immediately evicts another
+// entry); used by the ablation benchmarks.
+func (m *Model) SetCacheCap(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	m.cacheCap = n
+	for len(m.cache) > n {
+		for k := range m.cache {
+			delete(m.cache, k)
+			break
+		}
+	}
+}

@@ -1,0 +1,624 @@
+// Package hbm implements the simulated HBM2 DRAM stack: channels, pseudo
+// channels, banks, rows, mode registers, refresh logic, on-die ECC, the
+// proprietary TRR mitigation, and a picosecond-resolution command clock.
+//
+// The device exposes the same command-level interface a memory controller
+// drives over the HBM2 interface: ACT, PRE, RD, WR, REF, and mode register
+// writes, with JESD235-style timing constraints enforced strictly (a
+// violating command returns an error rather than silently stalling, which
+// is what a testing infrastructure wants).
+//
+// Physical behaviour — bitflips from RowHammer disturbance and charge
+// decay — materializes when a row is sensed (activated or refreshed),
+// exactly as in real DRAM: the sense amplifiers latch whatever charge
+// remains and restore it, making any accumulated flips permanent.
+package hbm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/faultmodel"
+	"github.com/safari-repro/hbmrh/internal/mapping"
+	"github.com/safari-repro/hbmrh/internal/trr"
+)
+
+// Sentinel errors. Command errors wrap one of these, so callers can
+// distinguish timing bugs in their programs from addressing mistakes.
+var (
+	ErrTiming  = errors.New("timing violation")
+	ErrState   = errors.New("illegal bank state")
+	ErrAddress = errors.New("address out of range")
+)
+
+// Mode register assignments. The paper disables on-die ECC by clearing a
+// mode register bit; we model that bit here.
+const (
+	// MRECC is the mode register index holding the ECC enable bit.
+	MRECC = 4
+	// MRECCEnable is the ECC enable bit within MRECC. Set at power-up;
+	// cleared by the characterization setup.
+	MRECCEnable = 0x1
+	// NumModeRegisters is the number of mode registers per channel.
+	NumModeRegisters = 16
+)
+
+// farPast initializes timing bookkeeping so the first command of every
+// kind is always legal.
+const farPast = math.MinInt64 / 4
+
+// Stats counts device activity, for tests, reports and ablations.
+type Stats struct {
+	Acts               int64
+	Precharges         int64
+	Reads              int64
+	Writes             int64
+	Refreshes          int64
+	TRRVictimRefreshes int64
+	ECCCorrections     int64
+	BitflipsCommitted  int64
+}
+
+// Device is one simulated HBM2 stack.
+type Device struct {
+	cfg    *config.Config
+	fm     *faultmodel.Model
+	mapper mapping.Mapper
+	layout *addr.SubarrayLayout
+
+	now   int64 // simulated time in picoseconds
+	tempC float64
+
+	pcs      [][]*pseudoChannel // indexed [channel][pseudo channel]
+	modeRegs [][]uint32         // indexed [channel][register]
+
+	stats Stats
+}
+
+type pseudoChannel struct {
+	banks   []*bankState
+	eng     *trr.Engine
+	doc     *trr.DocumentedMode
+	docBank int
+	lastRef int64
+	refPtr  int // next physical row to be refreshed in every bank
+}
+
+type bankState struct {
+	open    int // physical row latched in the row buffer, -1 when precharged
+	lastAct int64
+	lastPre int64
+	rows    map[int]*rowState // materialized physical rows
+}
+
+// rowState tracks the mutable physical condition of one row. Rows
+// materialize lazily: an untouched row holds all-zero data, fully charged
+// at power-up (time 0).
+type rowState struct {
+	data      []byte
+	lastSense int64   // when charge was last restored
+	disturb   float64 // disturbance units accumulated since lastSense
+}
+
+// New powers up a device from the given configuration.
+func New(cfg *config.Config) (*Device, error) {
+	fm, err := faultmodel.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("hbm: %w", err)
+	}
+	mapper, err := mapping.New(cfg.Mapping, cfg.Geometry.Rows)
+	if err != nil {
+		return nil, fmt.Errorf("hbm: %w", err)
+	}
+	d := &Device{
+		cfg:    cfg,
+		fm:     fm,
+		mapper: mapper,
+		layout: fm.Layout(),
+		tempC:  cfg.Ret.RefTempC,
+	}
+	g := cfg.Geometry
+	d.pcs = make([][]*pseudoChannel, g.Channels)
+	d.modeRegs = make([][]uint32, g.Channels)
+	for ch := 0; ch < g.Channels; ch++ {
+		d.pcs[ch] = make([]*pseudoChannel, g.PseudoChannels)
+		for pc := 0; pc < g.PseudoChannels; pc++ {
+			eng, err := trr.NewEngine(cfg.TRR, g.Banks, g.Rows)
+			if err != nil {
+				return nil, fmt.Errorf("hbm: %w", err)
+			}
+			banks := make([]*bankState, g.Banks)
+			for b := range banks {
+				banks[b] = &bankState{
+					open:    -1,
+					lastAct: farPast,
+					lastPre: farPast,
+					rows:    make(map[int]*rowState),
+				}
+			}
+			d.pcs[ch][pc] = &pseudoChannel{
+				banks:   banks,
+				eng:     eng,
+				doc:     trr.NewDocumentedMode(g.Rows, cfg.TRR.NeighborRadius),
+				docBank: -1,
+				lastRef: farPast,
+			}
+		}
+		d.modeRegs[ch] = make([]uint32, NumModeRegisters)
+		d.modeRegs[ch][MRECC] = MRECCEnable // ECC enabled at power-up
+	}
+	return d, nil
+}
+
+// Config returns the device configuration (treat as read-only).
+func (d *Device) Config() *config.Config { return d.cfg }
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() addr.Geometry { return d.cfg.Geometry }
+
+// Mapper exposes the in-DRAM row mapping. Real attackers must recover it
+// with the reverse-engineering procedure in internal/mapping; the
+// simulator exposes it for white-box tests and tooling.
+func (d *Device) Mapper() mapping.Mapper { return d.mapper }
+
+// Stats returns a snapshot of the activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Now returns the simulated time in picoseconds since power-up.
+func (d *Device) Now() int64 { return d.now }
+
+// AdvanceTime moves the simulated clock forward by ps picoseconds,
+// modelling host-side waits between commands.
+func (d *Device) AdvanceTime(ps int64) error {
+	if ps < 0 {
+		return fmt.Errorf("hbm: cannot advance time by %d ps", ps)
+	}
+	d.now += ps
+	return nil
+}
+
+// Temperature returns the ambient chip temperature in Celsius.
+func (d *Device) Temperature() float64 { return d.tempC }
+
+// SetTemperature sets the ambient chip temperature, as the thermal rig
+// does. Retention times scale with the Arrhenius factor at sense time.
+func (d *Device) SetTemperature(c float64) { d.tempC = c }
+
+func (d *Device) bankAt(b addr.BankAddr) (*pseudoChannel, *bankState, error) {
+	if !b.Valid(d.cfg.Geometry) {
+		return nil, nil, fmt.Errorf("hbm: bank %v: %w", b, ErrAddress)
+	}
+	pc := d.pcs[b.Channel][b.PseudoChannel]
+	return pc, pc.banks[b.Bank], nil
+}
+
+func (d *Device) row(bank *bankState, physRow int) *rowState {
+	rs, ok := bank.rows[physRow]
+	if !ok {
+		rs = &rowState{data: make([]byte, d.cfg.Geometry.RowBytes())}
+		bank.rows[physRow] = rs
+	}
+	return rs
+}
+
+// Activate opens a logical row: it checks tRP/tRC/tRFC, senses the row
+// (materializing any accumulated bitflips and restoring charge), disturbs
+// physical neighbours, and feeds the TRR sampler.
+func (d *Device) Activate(b addr.BankAddr, logicalRow int) error {
+	pc, bank, err := d.bankAt(b)
+	if err != nil {
+		return err
+	}
+	if logicalRow < 0 || logicalRow >= d.cfg.Geometry.Rows {
+		return fmt.Errorf("hbm: activate row %d: %w", logicalRow, ErrAddress)
+	}
+	if bank.open != -1 {
+		return fmt.Errorf("hbm: activate %v while row %d open: %w", b, bank.open, ErrState)
+	}
+	t := d.cfg.Timing
+	switch {
+	case d.now-bank.lastPre < t.TRP:
+		return fmt.Errorf("hbm: activate %v violates tRP: %w", b, ErrTiming)
+	case d.now-bank.lastAct < t.TRC:
+		return fmt.Errorf("hbm: activate %v violates tRC: %w", b, ErrTiming)
+	case d.now-pc.lastRef < t.TRFC:
+		return fmt.Errorf("hbm: activate %v violates tRFC: %w", b, ErrTiming)
+	}
+	phys := d.mapper.ToPhysical(logicalRow)
+	d.senseAndRestore(b, bank, phys, d.now)
+	d.applyDisturb(b, phys, 1)
+	pc.eng.ObserveActivate(b.Bank, phys)
+	bank.open = phys
+	bank.lastAct = d.now
+	d.stats.Acts++
+	d.now += t.TCK
+	return nil
+}
+
+// rowPressExtra returns the additional disturbance factor (beyond the
+// base 1.0 per activation) earned by holding the aggressor open for
+// holdPS: the RowPress read-disturb amplification. Minimum-timing
+// activations (hold = tRAS) earn nothing.
+func (d *Device) rowPressExtra(holdPS int64) float64 {
+	f := d.cfg.Fault
+	tras := d.cfg.Timing.TRAS
+	if f.RowPressGain <= 0 || holdPS <= tras {
+		return 0
+	}
+	extra := f.RowPressGain * float64(holdPS-tras) / float64(tras)
+	if max := f.RowPressMaxFactor - 1; extra > max {
+		extra = max
+	}
+	return extra
+}
+
+// Precharge closes the open row. Precharging an idle bank is a no-op, as
+// in real DRAM. Rows held open beyond tRAS impart extra RowPress
+// disturbance on their neighbours, settled here where the hold time is
+// known.
+func (d *Device) Precharge(b addr.BankAddr) error {
+	_, bank, err := d.bankAt(b)
+	if err != nil {
+		return err
+	}
+	if bank.open != -1 {
+		hold := d.now - bank.lastAct
+		if hold < d.cfg.Timing.TRAS {
+			return fmt.Errorf("hbm: precharge %v violates tRAS: %w", b, ErrTiming)
+		}
+		if extra := d.rowPressExtra(hold); extra > 0 {
+			d.applyDisturb(b, bank.open, extra)
+		}
+		bank.open = -1
+		bank.lastPre = d.now
+	}
+	d.stats.Precharges++
+	d.now += d.cfg.Timing.TCK
+	return nil
+}
+
+// PrechargeAll precharges every bank in a pseudo channel.
+func (d *Device) PrechargeAll(ch, pc int) error {
+	if err := d.checkPC(ch, pc); err != nil {
+		return err
+	}
+	for bank := 0; bank < d.cfg.Geometry.Banks; bank++ {
+		b := addr.BankAddr{Channel: ch, PseudoChannel: pc, Bank: bank}
+		state := d.pcs[ch][pc].banks[bank]
+		if state.open != -1 {
+			hold := d.now - state.lastAct
+			if hold < d.cfg.Timing.TRAS {
+				return fmt.Errorf("hbm: precharge-all %v violates tRAS: %w", b, ErrTiming)
+			}
+			if extra := d.rowPressExtra(hold); extra > 0 {
+				d.applyDisturb(b, state.open, extra)
+			}
+			state.open = -1
+			state.lastPre = d.now
+		}
+	}
+	d.stats.Precharges++
+	d.now += d.cfg.Timing.TCK
+	return nil
+}
+
+func (d *Device) checkPC(ch, pc int) error {
+	g := d.cfg.Geometry
+	if ch < 0 || ch >= g.Channels || pc < 0 || pc >= g.PseudoChannels {
+		return fmt.Errorf("hbm: pseudo channel ch%d.pc%d: %w", ch, pc, ErrAddress)
+	}
+	return nil
+}
+
+func (d *Device) columnAccess(b addr.BankAddr, col int) (*bankState, error) {
+	_, bank, err := d.bankAt(b)
+	if err != nil {
+		return nil, err
+	}
+	if col < 0 || col >= d.cfg.Geometry.Columns {
+		return nil, fmt.Errorf("hbm: column %d: %w", col, ErrAddress)
+	}
+	if bank.open == -1 {
+		return nil, fmt.Errorf("hbm: column access to precharged bank %v: %w", b, ErrState)
+	}
+	if d.now-bank.lastAct < d.cfg.Timing.TRCD {
+		return nil, fmt.Errorf("hbm: column access to %v violates tRCD: %w", b, ErrTiming)
+	}
+	return bank, nil
+}
+
+// Read returns the data of one column of the open row. Bitflips were
+// already materialized when the row was sensed at activation.
+func (d *Device) Read(b addr.BankAddr, col int) ([]byte, error) {
+	bank, err := d.columnAccess(b, col)
+	if err != nil {
+		return nil, err
+	}
+	rs := d.row(bank, bank.open)
+	n := d.cfg.Geometry.ColumnBytes
+	out := make([]byte, n)
+	copy(out, rs.data[col*n:(col+1)*n])
+	d.stats.Reads++
+	d.now += d.cfg.Timing.TCK
+	return out, nil
+}
+
+// Write stores data into one column of the open row, fully recharging the
+// written cells.
+func (d *Device) Write(b addr.BankAddr, col int, data []byte) error {
+	bank, err := d.columnAccess(b, col)
+	if err != nil {
+		return err
+	}
+	n := d.cfg.Geometry.ColumnBytes
+	if len(data) != n {
+		return fmt.Errorf("hbm: write of %d bytes, column holds %d: %w", len(data), n, ErrAddress)
+	}
+	rs := d.row(bank, bank.open)
+	copy(rs.data[col*n:(col+1)*n], data)
+	d.stats.Writes++
+	d.now += d.cfg.Timing.TCK
+	return nil
+}
+
+// Refresh issues one periodic REF to a pseudo channel: it refreshes the
+// next chunk of rows in every bank, then lets the in-DRAM mitigations
+// (the proprietary TRR engine and, if engaged, the documented TRR mode)
+// perform their victim refreshes.
+func (d *Device) Refresh(ch, pc int) error {
+	if err := d.checkPC(ch, pc); err != nil {
+		return err
+	}
+	p := d.pcs[ch][pc]
+	if d.now-p.lastRef < d.cfg.Timing.TRFC {
+		return fmt.Errorf("hbm: refresh ch%d.pc%d violates tRFC: %w", ch, pc, ErrTiming)
+	}
+	for i, bank := range p.banks {
+		if bank.open != -1 {
+			return fmt.Errorf("hbm: refresh ch%d.pc%d with bank %d open: %w", ch, pc, i, ErrState)
+		}
+	}
+	g := d.cfg.Geometry
+	rowsPerRef := (g.Rows + d.cfg.Timing.RefsPerWindow() - 1) / d.cfg.Timing.RefsPerWindow()
+	for bi, bank := range p.banks {
+		b := addr.BankAddr{Channel: ch, PseudoChannel: pc, Bank: bi}
+		for k := 0; k < rowsPerRef; k++ {
+			phys := (p.refPtr + k) % g.Rows
+			if _, ok := bank.rows[phys]; ok {
+				d.senseAndRestore(b, bank, phys, d.now)
+			}
+		}
+	}
+	p.refPtr = (p.refPtr + rowsPerRef) % g.Rows
+
+	// Proprietary TRR: victim refreshes every RefPeriod REFs.
+	for _, vr := range p.eng.OnRefresh() {
+		b := addr.BankAddr{Channel: ch, PseudoChannel: pc, Bank: vr.Bank}
+		bank := p.banks[vr.Bank]
+		for _, phys := range vr.Rows {
+			d.senseAndRestore(b, bank, phys, d.now)
+			d.stats.TRRVictimRefreshes++
+		}
+	}
+	// Documented TRR mode, if the controller engaged it.
+	if p.doc.Active() && p.docBank >= 0 {
+		b := addr.BankAddr{Channel: ch, PseudoChannel: pc, Bank: p.docBank}
+		bank := p.banks[p.docBank]
+		for _, phys := range p.doc.OnRefresh() {
+			d.senseAndRestore(b, bank, phys, d.now)
+			d.stats.TRRVictimRefreshes++
+		}
+	}
+
+	p.lastRef = d.now
+	d.stats.Refreshes++
+	d.now += d.cfg.Timing.TCK
+	return nil
+}
+
+// EnterTRRMode engages the documented (JESD235) TRR mode on a pseudo
+// channel: subsequent REFs refresh the neighbours of the given logical
+// target rows in the given bank.
+func (d *Device) EnterTRRMode(ch, pc, bank int, targets []int) error {
+	if err := d.checkPC(ch, pc); err != nil {
+		return err
+	}
+	if bank < 0 || bank >= d.cfg.Geometry.Banks {
+		return fmt.Errorf("hbm: TRR mode bank %d: %w", bank, ErrAddress)
+	}
+	phys := make([]int, len(targets))
+	for i, t := range targets {
+		if t < 0 || t >= d.cfg.Geometry.Rows {
+			return fmt.Errorf("hbm: TRR mode target row %d: %w", t, ErrAddress)
+		}
+		phys[i] = d.mapper.ToPhysical(t)
+	}
+	p := d.pcs[ch][pc]
+	if err := p.doc.Enter(phys); err != nil {
+		return fmt.Errorf("hbm: %w", err)
+	}
+	p.docBank = bank
+	return nil
+}
+
+// ExitTRRMode disengages the documented TRR mode.
+func (d *Device) ExitTRRMode(ch, pc int) error {
+	if err := d.checkPC(ch, pc); err != nil {
+		return err
+	}
+	d.pcs[ch][pc].doc.Exit()
+	d.pcs[ch][pc].docBank = -1
+	return nil
+}
+
+// WriteModeRegister sets a channel's mode register, e.g. clearing the ECC
+// enable bit as the paper's setup does.
+func (d *Device) WriteModeRegister(ch, index int, value uint32) error {
+	if ch < 0 || ch >= d.cfg.Geometry.Channels || index < 0 || index >= NumModeRegisters {
+		return fmt.Errorf("hbm: mode register ch%d MR%d: %w", ch, index, ErrAddress)
+	}
+	d.modeRegs[ch][index] = value
+	d.now += d.cfg.Timing.TCK
+	return nil
+}
+
+// ReadModeRegister returns a channel's mode register value.
+func (d *Device) ReadModeRegister(ch, index int) (uint32, error) {
+	if ch < 0 || ch >= d.cfg.Geometry.Channels || index < 0 || index >= NumModeRegisters {
+		return 0, fmt.Errorf("hbm: mode register ch%d MR%d: %w", ch, index, ErrAddress)
+	}
+	return d.modeRegs[ch][index], nil
+}
+
+func (d *Device) eccEnabled(ch int) bool {
+	return d.modeRegs[ch][MRECC]&MRECCEnable != 0
+}
+
+// applyDisturb adds scale activations' worth of disturbance from
+// aggressor physRow to its physical neighbours. Disturbance does not
+// cross subarray boundaries: rows at a subarray edge are adjacent to the
+// sense amplifier stripe, not to another row — the property the paper
+// exploits to reverse-engineer subarray boundaries.
+//
+// When VerticalCoupling is configured (the paper's cross-channel
+// interference question), a fraction of the distance-1 disturbance leaks
+// to the same physical row of the vertically adjacent channels.
+func (d *Device) applyDisturb(b addr.BankAddr, physRow int, scale float64) {
+	bank := d.pcs[b.Channel][b.PseudoChannel].banks[b.Bank]
+	radius := d.fm.BlastRadius()
+	for dist := 1; dist <= radius; dist++ {
+		w := d.fm.DistanceWeight(dist) * scale
+		for _, victim := range []int{physRow - dist, physRow + dist} {
+			if victim < 0 || victim >= d.cfg.Geometry.Rows {
+				continue
+			}
+			if !d.layout.SameSubarray(physRow, victim) {
+				continue
+			}
+			d.row(bank, victim).disturb += w
+		}
+	}
+	if vc := d.cfg.Fault.VerticalCoupling; vc > 0 {
+		w := vc * d.fm.DistanceWeight(1) * scale
+		for _, vch := range []int{b.Channel - 2, b.Channel + 2} {
+			if vch < 0 || vch >= d.cfg.Geometry.Channels {
+				continue
+			}
+			vbank := d.pcs[vch][b.PseudoChannel].banks[b.Bank]
+			d.row(vbank, physRow).disturb += w
+		}
+	}
+}
+
+// HammerPair performs n double-sided hammers: n alternating activate+
+// precharge pairs of the two logical aggressor rows at minimum timing.
+// It is the bulk equivalent of the ACT/PRE loop a DRAM Bender program
+// would run, applied in one step for simulation speed; timing-wise it
+// occupies n*2*tRC.
+func (d *Device) HammerPair(b addr.BankAddr, rowA, rowB, n int) error {
+	return d.hammer(b, []int{rowA, rowB}, n, d.cfg.Timing.TRAS)
+}
+
+// HammerSingle performs n single-sided hammers (n activations) of one
+// logical aggressor row at minimum timing, occupying n*tRC.
+func (d *Device) HammerSingle(b addr.BankAddr, row, n int) error {
+	return d.hammer(b, []int{row}, n, d.cfg.Timing.TRAS)
+}
+
+// HammerPairHold is HammerPair with each activation held open for holdPS
+// (>= tRAS) before its precharge, accumulating RowPress amplification.
+// Each activation occupies holdPS+tRP.
+func (d *Device) HammerPairHold(b addr.BankAddr, rowA, rowB, n int, holdPS int64) error {
+	return d.hammer(b, []int{rowA, rowB}, n, holdPS)
+}
+
+// HammerSingleHold is HammerSingle with a per-activation hold time.
+func (d *Device) HammerSingleHold(b addr.BankAddr, row, n int, holdPS int64) error {
+	return d.hammer(b, []int{row}, n, holdPS)
+}
+
+func (d *Device) hammer(b addr.BankAddr, logicalRows []int, n int, holdPS int64) error {
+	pc, bank, err := d.bankAt(b)
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("hbm: hammer count %d must be positive: %w", n, ErrAddress)
+	}
+	if holdPS < d.cfg.Timing.TRAS {
+		return fmt.Errorf("hbm: hammer hold %d ps violates tRAS: %w", holdPS, ErrTiming)
+	}
+	if bank.open != -1 {
+		return fmt.Errorf("hbm: hammer %v while row %d open: %w", b, bank.open, ErrState)
+	}
+	t := d.cfg.Timing
+	switch {
+	case d.now-bank.lastPre < t.TRP:
+		return fmt.Errorf("hbm: hammer %v violates tRP: %w", b, ErrTiming)
+	case d.now-bank.lastAct < t.TRC:
+		return fmt.Errorf("hbm: hammer %v violates tRC: %w", b, ErrTiming)
+	case d.now-pc.lastRef < t.TRFC:
+		return fmt.Errorf("hbm: hammer %v violates tRFC: %w", b, ErrTiming)
+	}
+	phys := make([]int, len(logicalRows))
+	for i, r := range logicalRows {
+		if r < 0 || r >= d.cfg.Geometry.Rows {
+			return fmt.Errorf("hbm: hammer row %d: %w", r, ErrAddress)
+		}
+		phys[i] = d.mapper.ToPhysical(r)
+		for j := 0; j < i; j++ {
+			if phys[j] == phys[i] {
+				return fmt.Errorf("hbm: hammer rows %v map to the same physical row: %w", logicalRows, ErrAddress)
+			}
+		}
+	}
+
+	// Each aggressor is sensed on its first activation: accumulated
+	// faults materialize and its decay clock resets.
+	for _, p := range phys {
+		d.senseAndRestore(b, bank, p, d.now)
+	}
+	// Per-activation disturbance: the base unit plus any RowPress
+	// amplification from holding the row open beyond tRAS.
+	perAct := 1 + d.rowPressExtra(holdPS)
+	for _, p := range phys {
+		d.applyDisturb(b, p, float64(n)*perAct)
+		pc.eng.ObserveActivate(b.Bank, p)
+	}
+	// The aggressors alternate, so each is re-sensed every other
+	// activation: whatever disturbance they receive from each other never
+	// accumulates. Clear it and stamp their charge as restored at the end
+	// of the burst. The only residue is from the final round: aggressors
+	// activated after row i's last activation each disturb it once more.
+	actPeriod := holdPS + t.TRP
+	end := d.now + int64(n)*int64(len(phys))*actPeriod
+	for _, p := range phys {
+		rs := d.row(bank, p)
+		rs.disturb = 0
+		rs.lastSense = end
+	}
+	for i, p := range phys {
+		for _, q := range phys[i+1:] {
+			dist := q - p
+			if dist < 0 {
+				dist = -dist
+			}
+			if d.layout.SameSubarray(p, q) {
+				d.row(bank, p).disturb += d.fm.DistanceWeight(dist) * perAct
+			}
+		}
+	}
+	d.stats.Acts += int64(n * len(phys))
+	d.stats.Precharges += int64(n * len(phys))
+	// Match the explicit loop's bookkeeping: its final iteration issues
+	// the last ACT at end-actPeriod and the last PRE at end-tRP (the
+	// trailing tRP wait is part of the loop body).
+	d.now = end
+	bank.lastAct = end - actPeriod
+	bank.lastPre = end - t.TRP
+	bank.open = -1
+	return nil
+}

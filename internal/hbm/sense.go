@@ -1,0 +1,134 @@
+package hbm
+
+import (
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/faultmodel"
+)
+
+// senseAndRestore models what the sense amplifiers do when a row is
+// activated or refreshed at time at: they latch whatever charge remains in
+// each cell and drive it back, so any bitflip accumulated since the last
+// sense — from charge decay or from RowHammer disturbance — becomes
+// permanent data. Afterwards the row is fully charged and its disturbance
+// counter is reset.
+//
+// On-die ECC, when enabled through the mode register, corrects words with
+// exactly one flipped bit at sense-out, as the HBM2 single-error-correcting
+// code does. Multi-bit words pass through uncorrected (miscorrection is not
+// modelled).
+func (d *Device) senseAndRestore(b addr.BankAddr, bank *bankState, physRow int, at int64) {
+	rs := d.row(bank, physRow)
+	disturb := rs.disturb
+	elapsedSec := float64(at-rs.lastSense) * 1e-12
+	rs.disturb = 0
+	rs.lastSense = at
+
+	// Effective retention shrinks with temperature (Arrhenius factor).
+	tscale := d.cfg.Ret.Scale(d.tempC)
+	retPass := elapsedSec > d.cfg.Ret.FloorSec*tscale
+	// RowHammer thresholds also scale (mildly) with temperature; hotter
+	// chips flip with fewer hammers when the slope is negative.
+	thrTemp := 1 + d.cfg.Fault.TempSlopePerC*(d.tempC-d.cfg.Ret.RefTempC)
+	if thrTemp < 0.05 {
+		thrTemp = 0.05
+	}
+	// No cell threshold is below HCFloor and no data-coupling factor is
+	// below CouplingBoth, so lower disturbance cannot flip anything.
+	distPass := disturb >= d.cfg.Fault.HCFloor*d.cfg.Fault.CouplingBoth*thrTemp
+	if !retPass && !distPass {
+		return
+	}
+
+	prof := d.fm.Profile(b, physRow)
+	bits := d.cfg.Geometry.RowBits()
+	data := rs.data
+
+	// Neighbour data for coupling evaluation. A neighbour beyond the
+	// subarray boundary does not exist electrically; an unmaterialized
+	// neighbour holds the power-up pattern (all zeros).
+	var upData, downData []byte
+	hasUp := physRow > 0 && d.layout.SameSubarray(physRow, physRow-1)
+	hasDown := physRow < d.cfg.Geometry.Rows-1 && d.layout.SameSubarray(physRow, physRow+1)
+	if hasUp {
+		if nb, ok := bank.rows[physRow-1]; ok {
+			upData = nb.data
+		}
+	}
+	if hasDown {
+		if nb, ok := bank.rows[physRow+1]; ok {
+			downData = nb.data
+		}
+	}
+
+	bitOf := func(buf []byte, i int) byte {
+		if buf == nil {
+			return 0
+		}
+		return (buf[i>>3] >> (uint(i) & 7)) & 1
+	}
+
+	var flips []int
+	quickThr := disturb / (d.cfg.Fault.CouplingBoth * thrTemp)
+	for i := 0; i < bits; i++ {
+		v := (data[i>>3] >> (uint(i) & 7)) & 1
+		if !faultmodel.Charged(prof.IsTrue(i), v == 1) {
+			continue // discharged cells have no charge to lose
+		}
+		flipped := false
+		if distPass && float64(prof.Threshold[i]) <= quickThr {
+			opposite := 0
+			if hasUp && bitOf(upData, i) != v {
+				opposite++
+			}
+			if hasDown && bitOf(downData, i) != v {
+				opposite++
+			}
+			alternating := i > 0 && i < bits-1 &&
+				(data[(i-1)>>3]>>(uint(i-1)&7))&1 != v &&
+				(data[(i+1)>>3]>>(uint(i+1)&7))&1 != v
+			eff := float64(prof.Threshold[i]) * d.fm.CouplingFactor(opposite) *
+				d.fm.IntraRowFactor(alternating) * thrTemp
+			if disturb >= eff {
+				flipped = true
+			}
+		}
+		if !flipped && retPass {
+			if elapsedSec > d.fm.RetentionSec(b, physRow, i)*tscale {
+				flipped = true
+			}
+		}
+		if flipped {
+			flips = append(flips, i)
+		}
+	}
+	if len(flips) == 0 {
+		return
+	}
+
+	if d.eccEnabled(b.Channel) {
+		flips = d.eccFilter(flips)
+	}
+	for _, i := range flips {
+		data[i>>3] ^= 1 << (uint(i) & 7)
+	}
+	d.stats.BitflipsCommitted += int64(len(flips))
+}
+
+// eccFilter drops single-bit-per-word flips (the SEC code corrects them)
+// and counts the corrections. Words with two or more flips pass through.
+func (d *Device) eccFilter(flips []int) []int {
+	word := d.cfg.ECC.WordBits
+	counts := make(map[int]int, len(flips))
+	for _, i := range flips {
+		counts[i/word]++
+	}
+	kept := flips[:0]
+	for _, i := range flips {
+		if counts[i/word] == 1 {
+			d.stats.ECCCorrections++
+			continue
+		}
+		kept = append(kept, i)
+	}
+	return kept
+}

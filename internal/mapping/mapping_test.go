@@ -1,0 +1,229 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+)
+
+func TestAllSchemesAreBijections(t *testing.T) {
+	for _, scheme := range []config.MappingScheme{
+		config.MappingDirect, config.MappingXorSwizzle, config.MappingMirrored,
+	} {
+		for _, rows := range []int{1, 7, 8, 16, 100, 16384} {
+			m, err := New(scheme, rows)
+			if err != nil {
+				t.Fatalf("%v rows=%d: %v", scheme, rows, err)
+			}
+			if err := Verify(m); err != nil {
+				t.Errorf("%v rows=%d: %v", scheme, rows, err)
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(config.MappingDirect, 0); err == nil {
+		t.Error("rows=0 should be rejected")
+	}
+	if _, err := New(config.MappingScheme(99), 16); err == nil {
+		t.Error("unknown scheme should be rejected")
+	}
+}
+
+func TestXorSwizzleShape(t *testing.T) {
+	m, err := New(config.MappingXorSwizzle, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 3, 2, 4, 5, 7, 6}
+	for l, p := range want {
+		if got := m.ToPhysical(l); got != p {
+			t.Errorf("ToPhysical(%d) = %d, want %d", l, got, p)
+		}
+	}
+}
+
+func TestMirroredShape(t *testing.T) {
+	m, err := New(config.MappingMirrored, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 8-row group is identity; second group mirrors its low bits.
+	for l := 0; l < 8; l++ {
+		if got := m.ToPhysical(l); got != l {
+			t.Errorf("ToPhysical(%d) = %d, want identity", l, got)
+		}
+	}
+	for l := 8; l < 16; l++ {
+		want := 8 + (15 - l)
+		if got := m.ToPhysical(l); got != want {
+			t.Errorf("ToPhysical(%d) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	const rows = 16384
+	ms := make([]Mapper, 0, 3)
+	for _, s := range []config.MappingScheme{
+		config.MappingDirect, config.MappingXorSwizzle, config.MappingMirrored,
+	} {
+		m, err := New(s, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	f := func(r uint16) bool {
+		l := int(r) % rows
+		for _, m := range ms {
+			if m.ToLogical(m.ToPhysical(l)) != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// syntheticOracle simulates the single-sided-hammer adjacency measurement
+// for a device with the given mapper and subarray layout.
+func syntheticOracle(m Mapper, layout *addr.SubarrayLayout) AdjacencyOracle {
+	return OracleFunc(func(logical int) []int {
+		p := m.ToPhysical(logical)
+		var victims []int
+		for _, np := range []int{p - 1, p + 1} {
+			if np < 0 || np >= m.Rows() {
+				continue
+			}
+			if !layout.SameSubarray(p, np) {
+				continue // bitflips do not cross subarray boundaries
+			}
+			victims = append(victims, m.ToLogical(np))
+		}
+		return victims
+	})
+}
+
+func mustLayout(t *testing.T, sizes []int) *addr.SubarrayLayout {
+	t.Helper()
+	l, err := addr.NewSubarrayLayout(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRecoverFindsSubarrayBoundaries(t *testing.T) {
+	layout := mustLayout(t, []int{80, 64, 80})
+	m, err := New(config.MappingXorSwizzle, layout.Rows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(syntheticOracle(m, layout), layout.Rows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rec.SubarraySizes()
+	want := []int{80, 64, 80}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d subarrays (%v), want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recovered sizes %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRecoverReconstructsPhysicalOrder(t *testing.T) {
+	layout := mustLayout(t, []int{32})
+	m, err := New(config.MappingXorSwizzle, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(syntheticOracle(m, layout), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Subarrays) != 1 {
+		t.Fatalf("recovered %d paths, want 1", len(rec.Subarrays))
+	}
+	path := rec.Subarrays[0]
+	// Consecutive recovered rows must be physically adjacent.
+	for i := 0; i+1 < len(path); i++ {
+		d := m.ToPhysical(path[i]) - m.ToPhysical(path[i+1])
+		if d != 1 && d != -1 {
+			t.Fatalf("rows %d and %d recovered as adjacent but are physically %d apart",
+				path[i], path[i+1], d)
+		}
+	}
+}
+
+func TestClassifyIdentifiesScheme(t *testing.T) {
+	layout := mustLayout(t, []int{832, 768, 832})
+	for _, scheme := range []config.MappingScheme{
+		config.MappingXorSwizzle, config.MappingMirrored,
+	} {
+		m, err := New(scheme, layout.Rows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(syntheticOracle(m, layout), layout.Rows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Classify(rec, layout.Rows())
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if got != scheme {
+			t.Errorf("Classify = %v, want %v", got, scheme)
+		}
+	}
+}
+
+func TestRecoverRejectsInconsistentOracles(t *testing.T) {
+	cases := map[string]AdjacencyOracle{
+		"self victim":  OracleFunc(func(l int) []int { return []int{l} }),
+		"out of range": OracleFunc(func(l int) []int { return []int{99} }),
+		"three neighbours": OracleFunc(func(l int) []int {
+			return []int{(l + 1) % 8, (l + 2) % 8, (l + 3) % 8}
+		}),
+		"asymmetric": OracleFunc(func(l int) []int {
+			if l == 0 {
+				return []int{1}
+			}
+			return nil
+		}),
+		"cycle": OracleFunc(func(l int) []int {
+			return []int{(l + 7) % 8, (l + 1) % 8}
+		}),
+	}
+	for name, oracle := range cases {
+		if _, err := Recover(oracle, 8); err == nil {
+			t.Errorf("%s: Recover accepted inconsistent oracle", name)
+		}
+	}
+}
+
+func TestRecoverRejectsBadRows(t *testing.T) {
+	if _, err := Recover(OracleFunc(func(int) []int { return nil }), 0); err == nil {
+		t.Error("rows=0 should be rejected")
+	}
+}
+
+func TestRecoverSingleRowBank(t *testing.T) {
+	rec, err := Recover(OracleFunc(func(int) []int { return nil }), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Subarrays) != 1 || len(rec.Subarrays[0]) != 1 {
+		t.Fatalf("recovered %v, want single 1-row subarray", rec.Subarrays)
+	}
+}

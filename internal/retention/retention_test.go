@@ -1,0 +1,162 @@
+package retention
+
+import (
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/hbm"
+)
+
+func newProfiler(t testing.TB) *Profiler {
+	t.Helper()
+	cfg := config.SmallChip()
+	d, err := hbm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Characterization always runs with ECC off (paper Section 3.1);
+	// with ECC on, single retention errors would be corrected away.
+	for ch := 0; ch < cfg.Geometry.Channels; ch++ {
+		if err := d.WriteModeRegister(ch, hbm.MRECC, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewProfiler(d)
+}
+
+func bankAddr() addr.BankAddr {
+	return addr.BankAddr{Channel: 0, PseudoChannel: 0, Bank: 0}
+}
+
+func TestProbeShortWaitShowsNoErrors(t *testing.T) {
+	p := newProfiler(t)
+	n, err := p.Probe(bankAddr(), 10, 0.05) // below the retention floor
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("%d errors below the retention floor", n)
+	}
+}
+
+func TestRowRetentionBracketsFailureOnset(t *testing.T) {
+	p := newProfiler(t)
+	b := bankAddr()
+	const row = 17
+	T, err := p.RowRetention(b, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if T < 0.1 {
+		t.Fatalf("retention %v s below the search start", T)
+	}
+	// Just above T: errors. Well below T: none.
+	n, err := p.Probe(b, row, T*1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatalf("no errors at 1.05*T (T=%v)", T)
+	}
+	n, err = p.Probe(b, row, T*0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("%d errors at 0.7*T (T=%v); search bracket wrong", n, T)
+	}
+}
+
+func TestRowRetentionIsReproducible(t *testing.T) {
+	p := newProfiler(t)
+	b := bankAddr()
+	t1, err := p.RowRetention(b, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := p.RowRetention(b, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatalf("retention of the same row differs across profiles: %v vs %v", t1, t2)
+	}
+}
+
+func TestRetentionIsPatternDependent(t *testing.T) {
+	p := newProfiler(t)
+	b := bankAddr()
+	rows := []int{5, 6, 7, 8, 9, 10, 11, 12}
+	differs := false
+	for _, row := range rows {
+		p.Pattern = 0xFF
+		tOnes, err1 := p.RowRetention(b, row)
+		p.Pattern = 0x00
+		tZeros, err2 := p.RowRetention(b, row)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if tOnes != tZeros {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("retention identical under 0xFF and 0x00 for all rows; true/anti cells must differ")
+	}
+}
+
+func TestFindRowInBand(t *testing.T) {
+	p := newProfiler(t)
+	b := bankAddr()
+	row, T, err := p.FindRow(b, 0, 64, 0.2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if T < 0.2 || T > 8 {
+		t.Fatalf("FindRow returned T=%v outside [0.2, 8]", T)
+	}
+	// The returned row must re-profile into the band.
+	T2, err := p.RowRetention(b, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if T2 != T {
+		t.Fatalf("re-profile gives %v, FindRow reported %v", T2, T)
+	}
+}
+
+func TestFindRowRejectsBadStart(t *testing.T) {
+	p := newProfiler(t)
+	if _, _, err := p.FindRow(bankAddr(), -1, 10, 0.2, 8); err == nil {
+		t.Fatal("negative start row accepted")
+	}
+}
+
+func TestHotterChipProfilesShorterRetention(t *testing.T) {
+	cfg := config.SmallChip()
+	profileAt := func(tempC float64) float64 {
+		d, err := hbm.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ch := 0; ch < cfg.Geometry.Channels; ch++ {
+			if err := d.WriteModeRegister(ch, hbm.MRECC, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.SetTemperature(tempC)
+		p := NewProfiler(d)
+		T, err := p.RowRetention(bankAddr(), 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return T
+	}
+	cool := profileAt(75)
+	hot := profileAt(95)
+	if hot >= cool {
+		t.Fatalf("retention at 95C (%v) not shorter than at 75C (%v)", hot, cool)
+	}
+}

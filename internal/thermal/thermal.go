@@ -1,0 +1,177 @@
+// Package thermal simulates the paper's temperature rig (Fig. 2): a
+// heating pad and a cooling fan driven by an Arduino-based closed-loop PID
+// controller that holds the HBM2 chip at a target temperature (85 C, the
+// maximum operating temperature at the nominal refresh rate, in all of the
+// paper's experiments).
+//
+// The plant is a first-order thermal model; the controller steps it at a
+// fixed period, applies the PID law, and pushes the resulting chip
+// temperature into the device (which scales retention times accordingly).
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chip is the controller's view of the device under test: the rig sets the
+// ambient chip temperature and advances simulated time while settling.
+// *hbm.Device implements it.
+type Chip interface {
+	SetTemperature(c float64)
+	AdvanceTime(ps int64) error
+}
+
+// Plant is a first-order thermal model of the chip + pad + fan assembly:
+//
+//	dT/dt = (ambient - T)/tau + heaterGain*heat - coolerGain*cool
+//
+// with heat and cool actuator levels in [0, 1].
+type Plant struct {
+	AmbientC   float64 // lab ambient temperature
+	TauSec     float64 // passive time constant toward ambient
+	HeaterGain float64 // C/s at full heater power
+	CoolerGain float64 // C/s at full fan power
+
+	tempC float64
+}
+
+// NewPlant returns a plant resting at the lab ambient temperature.
+func NewPlant(ambientC float64) *Plant {
+	return &Plant{
+		AmbientC:   ambientC,
+		TauSec:     30,
+		HeaterGain: 2.5,
+		CoolerGain: 1.5,
+		tempC:      ambientC,
+	}
+}
+
+// Temperature returns the current chip temperature.
+func (p *Plant) Temperature() float64 { return p.tempC }
+
+// Step advances the plant by dt seconds with the given actuator levels
+// (clamped to [0, 1]).
+func (p *Plant) Step(dtSec, heat, cool float64) {
+	heat = clamp(heat, 0, 1)
+	cool = clamp(cool, 0, 1)
+	dT := (p.AmbientC-p.tempC)/p.TauSec + p.HeaterGain*heat - p.CoolerGain*cool
+	p.tempC += dT * dtSec
+}
+
+// PID is a textbook discrete PID controller with output clamping and
+// integral anti-windup.
+type PID struct {
+	Kp, Ki, Kd float64
+	OutMin     float64
+	OutMax     float64
+
+	integral float64
+	prevErr  float64
+	primed   bool
+}
+
+// Update computes the control output for the measured value against the
+// setpoint over a dt-second step. Positive output means heat, negative
+// means cool.
+func (c *PID) Update(setpoint, measured, dtSec float64) float64 {
+	err := setpoint - measured
+	deriv := 0.0
+	if c.primed && dtSec > 0 {
+		deriv = (err - c.prevErr) / dtSec
+	}
+	c.prevErr = err
+	c.primed = true
+	c.integral += err * dtSec
+	out := c.Kp*err + c.Ki*c.integral + c.Kd*deriv
+	if out > c.OutMax {
+		out = c.OutMax
+		c.integral -= err * dtSec // anti-windup: stop integrating at the rail
+	} else if out < c.OutMin {
+		out = c.OutMin
+		c.integral -= err * dtSec
+	}
+	return out
+}
+
+// Controller is the simulated Arduino MEGA: it owns the plant and PID and
+// drives the chip's ambient temperature.
+type Controller struct {
+	plant    *Plant
+	pid      PID
+	chip     Chip
+	period   float64 // control period in seconds
+	setpoint float64
+}
+
+// NewController wires a controller to a chip, starting from the plant's
+// ambient temperature.
+func NewController(chip Chip, plant *Plant) *Controller {
+	c := &Controller{
+		plant: plant,
+		pid: PID{
+			Kp: 0.8, Ki: 0.05, Kd: 0.4,
+			OutMin: -1, OutMax: 1,
+		},
+		chip:     chip,
+		period:   0.25,
+		setpoint: plant.Temperature(),
+	}
+	chip.SetTemperature(plant.Temperature())
+	return c
+}
+
+// Temperature returns the current chip temperature.
+func (c *Controller) Temperature() float64 { return c.plant.Temperature() }
+
+// Step runs one control period: measure, PID, actuate, propagate to chip.
+func (c *Controller) Step() error {
+	out := c.pid.Update(c.setpoint, c.plant.Temperature(), c.period)
+	heat, cool := 0.0, 0.0
+	if out >= 0 {
+		heat = out
+	} else {
+		cool = -out
+	}
+	c.plant.Step(c.period, heat, cool)
+	c.chip.SetTemperature(c.plant.Temperature())
+	return c.chip.AdvanceTime(int64(c.period * 1e12))
+}
+
+var errTimeout = fmt.Errorf("thermal: target not reached")
+
+// ErrTimeout reports whether err came from a settling timeout.
+func ErrTimeout(err error) bool { return err == errTimeout }
+
+// SettleTo drives the chip to targetC and holds it within tolC for
+// holdSec seconds. It gives up after maxSec seconds of simulated time.
+// Simulated device time advances while settling, as it would on the bench.
+func (c *Controller) SettleTo(targetC, tolC, holdSec, maxSec float64) error {
+	c.setpoint = targetC
+	elapsed, held := 0.0, 0.0
+	for elapsed < maxSec {
+		if err := c.Step(); err != nil {
+			return err
+		}
+		elapsed += c.period
+		if math.Abs(c.plant.Temperature()-targetC) <= tolC {
+			held += c.period
+			if held >= holdSec {
+				return nil
+			}
+		} else {
+			held = 0
+		}
+	}
+	return errTimeout
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,141 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// fakeChip records the temperature trajectory pushed into the device.
+type fakeChip struct {
+	temps   []float64
+	advance int64
+}
+
+func (f *fakeChip) SetTemperature(c float64) { f.temps = append(f.temps, c) }
+func (f *fakeChip) AdvanceTime(ps int64) error {
+	f.advance += ps
+	return nil
+}
+
+func TestPlantRelaxesToAmbient(t *testing.T) {
+	p := NewPlant(25)
+	p.tempC = 80
+	for i := 0; i < 10000; i++ {
+		p.Step(0.25, 0, 0)
+	}
+	if math.Abs(p.Temperature()-25) > 0.5 {
+		t.Fatalf("plant settled at %.2f C, want ambient 25 C", p.Temperature())
+	}
+}
+
+func TestPlantHeatsAndCools(t *testing.T) {
+	p := NewPlant(25)
+	p.Step(1, 1, 0)
+	if p.Temperature() <= 25 {
+		t.Fatal("heater did not raise temperature")
+	}
+	hot := p.Temperature()
+	p.Step(1, 0, 1)
+	if p.Temperature() >= hot {
+		t.Fatal("fan did not lower temperature")
+	}
+}
+
+func TestPlantClampsActuators(t *testing.T) {
+	a, b := NewPlant(25), NewPlant(25)
+	a.Step(1, 5, 0) // over-driven heater must clamp to 1
+	b.Step(1, 1, 0)
+	if a.Temperature() != b.Temperature() {
+		t.Fatalf("actuator clamp failed: %v vs %v", a.Temperature(), b.Temperature())
+	}
+}
+
+func TestSettleToPaperTemperature(t *testing.T) {
+	chip := &fakeChip{}
+	ctl := NewController(chip, NewPlant(25))
+	// The paper holds the chip at 85 C for every experiment.
+	if err := ctl.SettleTo(85, 0.5, 5, 600); err != nil {
+		t.Fatalf("failed to settle at 85 C: %v", err)
+	}
+	if math.Abs(ctl.Temperature()-85) > 0.5 {
+		t.Fatalf("settled at %.2f C, want 85 +/- 0.5", ctl.Temperature())
+	}
+	if len(chip.temps) == 0 || chip.advance == 0 {
+		t.Fatal("controller did not propagate temperature or time to the chip")
+	}
+	// The chip always sees the plant's temperature, never something else.
+	last := chip.temps[len(chip.temps)-1]
+	if last != ctl.Temperature() {
+		t.Fatalf("chip sees %.2f C, plant is at %.2f C", last, ctl.Temperature())
+	}
+}
+
+func TestSettleDownwards(t *testing.T) {
+	chip := &fakeChip{}
+	plant := NewPlant(25)
+	plant.tempC = 85
+	ctl := NewController(chip, plant)
+	if err := ctl.SettleTo(40, 0.5, 5, 600); err != nil {
+		t.Fatalf("failed to cool to 40 C: %v", err)
+	}
+	if math.Abs(ctl.Temperature()-40) > 0.5 {
+		t.Fatalf("settled at %.2f C, want 40", ctl.Temperature())
+	}
+}
+
+func TestSettleTimesOutOnUnreachableTarget(t *testing.T) {
+	chip := &fakeChip{}
+	ctl := NewController(chip, NewPlant(25))
+	// 300 C is beyond the heater's equilibrium; must time out, not hang.
+	err := ctl.SettleTo(300, 0.5, 5, 60)
+	if err == nil || !ErrTimeout(err) {
+		t.Fatalf("err = %v, want settling timeout", err)
+	}
+}
+
+func TestOvershootIsBounded(t *testing.T) {
+	chip := &fakeChip{}
+	ctl := NewController(chip, NewPlant(25))
+	if err := ctl.SettleTo(85, 0.5, 10, 900); err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, c := range chip.temps {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak > 90 {
+		t.Fatalf("overshoot to %.2f C; PID tuning must keep the chip below 90 C", peak)
+	}
+}
+
+func TestPIDOutputClamping(t *testing.T) {
+	pid := PID{Kp: 100, Ki: 10, Kd: 0, OutMin: -1, OutMax: 1}
+	if out := pid.Update(85, 25, 0.25); out != 1 {
+		t.Fatalf("output %v, want clamp at 1", out)
+	}
+	if out := pid.Update(25, 85, 0.25); out != -1 {
+		t.Fatalf("output %v, want clamp at -1", out)
+	}
+}
+
+func TestControllerIsDeterministic(t *testing.T) {
+	run := func() []float64 {
+		chip := &fakeChip{}
+		ctl := NewController(chip, NewPlant(25))
+		if err := ctl.SettleTo(85, 0.5, 5, 600); err != nil {
+			t.Fatal(err)
+		}
+		return chip.temps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("trajectories differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectory diverged at step %d", i)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package utrr
+
+import (
+	"fmt"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/hbm"
+)
+
+// Deeper probing of the proprietary mechanism, the follow-up the paper
+// announces ("we intend to uncover more details of the proprietary TRR
+// mechanism as part of future work"): how far around a sampled aggressor
+// the victim refresh reaches, and how many distinct aggressors the
+// sampler can track between REFs.
+
+// InferNeighborRadius determines how many rows on each side of a sampled
+// aggressor the mitigation refreshes. It profiles a retention-weak row R
+// and repeats the U-TRR loop with the would-be aggressor placed at
+// physical distance d = 1, 2, ... maxDistance from R: R is refreshed on
+// TRR fires only while d is within the mechanism's radius. It returns
+// the largest distance at which refreshes were observed, or 0 if none.
+func (e *Experiment) InferNeighborRadius(b addr.BankAddr, startRow, maxDistance int) (int, error) {
+	if maxDistance < 1 {
+		return 0, fmt.Errorf("utrr: maxDistance %d must be at least 1", maxDistance)
+	}
+	row, T, err := e.prof.FindRow(b, startRow, e.ScanRows, e.BandLo, e.BandHi)
+	if err != nil {
+		return 0, fmt.Errorf("utrr: %w", err)
+	}
+	m := e.dev.Mapper()
+	pR := m.ToPhysical(row)
+	radius := 0
+	for d := 1; d <= maxDistance; d++ {
+		pAggr := pR + d
+		if pAggr >= e.dev.Geometry().Rows {
+			pAggr = pR - d
+			if pAggr < 0 {
+				break
+			}
+		}
+		refreshed, err := e.observeFire(b, row, T, m.ToLogical(pAggr))
+		if err != nil {
+			return 0, err
+		}
+		if refreshed {
+			radius = d
+		}
+	}
+	return radius, nil
+}
+
+// observeFire runs enough iterations of the six-step loop to cover one
+// full TRR period (estimated pessimistically) and reports whether the
+// profiled row was ever refreshed by the mitigation.
+func (e *Experiment) observeFire(b addr.BankAddr, row int, T float64, logicalAggr int) (bool, error) {
+	// Two generous periods: works for any period up to 32.
+	const iterations = 64
+	g := e.dev.Geometry()
+	pattern := make([]byte, g.RowBytes())
+	for i := range pattern {
+		pattern[i] = e.prof.Pattern
+	}
+	half := int64(T / 2 * 1e12)
+	for it := 0; it < iterations; it++ {
+		if err := hbm.WriteRow(e.dev, b, row, pattern); err != nil {
+			return false, err
+		}
+		if err := e.dev.AdvanceTime(half); err != nil {
+			return false, err
+		}
+		if err := hbm.RefreshRow(e.dev, b, logicalAggr); err != nil {
+			return false, err
+		}
+		if err := e.dev.Refresh(b.Channel, b.PseudoChannel); err != nil {
+			return false, err
+		}
+		if err := e.dev.AdvanceTime(half); err != nil {
+			return false, err
+		}
+		got, err := hbm.ReadRow(e.dev, b, row)
+		if err != nil {
+			return false, err
+		}
+		if hbm.CountMismatches(got, pattern) == 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// InferSamplerSlots determines how many distinct aggressors the per-bank
+// sampler tracks between REFs. It profiles k retention-weak rows, and in
+// every iteration activates each row's neighbour once (k distinct
+// would-be aggressors) before the REF. On a fire, the mitigation
+// refreshes the victims of every aggressor still held in the sampler: the
+// number of probed rows refreshed together equals the sampler depth
+// (capped at k). It returns the largest count observed, probing up to
+// maxSlots aggressors.
+func (e *Experiment) InferSamplerSlots(b addr.BankAddr, startRow, maxSlots int) (int, error) {
+	if maxSlots < 1 {
+		return 0, fmt.Errorf("utrr: maxSlots %d must be at least 1", maxSlots)
+	}
+	g := e.dev.Geometry()
+	m := e.dev.Mapper()
+
+	// Find maxSlots retention-weak rows, spaced so their aggressors and
+	// victims never overlap.
+	type probe struct {
+		row, aggr int
+		T         float64
+	}
+	// All probes share the two maxT/2 waits, so every probed row must
+	// decay within maxT yet survive maxT/2 when refreshed mid-iteration:
+	// the retention band must span less than a factor of two.
+	bandLo, bandHi := e.BandLo, e.BandLo*1.9
+	var probes []probe
+	next := startRow
+	for len(probes) < maxSlots {
+		row, T, err := e.prof.FindRow(b, next, e.ScanRows, bandLo, bandHi)
+		if err != nil {
+			return 0, fmt.Errorf("utrr: only found %d probe rows: %w", len(probes), err)
+		}
+		pR := m.ToPhysical(row)
+		pAggr := pR + 1
+		if pAggr >= g.Rows {
+			pAggr = pR - 1
+		}
+		probes = append(probes, probe{row: row, aggr: m.ToLogical(pAggr), T: T})
+		next = row + 8 // keep blast radii and victims disjoint
+	}
+	maxT := 0.0
+	for _, p := range probes {
+		if p.T > maxT {
+			maxT = p.T
+		}
+	}
+
+	pattern := make([]byte, g.RowBytes())
+	for i := range pattern {
+		pattern[i] = e.prof.Pattern
+	}
+	half := int64(maxT / 2 * 1e12)
+	const iterations = 64
+	best := 0
+	for it := 0; it < iterations; it++ {
+		for _, p := range probes {
+			if err := hbm.WriteRow(e.dev, b, p.row, pattern); err != nil {
+				return 0, err
+			}
+		}
+		if err := e.dev.AdvanceTime(half); err != nil {
+			return 0, err
+		}
+		// Activate each aggressor once; a depth-s sampler retains the
+		// last s distinct rows.
+		for _, p := range probes {
+			if err := hbm.RefreshRow(e.dev, b, p.aggr); err != nil {
+				return 0, err
+			}
+		}
+		if err := e.dev.Refresh(b.Channel, b.PseudoChannel); err != nil {
+			return 0, err
+		}
+		if err := e.dev.AdvanceTime(half); err != nil {
+			return 0, err
+		}
+		refreshed := 0
+		for _, p := range probes {
+			got, err := hbm.ReadRow(e.dev, b, p.row)
+			if err != nil {
+				return 0, err
+			}
+			if hbm.CountMismatches(got, pattern) == 0 {
+				refreshed++
+			}
+		}
+		if refreshed > best {
+			best = refreshed
+		}
+	}
+	return best, nil
+}
