@@ -1,0 +1,28 @@
+# Local and CI entry points. CI (.github/workflows/ci.yml) invokes these
+# same targets, so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test bench bench-engine lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One-iteration pass over every benchmark: a smoke test that the bench
+# harness still runs, not a measurement.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The engine baseline recorded in BENCH_engine.json.
+bench-engine:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 3x .
+
+lint:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+
+ci: lint build test

@@ -217,6 +217,82 @@ func BenchmarkAblationRefreshBudgetGuard(b *testing.B) {
 	}
 }
 
+// --- Engine benchmarks (the shared parallel execution engine) ---
+// Baselines live in BENCH_engine.json; regenerate with `make bench-engine`.
+
+// benchEngineSweep regenerates the Figs. 3-5 sweep at a fixed worker
+// count; the serial/parallel pair quantifies multicore scaling of the
+// engine's per-channel sharding.
+func benchEngineSweep(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := hbmrh.RunSweep(hbmrh.SweepOptions{
+			Cfg:           hbmrh.SmallChip(),
+			RowsPerRegion: 4,
+			Workers:       workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSweepSerial runs the sweep on a single worker.
+func BenchmarkEngineSweepSerial(b *testing.B) { benchEngineSweep(b, 1) }
+
+// BenchmarkEngineSweepParallel runs the sweep with one worker per CPU.
+func BenchmarkEngineSweepParallel(b *testing.B) { benchEngineSweep(b, 0) }
+
+// BenchmarkEngineFig6Parallel exercises the engine's finest sharding:
+// one job per bank across the whole stack.
+func BenchmarkEngineFig6Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := hbmrh.RunFig6(hbmrh.Fig6Options{
+			Cfg:               hbmrh.SmallChip(),
+			RowsPerBankRegion: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnginePoolCold pays full chip instantiation every run by
+// draining the warmed-device pool first.
+func BenchmarkEnginePoolCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hbmrh.DrainEnginePool()
+		if _, err := hbmrh.RunSweep(hbmrh.SweepOptions{
+			Cfg:           hbmrh.SmallChip(),
+			RowsPerRegion: 2,
+			Workers:       1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnginePoolWarm reuses pool-warmed devices across runs, the
+// steady state of a figure pipeline; the delta against PoolCold is what
+// device reuse buys per run.
+func BenchmarkEnginePoolWarm(b *testing.B) {
+	run := func() error {
+		_, err := hbmrh.RunSweep(hbmrh.SweepOptions{
+			Cfg:           hbmrh.SmallChip(),
+			RowsPerRegion: 2,
+			Workers:       1,
+		})
+		return err
+	}
+	if err := run(); err != nil { // warm the pool outside the timer
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Extension benchmarks (Section 6 future work, implemented) ---
 
 // BenchmarkExtRowPress regenerates the aggressor-on-time study.

@@ -5,20 +5,28 @@
 // Usage:
 //
 //	characterize [-chip paper|small] [-fig all|3|4|5|6|press|temp|cross]
-//	             [-rows N] [-bankrows N] [-hammers N] [-workers N] [-csv DIR]
+//	             [-rows N] [-bankrows N] [-hammers N] [-workers N]
+//	             [-progress] [-csv DIR]
 //
 // With -rows 0 every row of the test regions is measured, as in the
 // paper; the default samples for a quick run. The press/temp/cross
 // figures are the paper's Section 6 future-work studies, implemented as
 // extensions.
+//
+// Long runs are interruptible: Ctrl-C cancels the execution engine
+// between measurement jobs, and -progress reports live job completion on
+// stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	hbmrh "github.com/safari-repro/hbmrh"
 	"github.com/safari-repro/hbmrh/internal/report"
@@ -34,9 +42,37 @@ func main() {
 		bankRows = flag.Int("bankrows", 16, "rows per bank region for fig 6 (paper: 100)")
 		hammers  = flag.Int("hammers", hbmrh.DefaultHammers, "hammer count / HCfirst ceiling")
 		workers  = flag.Int("workers", 0, "parallel measurement devices (0 = auto)")
+		progress = flag.Bool("progress", false, "report engine job completion on stderr")
 		csvDir   = flag.String("csv", "", "directory for raw CSV exports (empty = none)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Progress rewrites one stderr line per stage; midLine tracks whether
+	// that line is unterminated so a fatal exit (Ctrl-C mid-stage) starts
+	// on a fresh line instead of overwriting the counter. The engine
+	// serializes callbacks and returns only after they finish, so die
+	// never races a progress write.
+	midLine := false
+	track := func(stage string) hbmrh.EngineProgressFunc {
+		if !*progress {
+			return nil
+		}
+		return func(p hbmrh.EngineProgress) {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d jobs", stage, p.Done, p.Total)
+			midLine = p.Done != p.Total
+			if !midLine {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	die := func(err error) {
+		if midLine {
+			fmt.Fprintln(os.Stderr)
+		}
+		log.Fatal(err)
+	}
 
 	cfg := hbmrh.SmallChip()
 	if *chip == "paper" {
@@ -53,9 +89,11 @@ func main() {
 			Hammers:       *hammers,
 			RowsPerRegion: *rows,
 			Workers:       *workers,
+			Ctx:           ctx,
+			Progress:      track("figs 3-5 sweep"),
 		})
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		if want("3") {
 			f3 := hbmrh.Fig3{Sweep: sweep}
@@ -83,7 +121,7 @@ func main() {
 		if *csvDir != "" {
 			hd, data := sweep.CSV()
 			if err := writeCSV(filepath.Join(*csvDir, "sweep.csv"), hd, data); err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 		}
 	}
@@ -94,9 +132,11 @@ func main() {
 			Hammers:           *hammers,
 			RowsPerBankRegion: *bankRows,
 			Workers:           *workers,
+			Ctx:               ctx,
+			Progress:          track("fig 6 banks"),
 		})
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Print(f6.Render())
 		h := f6.Headlines()
@@ -106,7 +146,7 @@ func main() {
 		if *csvDir != "" {
 			hd, data := f6.CSV()
 			if err := writeCSV(filepath.Join(*csvDir, "fig6.csv"), hd, data); err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 		}
 	}
@@ -116,29 +156,37 @@ func main() {
 	switch *fig {
 	case "press":
 		s, err := hbmrh.RunRowPress(hbmrh.RowPressOptions{
-			Cfg:  cfg,
-			Bank: hbmrh.BankAddr{Channel: 7},
+			Cfg:      cfg,
+			Bank:     hbmrh.BankAddr{Channel: 7},
+			Workers:  *workers,
+			Ctx:      ctx,
+			Progress: track("rowpress points"),
 		})
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Print(s.Render())
 	case "temp":
 		s, err := hbmrh.RunTempSweep(hbmrh.TempSweepOptions{
-			Cfg:  cfg,
-			Bank: hbmrh.BankAddr{Channel: 7},
+			Cfg:      cfg,
+			Bank:     hbmrh.BankAddr{Channel: 7},
+			Workers:  *workers,
+			Ctx:      ctx,
+			Progress: track("temperature setpoints"),
 		})
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Print(s.Render())
 	case "cross":
 		s, err := hbmrh.RunCrossChannel(hbmrh.CrossChannelOptions{
 			Cfg:              cfg,
 			AggressorChannel: 4,
+			Ctx:              ctx,
+			Progress:         track("cross-channel arms"),
 		})
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Print(s.Render())
 	case "bypass":
@@ -146,9 +194,10 @@ func main() {
 		s, err := hbmrh.RunTRRBypass(hbmrh.TRRBypassOptions{
 			Bank:    hbmrh.BankAddr{Channel: 7},
 			Hammers: *hammers,
+			Ctx:     ctx,
 		})
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Print(s.Render())
 	case "all", "3", "4", "5", "6":

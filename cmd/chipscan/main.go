@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	hbmrh "github.com/safari-repro/hbmrh"
 )
@@ -20,11 +24,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chipscan: ")
 	var (
-		chip  = flag.String("chip", "small", "chip preset: paper or small")
-		chips = flag.Int("chips", 4, "number of chip instances (seeds) to test")
-		rows  = flag.Int("rows", 8, "victim rows sampled per region per chip")
+		chip     = flag.String("chip", "small", "chip preset: paper or small")
+		chips    = flag.Int("chips", 4, "number of chip instances (seeds) to test")
+		rows     = flag.Int("rows", 8, "victim rows sampled per region per chip")
+		parallel = flag.Int("parallel", 1, "chip instances measured at once")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := hbmrh.SmallChip()
 	if *chip == "paper" {
@@ -41,6 +49,11 @@ func main() {
 		Base:          cfg,
 		Seeds:         seeds,
 		RowsPerRegion: *rows,
+		ChipWorkers:   *parallel,
+		Ctx:           ctx,
+		Progress: func(p hbmrh.EngineProgress) {
+			fmt.Fprintf(os.Stderr, "chip %d/%d done\n", p.Done, p.Total)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	hbmrh "github.com/safari-repro/hbmrh"
 )
@@ -15,13 +16,21 @@ func main() {
 	fmt.Println("the paper, while absolute HCfirst values sit higher (fewer cells per row).")
 	fmt.Println("Use `go run ./cmd/calibrate` for the full-geometry paper-number comparison.")
 	fmt.Println()
+	// The sweep runs on the shared execution engine: one worker per CPU
+	// by default, with per-channel progress and results identical to a
+	// single-worker run.
 	sweep, err := hbmrh.RunSweep(hbmrh.SweepOptions{
 		Cfg:           hbmrh.SmallChip(),
 		RowsPerRegion: 16, // sample 16 victims per region; 0 tests every row
+		Progress: func(p hbmrh.EngineProgress) {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d channels\n", p.Done, p.Total)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := hbmrh.EngineStats()
+	fmt.Printf("engine pool: %d devices built, %d warm reuses\n\n", st.Created, st.Reused)
 
 	fig3 := hbmrh.Fig3{Sweep: sweep}
 	fmt.Print(fig3.Render())

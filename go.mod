@@ -1,0 +1,3 @@
+module github.com/safari-repro/hbmrh
+
+go 1.24

@@ -25,6 +25,7 @@ import (
 	"github.com/safari-repro/hbmrh/internal/config"
 	"github.com/safari-repro/hbmrh/internal/core"
 	"github.com/safari-repro/hbmrh/internal/defense"
+	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/experiments"
 	"github.com/safari-repro/hbmrh/internal/hbm"
 	"github.com/safari-repro/hbmrh/internal/mapping"
@@ -116,6 +117,28 @@ func Regions(rows int) []Region { return core.Regions(rows) }
 
 // DefaultHammers is the paper's hammer count (256K).
 const DefaultHammers = core.DefaultHammers
+
+// Parallel execution engine. Every study driver runs on the shared
+// engine: deterministic work partitioning (results are byte-identical
+// for Workers=1 and Workers=N under the same seed), context cancellation
+// between jobs, progress callbacks, and a warmed-device pool reused
+// across runs. The knobs surface as Workers/Ctx/Progress fields on each
+// study's options.
+type (
+	// EngineProgress is one progress update of a running study.
+	EngineProgress = engine.Progress
+	// EngineProgressFunc receives serialized progress updates.
+	EngineProgressFunc = engine.ProgressFunc
+	// EnginePoolStats counts warmed-device reuse in the shared pool.
+	EnginePoolStats = engine.PoolStats
+)
+
+// EngineStats snapshots the shared device pool's reuse counters.
+func EngineStats() EnginePoolStats { return engine.SharedPool.Stats() }
+
+// DrainEnginePool releases every warmed device cached by the shared
+// pool, e.g. between studies of unrelated chip designs.
+func DrainEnginePool() { engine.SharedPool.Drain() }
 
 // Figure-level studies (Section 4) and the TRR study (Section 5).
 type (

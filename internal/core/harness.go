@@ -35,6 +35,10 @@ type Harness struct {
 	HCPrecision int
 }
 
+// DefaultHCPrecision is the HCfirst binary-search resolution a fresh
+// harness uses, in hammers.
+const DefaultHCPrecision = 128
+
 // NewHarness prepares a device for characterization: it disables on-die
 // ECC via the mode registers (the paper's step 4 of interference
 // elimination; periodic refresh is simply never issued, which also keeps
@@ -44,7 +48,7 @@ func NewHarness(d *hbm.Device) (*Harness, error) {
 		dev:           d,
 		runner:        bender.NewRunner(d.Config().Timing),
 		EnforceBudget: true,
-		HCPrecision:   128,
+		HCPrecision:   DefaultHCPrecision,
 	}
 	b := h.builder()
 	b.DisableECC()
@@ -69,6 +73,14 @@ func NewHarnessFromConfig(cfg *config.Config) (*Harness, error) {
 
 // Device returns the underlying device.
 func (h *Harness) Device() *hbm.Device { return h.dev }
+
+// Reset restores the harness tunables to their NewHarness defaults, so a
+// pooled harness is leased out in a known configuration regardless of
+// what its previous lessee changed.
+func (h *Harness) Reset() {
+	h.EnforceBudget = true
+	h.HCPrecision = DefaultHCPrecision
+}
 
 func (h *Harness) builder() *bender.Builder {
 	return bender.NewBuilder(h.dev.Config().Timing, h.dev.Geometry())

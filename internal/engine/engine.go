@@ -1,0 +1,201 @@
+// Package engine is the shared parallel execution engine behind every
+// experiment driver. It replaces the per-driver worker pools the drivers
+// originally hand-rolled with one scheduler that owns:
+//
+//   - deterministic work partitioning: a run's jobs are indexed 0..n-1 and
+//     results are returned in index order, so the output is byte-identical
+//     for Workers=1 and Workers=N as long as each job's result depends only
+//     on its index (the drivers' jobs are pure functions of the chip seed
+//     and the sharded coordinates — channel, bank, hold time, seed);
+//   - a shared-nothing device pool (see DevicePool) that hands each worker
+//     its own warmed device and reuses devices across runs instead of
+//     re-instantiating a chip per sweep;
+//   - context cancellation between jobs and serialized progress callbacks,
+//     surfaced through the experiment options and cmd/characterize.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
+)
+
+// Progress is one progress update of a running engine job set.
+type Progress struct {
+	// Done is how many jobs have completed; Total is the job count.
+	Done, Total int
+}
+
+// ProgressFunc receives progress updates. Calls are serialized and Done is
+// strictly increasing, so implementations need no locking of their own.
+type ProgressFunc func(Progress)
+
+// Options configures one engine run.
+type Options struct {
+	// Ctx cancels the run between jobs; nil means context.Background().
+	// In-flight jobs finish their current unit before the run returns
+	// ctx.Err().
+	Ctx context.Context
+	// Workers bounds parallelism. <= 0 means GOMAXPROCS, capped at the
+	// job count either way. Results never depend on the worker count.
+	Workers int
+	// OnProgress, if non-nil, is invoked after every completed job.
+	OnProgress ProgressFunc
+	// Pool supplies warmed devices to MapHarness; nil means SharedPool.
+	Pool *DevicePool
+}
+
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+func (o Options) pool() *DevicePool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return SharedPool
+}
+
+// Map runs fn for every index in [0, n) across the worker pool and returns
+// the results in index order. The first job error (lowest recorded index)
+// aborts the run; if the context is cancelled before all jobs finish, Map
+// returns ctx.Err().
+func Map[T any](o Options, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return mapWorkers(o, n,
+		func() (struct{}, func(), error) { return struct{}{}, func() {}, nil },
+		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) })
+}
+
+// MapHarness is Map with a warmed characterization harness per worker,
+// leased from the device pool for the duration of the run. Jobs must not
+// depend on device history (all Section 4 measurements rewrite their rows
+// before hammering, so they do not); retention- or temperature-sensitive
+// studies should build fresh devices through Map instead.
+func MapHarness[T any](o Options, cfg *config.Config, n int,
+	fn func(ctx context.Context, h *core.Harness, i int) (T, error)) ([]T, error) {
+	pool := o.pool()
+	return mapWorkers(o, n,
+		func() (*core.Harness, func(), error) {
+			h, err := pool.Get(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return h, func() { pool.Put(cfg, h) }, nil
+		},
+		fn)
+}
+
+// mapWorkers is the scheduler core: workers pull indexes from a shared
+// counter, each holding worker-local state S built by setup (a pooled
+// device, or nothing). Result placement is by index, which is what makes
+// the output independent of scheduling.
+func mapWorkers[S, T any](o Options, n int,
+	setup func() (S, func(), error),
+	fn func(ctx context.Context, s S, i int) (T, error)) ([]T, error) {
+	ctx := o.context()
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	workers := o.workers(n)
+
+	results := make([]T, n)
+	jobErrs := make([]error, n)
+	setupErrs := make([]error, workers)
+	var next, done atomic.Int64
+	var failed atomic.Bool
+	var progressMu sync.Mutex
+	reported := 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Check for cancellation before paying setup cost (a pool
+			// lease can mean a full chip instantiation).
+			if failed.Load() || ctx.Err() != nil {
+				return
+			}
+			s, release, err := setup()
+			if err != nil {
+				setupErrs[w] = err
+				failed.Store(true)
+				return
+			}
+			defer release()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r, err := fn(ctx, s, i)
+				if err != nil {
+					jobErrs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+				d := int(done.Add(1))
+				if o.OnProgress != nil {
+					progressMu.Lock()
+					if d > reported {
+						reported = d
+						o.OnProgress(Progress{Done: d, Total: n})
+					}
+					progressMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, err := range jobErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, err := range setupErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Flatten concatenates per-job slices in job order, preserving the
+// engine's deterministic ordering end to end.
+func Flatten[T any](groups [][]T) []T {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	out := make([]T, 0, total)
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}

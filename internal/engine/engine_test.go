@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
+)
+
+func TestMapResultsInIndexOrder(t *testing.T) {
+	const n = 64
+	got, err := Map(Options{Workers: 7}, n, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("%d results, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []int {
+		out, err := Map(Options{Workers: workers}, 33, func(_ context.Context, i int) (int, error) {
+			return 3*i + 1, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d differs across worker counts: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMapPropagatesJobError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(Options{Workers: 3}, 16, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the job error", err)
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	out, err := Map(Options{}, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for an empty job set")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestMapMoreWorkersThanJobs(t *testing.T) {
+	out, err := Map(Options{Workers: 32}, 3, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if err != nil || len(out) != 3 {
+		t.Fatalf("got (%v, %v)", out, err)
+	}
+}
+
+func TestMapCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	_, err := Map(Options{Ctx: ctx, Workers: 4}, 100, func(context.Context, int) (int, error) {
+		calls.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("%d jobs ran on a pre-cancelled context", calls.Load())
+	}
+}
+
+func TestMapCancelMidRun(t *testing.T) {
+	const n = 100
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	_, err := Map(Options{
+		Ctx:     ctx,
+		Workers: 4,
+		OnProgress: func(p Progress) {
+			// First *delivered* update: out-of-order completions may skip
+			// Done==1, so trigger on >= 1.
+			if p.Done >= 1 {
+				cancel()
+			}
+		},
+	}, n, func(context.Context, int) (int, error) {
+		calls.Add(1)
+		time.Sleep(time.Millisecond)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// In-flight jobs may finish, but no worker pulls new work after the
+	// cancellation, so the run stops far short of the full job set.
+	if c := calls.Load(); c >= n {
+		t.Fatalf("all %d jobs ran despite cancellation", c)
+	}
+}
+
+func TestMapProgressMonotoneAndComplete(t *testing.T) {
+	const n = 40
+	last := 0
+	_, err := Map(Options{
+		Workers: 5,
+		OnProgress: func(p Progress) {
+			if p.Total != n {
+				t.Errorf("Total = %d, want %d", p.Total, n)
+			}
+			if p.Done <= last {
+				t.Errorf("progress not strictly increasing: %d after %d", p.Done, last)
+			}
+			last = p.Done
+		},
+	}, n, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != n {
+		t.Fatalf("final progress %d, want %d", last, n)
+	}
+}
+
+func TestFlattenPreservesOrder(t *testing.T) {
+	got := Flatten([][]int{{1, 2}, nil, {3}, {4, 5}})
+	want := []int{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPoolReusesWarmedDevice(t *testing.T) {
+	p := NewDevicePool()
+	cfg := config.SmallChip()
+	h1, err := p.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(cfg, h1)
+	// A content-equal copy must hit the same warmed device even though it
+	// is a different pointer.
+	cfgCopy := *cfg
+	h2, err := p.Get(&cfgCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("pool built a new device although a warmed one was idle")
+	}
+	st := p.Stats()
+	if st.Created != 1 || st.Reused != 1 {
+		t.Fatalf("stats = %+v, want 1 created / 1 reused", st)
+	}
+}
+
+func TestPoolSeparatesChipInstances(t *testing.T) {
+	p := NewDevicePool()
+	a := config.SmallChip()
+	b := config.SmallChip()
+	b.Seed++
+	ha, err := p.Get(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(a, ha)
+	hb, err := p.Get(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha == hb {
+		t.Fatal("different seeds shared one warmed device")
+	}
+	if st := p.Stats(); st.Created != 2 {
+		t.Fatalf("stats = %+v, want 2 created", st)
+	}
+}
+
+func TestPoolResetsTunablesOnPut(t *testing.T) {
+	p := NewDevicePool()
+	cfg := config.SmallChip()
+	h, err := p.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.EnforceBudget = false
+	h.HCPrecision = 1
+	p.Put(cfg, h)
+	h2, err := p.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Fatal("expected the warmed device back")
+	}
+	if !h2.EnforceBudget || h2.HCPrecision == 1 {
+		t.Fatalf("tunables not reset: EnforceBudget=%v HCPrecision=%d",
+			h2.EnforceBudget, h2.HCPrecision)
+	}
+}
+
+func TestPoolDrainConfigIsPerKey(t *testing.T) {
+	p := NewDevicePool()
+	a := config.SmallChip()
+	b := config.SmallChip()
+	b.Seed++
+	ha, err := p.Get(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := p.Get(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(a, ha)
+	p.Put(b, hb)
+	p.DrainConfig(a)
+	ha2, err := p.Get(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha2 == ha {
+		t.Fatal("drained config still served its old warmed device")
+	}
+	hb2, err := p.Get(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb2 != hb {
+		t.Fatal("draining one config evicted another's warmed device")
+	}
+}
+
+func TestPoolCapsIdleDevices(t *testing.T) {
+	p := NewDevicePool()
+	p.MaxIdlePerKey = 1
+	cfg := config.SmallChip()
+	h1, err := p.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := p.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(cfg, h1)
+	p.Put(cfg, h2)
+	if st := p.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 dropped", st)
+	}
+}
+
+func TestMapHarnessLeasesPerWorkerAndReturns(t *testing.T) {
+	p := NewDevicePool()
+	cfg := config.SmallChip()
+	seen := make(map[*core.Harness]bool)
+	var mu sync.Mutex
+	o := Options{Workers: 3, Pool: p}
+	out, err := MapHarness(o, cfg, 9, func(_ context.Context, h *core.Harness, i int) (int, error) {
+		if h == nil {
+			t.Error("nil harness leased")
+		}
+		mu.Lock()
+		seen[h] = true
+		mu.Unlock()
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 9 {
+		t.Fatalf("%d results, want 9", len(out))
+	}
+	st := p.Stats()
+	if st.Created != len(seen) {
+		t.Fatalf("%d harnesses created for %d distinct leases", st.Created, len(seen))
+	}
+	if st.Created > 3 {
+		t.Fatalf("%d harnesses created for 3 workers", st.Created)
+	}
+	// A second run over the same config must reuse the warmed devices.
+	if _, err := MapHarness(o, cfg, 4, func(_ context.Context, h *core.Harness, i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Reused == 0 {
+		t.Fatalf("stats = %+v, want warm reuse on the second run", st)
+	}
+}
+
+func TestMapHarnessSetupErrorSurfaces(t *testing.T) {
+	cfg := config.SmallChip()
+	cfg.SubarraySizes = []int{1} // breaks validation: sizes must sum to Rows
+	_, err := MapHarness(Options{Pool: NewDevicePool()}, cfg, 4,
+		func(_ context.Context, _ *core.Harness, i int) (int, error) { return i, nil })
+	if err == nil {
+		t.Fatal("invalid config did not surface a setup error")
+	}
+}

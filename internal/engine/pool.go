@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
+)
+
+// DevicePool caches warmed simulated devices (wrapped in characterization
+// harnesses) keyed by the full configuration contents, so repeated engine
+// runs over the same chip design + seed reuse devices instead of paying
+// chip instantiation and ECC-disable setup per run. The pool is
+// shared-nothing at the worker level: Get hands out exclusive ownership,
+// Put returns it; a harness is never used by two workers at once.
+//
+// Reuse is sound because every per-cell quantity of the simulated chip is
+// a pure function of (Seed, coordinates) and the Section 4 measurements
+// rewrite their victim and aggressor rows before hammering. Studies whose
+// outcome depends on accumulated device state (thermal setpoints, nominal
+// refresh cadence, retention decay) must not use the pool.
+type DevicePool struct {
+	mu   sync.Mutex
+	idle map[string][]*core.Harness
+	st   PoolStats
+
+	// MaxIdlePerKey caps how many warmed devices are kept per
+	// configuration; surplus Puts are dropped for the GC. 0 means
+	// GOMAXPROCS.
+	MaxIdlePerKey int
+}
+
+// PoolStats counts pool traffic; Reused/Created is the warm-hit ratio.
+type PoolStats struct {
+	// Created counts harnesses built because no idle one matched.
+	Created int
+	// Reused counts Gets served from the idle set.
+	Reused int
+	// Dropped counts Puts discarded over MaxIdlePerKey.
+	Dropped int
+}
+
+// SharedPool is the process-wide pool every engine run uses by default.
+var SharedPool = NewDevicePool()
+
+// NewDevicePool returns an empty pool.
+func NewDevicePool() *DevicePool {
+	return &DevicePool{idle: make(map[string][]*core.Harness)}
+}
+
+// key fingerprints the configuration by value, so two configs with equal
+// contents (e.g. per-seed copies of the same design sharing a seed) share
+// warmed devices regardless of pointer identity.
+func (p *DevicePool) key(cfg *config.Config) string {
+	return fmt.Sprintf("%+v", *cfg)
+}
+
+// Get leases a warmed harness for cfg, building one only when the idle
+// set is empty. The caller owns it exclusively until Put.
+func (p *DevicePool) Get(cfg *config.Config) (*core.Harness, error) {
+	k := p.key(cfg)
+	p.mu.Lock()
+	if hs := p.idle[k]; len(hs) > 0 {
+		h := hs[len(hs)-1]
+		p.idle[k] = hs[:len(hs)-1]
+		p.st.Reused++
+		p.mu.Unlock()
+		return h, nil
+	}
+	p.st.Created++
+	p.mu.Unlock()
+	return core.NewHarnessFromConfig(cfg)
+}
+
+// Put returns a leased harness to the idle set, restoring its tunables to
+// the NewHarness defaults so the next lease starts from a known state.
+func (p *DevicePool) Put(cfg *config.Config, h *core.Harness) {
+	if h == nil {
+		return
+	}
+	h.Reset()
+	k := p.key(cfg)
+	max := p.MaxIdlePerKey
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.idle[k]) >= max {
+		p.st.Dropped++
+		return
+	}
+	p.idle[k] = append(p.idle[k], h)
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *DevicePool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st
+}
+
+// Drain empties the idle set, releasing every cached device to the GC.
+func (p *DevicePool) Drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.idle = make(map[string][]*core.Harness)
+}
+
+// DrainConfig releases the idle devices warmed for one configuration.
+// Fleet-style sweeps over many chip instances (one config per seed) must
+// call this per instance, or every seed's devices stay resident for the
+// process lifetime: keys are never evicted, only capped per key.
+func (p *DevicePool) DrainConfig(cfg *config.Config) {
+	k := p.key(cfg)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.idle, k)
+}

@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
 	"github.com/safari-repro/hbmrh/internal/core"
+	"github.com/safari-repro/hbmrh/internal/engine"
 )
 
 func smallSweep(t testing.TB, rowsPerRegion int) *Sweep {
@@ -57,24 +61,86 @@ func TestSweepIndependentOfWorkerCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts.Workers = 4
+	opts.Workers = 8
 	b, err := RunSweep(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The engine guarantees byte-identical datasets at any worker count.
 	if len(a.Rows) != len(b.Rows) {
-		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+		t.Fatalf("row counts differ across worker counts: %d vs %d", len(a.Rows), len(b.Rows))
 	}
-	for i := range a.Rows {
-		ra, rb := a.Rows[i], b.Rows[i]
-		if ra.Channel != rb.Channel || ra.PhysRow != rb.PhysRow || ra.WCDP != rb.WCDP {
-			t.Fatalf("row %d differs across worker counts: %+v vs %+v", i, ra, rb)
-		}
-		for pi := range ra.BER {
-			if ra.BER[pi] != rb.BER[pi] || ra.HCFirst[pi] != rb.HCFirst[pi] {
-				t.Fatalf("row %d pattern %d differs across worker counts", i, pi)
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		for i := range a.Rows {
+			if !reflect.DeepEqual(a.Rows[i], b.Rows[i]) {
+				t.Fatalf("row %d differs across worker counts: %+v vs %+v",
+					i, a.Rows[i], b.Rows[i])
 			}
 		}
+		t.Fatalf("sweep datasets differ across worker counts: %d vs %d rows",
+			len(a.Rows), len(b.Rows))
+	}
+}
+
+func TestFig6IndependentOfWorkerCount(t *testing.T) {
+	opts := Fig6Options{Cfg: config.SmallChip(), RowsPerBankRegion: 3}
+	opts.Workers = 1
+	a, err := RunFig6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	b, err := RunFig6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ across worker counts: %d vs %d", len(a.Points), len(b.Points))
+	}
+	if !reflect.DeepEqual(a.Points, b.Points) {
+		for i := range a.Points {
+			if !reflect.DeepEqual(a.Points[i], b.Points[i]) {
+				t.Fatalf("bank point %d differs across worker counts: %+v vs %+v",
+					i, a.Points[i], b.Points[i])
+			}
+		}
+		t.Fatalf("fig6 datasets differ across worker counts: %d vs %d points",
+			len(a.Points), len(b.Points))
+	}
+}
+
+func TestSweepCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSweep(Options{Cfg: config.SmallChip(), RowsPerRegion: 2, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var updates []int
+	_, err := RunSweep(Options{
+		Cfg:           config.SmallChip(),
+		RowsPerRegion: 2,
+		Workers:       2,
+		Ctx:           ctx,
+		Progress: func(p engine.Progress) {
+			updates = append(updates, p.Done)
+			if p.Done >= 1 {
+				cancel() // abort at the first delivered progress update
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	g := config.SmallChip().Geometry
+	if len(updates) == 0 || updates[len(updates)-1] >= g.Channels {
+		t.Fatalf("sweep ran %v of %d channels despite prompt cancellation",
+			updates, g.Channels)
 	}
 }
 

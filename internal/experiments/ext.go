@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
 	"github.com/safari-repro/hbmrh/internal/core"
+	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/hbm"
 	"github.com/safari-repro/hbmrh/internal/stats"
 	"github.com/safari-repro/hbmrh/internal/thermal"
@@ -29,6 +31,12 @@ type RowPressOptions struct {
 	HoldMultipliers []int
 	// MaxHammers bounds the per-point HCfirst search.
 	MaxHammers int
+	// Workers bounds parallel sweep points; <= 0 means one per CPU.
+	Workers int
+	// Ctx cancels the study between sweep points.
+	Ctx context.Context
+	// Progress, if non-nil, receives an update per finished point.
+	Progress engine.ProgressFunc
 }
 
 // RowPressPoint is one sweep point: the mean HCfirst at a hold time.
@@ -62,39 +70,43 @@ func RunRowPress(o RowPressOptions) (*RowPressStudy, error) {
 	if o.MaxHammers <= 0 {
 		o.MaxHammers = core.DefaultHammers
 	}
-	h, err := core.NewHarnessFromConfig(o.Cfg)
-	if err != nil {
-		return nil, err
-	}
 	layout := o.Cfg.Layout()
 	sa := layout.Count() / 2
 	start := layout.Start(sa) + layout.Size(sa)/4
 	tras := o.Cfg.Timing.TRAS
 	pattern := core.Table1()[1] // Rowstripe1
 
-	s := &RowPressStudy{Opts: o}
-	for _, mult := range o.HoldMultipliers {
-		var hcs []float64
-		foundAll := true
-		for i := 0; i < o.Rows; i++ {
-			phys := start + i*3
-			hc, found, err := h.HCFirstHold(o.Bank, phys, pattern, o.MaxHammers, tras*int64(mult))
-			if err != nil {
-				return nil, err
+	// One engine job per hold multiplier; each point's HCfirst searches
+	// are pure functions of (seed, bank, row, hold), so pooled devices
+	// reproduce the sequential results exactly.
+	eo := engine.Options{Ctx: o.Ctx, Workers: o.Workers, OnProgress: o.Progress}
+	points, err := engine.MapHarness(eo, o.Cfg, len(o.HoldMultipliers),
+		func(_ context.Context, h *core.Harness, pi int) (RowPressPoint, error) {
+			mult := o.HoldMultipliers[pi]
+			var hcs []float64
+			foundAll := true
+			for i := 0; i < o.Rows; i++ {
+				phys := start + i*3
+				hc, found, err := h.HCFirstHold(o.Bank, phys, pattern, o.MaxHammers, tras*int64(mult))
+				if err != nil {
+					return RowPressPoint{}, err
+				}
+				if !found {
+					foundAll = false
+					continue
+				}
+				hcs = append(hcs, float64(hc))
 			}
-			if !found {
-				foundAll = false
-				continue
+			p := RowPressPoint{HoldMultiplier: mult, FoundAll: foundAll}
+			if len(hcs) > 0 {
+				p.MeanHCFirst = stats.Mean(hcs)
 			}
-			hcs = append(hcs, float64(hc))
-		}
-		p := RowPressPoint{HoldMultiplier: mult, FoundAll: foundAll}
-		if len(hcs) > 0 {
-			p.MeanHCFirst = stats.Mean(hcs)
-		}
-		s.Points = append(s.Points, p)
+			return p, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return s, nil
+	return &RowPressStudy{Opts: o, Points: points}, nil
 }
 
 // Render prints the sweep as a table.
@@ -120,6 +132,14 @@ type TempSweepOptions struct {
 	TemperaturesC []float64
 	// Hammers is the per-row BER hammer count.
 	Hammers int
+	// Workers bounds parallel setpoints; <= 0 means one per CPU. Each
+	// setpoint keeps its own freshly settled device, so points stay
+	// independent at any worker count.
+	Workers int
+	// Ctx cancels the study between setpoints.
+	Ctx context.Context
+	// Progress, if non-nil, receives an update per settled setpoint.
+	Progress engine.ProgressFunc
 }
 
 // TempPoint is one temperature's measurement.
@@ -155,34 +175,40 @@ func RunTempSweep(o TempSweepOptions) (*TempSweepStudy, error) {
 	start := layout.Start(sa) + layout.Size(sa)/4
 	pattern := core.Table1()[1]
 
-	s := &TempSweepStudy{Opts: o}
-	for _, target := range o.TemperaturesC {
-		// A fresh device per setpoint keeps points independent; the PID
-		// rig settles the chip as on the real bench.
-		d, err := hbm.New(o.Cfg)
-		if err != nil {
-			return nil, err
-		}
-		ctl := thermal.NewController(d, thermal.NewPlant(25))
-		if err := ctl.SettleTo(target, 0.5, 5, 1800); err != nil {
-			return nil, fmt.Errorf("experiments: settling to %.0f C: %w", target, err)
-		}
-		h, err := core.NewHarness(d)
-		if err != nil {
-			return nil, err
-		}
-		var bers []float64
-		for i := 0; i < o.Rows; i++ {
-			phys := start + i*3
-			r, err := h.BER(o.Bank, phys, pattern, o.Hammers)
+	// Temperature changes persistent device state, so this study bypasses
+	// the warm pool: each engine job builds a fresh device and settles it
+	// with the PID rig, as on the real bench.
+	eo := engine.Options{Ctx: o.Ctx, Workers: o.Workers, OnProgress: o.Progress}
+	points, err := engine.Map(eo, len(o.TemperaturesC),
+		func(_ context.Context, i int) (TempPoint, error) {
+			target := o.TemperaturesC[i]
+			d, err := hbm.New(o.Cfg)
 			if err != nil {
-				return nil, err
+				return TempPoint{}, err
 			}
-			bers = append(bers, r.BER()*100)
-		}
-		s.Points = append(s.Points, TempPoint{TempC: target, MeanBER: stats.Mean(bers)})
+			ctl := thermal.NewController(d, thermal.NewPlant(25))
+			if err := ctl.SettleTo(target, 0.5, 5, 1800); err != nil {
+				return TempPoint{}, fmt.Errorf("experiments: settling to %.0f C: %w", target, err)
+			}
+			h, err := core.NewHarness(d)
+			if err != nil {
+				return TempPoint{}, err
+			}
+			var bers []float64
+			for i := 0; i < o.Rows; i++ {
+				phys := start + i*3
+				r, err := h.BER(o.Bank, phys, pattern, o.Hammers)
+				if err != nil {
+					return TempPoint{}, err
+				}
+				bers = append(bers, r.BER()*100)
+			}
+			return TempPoint{TempC: target, MeanBER: stats.Mean(bers)}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return s, nil
+	return &TempSweepStudy{Opts: o, Points: points}, nil
 }
 
 // Render prints the sweep as a table.
@@ -211,6 +237,10 @@ type CrossChannelOptions struct {
 	Activations int
 	// Rows probed.
 	Rows int
+	// Ctx cancels the probe between its two arms.
+	Ctx context.Context
+	// Progress, if non-nil, receives an update per finished arm.
+	Progress engine.ProgressFunc
 }
 
 // CrossChannelStudy is the outcome of the interference probe.
@@ -296,13 +326,16 @@ func RunCrossChannel(o CrossChannelOptions) (*CrossChannelStudy, error) {
 		}
 		return flips, nil
 	}
-	var err error
-	if s.BaselineFlips, err = run(o.Cfg.Fault.VerticalCoupling); err != nil {
+	// The two arms (as-is and synthetically coupled) are independent
+	// devices, so they run as parallel engine jobs.
+	arms := []float64{o.Cfg.Fault.VerticalCoupling, o.SyntheticCoupling}
+	eo := engine.Options{Ctx: o.Ctx, OnProgress: o.Progress}
+	flips, err := engine.Map(eo, len(arms),
+		func(_ context.Context, i int) (int, error) { return run(arms[i]) })
+	if err != nil {
 		return nil, err
 	}
-	if s.CoupledFlips, err = run(o.SyntheticCoupling); err != nil {
-		return nil, err
-	}
+	s.BaselineFlips, s.CoupledFlips = flips[0], flips[1]
 	return s, nil
 }
 

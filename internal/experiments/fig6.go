@@ -1,14 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"strconv"
-	"sync"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
 	"github.com/safari-repro/hbmrh/internal/core"
+	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/report"
 	"github.com/safari-repro/hbmrh/internal/stats"
 )
@@ -22,8 +22,14 @@ type Fig6Options struct {
 	// RowsPerBankRegion is how many rows are tested at the start, middle
 	// and end of each bank (paper: 100 each, 300 per bank).
 	RowsPerBankRegion int
-	// Workers is the number of parallel measurement devices.
+	// Workers is the number of parallel measurement devices; <= 0 means
+	// one per CPU. The engine shards per bank, so parallelism scales to
+	// the stack's full bank count, and results never depend on it.
 	Workers int
+	// Ctx cancels a running study between per-bank jobs.
+	Ctx context.Context
+	// Progress, if non-nil, receives an update as each bank finishes.
+	Progress engine.ProgressFunc
 }
 
 func (o *Fig6Options) setDefaults() {
@@ -35,12 +41,6 @@ func (o *Fig6Options) setDefaults() {
 	}
 	if o.RowsPerBankRegion <= 0 {
 		o.RowsPerBankRegion = 100
-	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-		if o.Workers > o.Cfg.Geometry.Channels {
-			o.Workers = o.Cfg.Geometry.Channels
-		}
 	}
 }
 
@@ -70,48 +70,32 @@ func RunFig6(o Fig6Options) (*Fig6, error) {
 	}
 	g := o.Cfg.Geometry
 
-	perChannel := make([][]BankPoint, g.Channels)
-	chans := make(chan int)
-	var wg sync.WaitGroup
-	errs := make([]error, o.Workers)
-	for w := 0; w < o.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			h, err := core.NewHarnessFromConfig(o.Cfg)
+	// One job per bank: the engine's finest useful shard for this study,
+	// so parallelism scales to TotalBanks instead of the channel count.
+	// Index order (channel, pseudo channel, bank) matches the figure's
+	// point order.
+	n := g.Channels * g.PseudoChannels * g.Banks
+	eo := engine.Options{Ctx: o.Ctx, Workers: o.Workers, OnProgress: o.Progress}
+	points, err := engine.MapHarness(eo, o.Cfg, n,
+		func(_ context.Context, h *core.Harness, i int) (BankPoint, error) {
+			ba := addr.BankAddr{
+				Channel:       i / (g.PseudoChannels * g.Banks),
+				PseudoChannel: (i / g.Banks) % g.PseudoChannels,
+				Bank:          i % g.Banks,
+			}
+			pt, err := fig6Bank(h, o, ba)
 			if err != nil {
-				errs[w] = err
-				return
+				return BankPoint{}, fmt.Errorf("bank %v: %w", ba, err)
 			}
-			for ch := range chans {
-				pts, err := fig6Channel(h, o, ch)
-				if err != nil {
-					errs[w] = fmt.Errorf("channel %d: %w", ch, err)
-					return
-				}
-				perChannel[ch] = pts
-			}
-		}(w)
+			return pt, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	for ch := 0; ch < g.Channels; ch++ {
-		chans <- ch
-	}
-	close(chans)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	f := &Fig6{Opts: o}
-	for ch := 0; ch < g.Channels; ch++ {
-		f.Points = append(f.Points, perChannel[ch]...)
-	}
-	return f, nil
+	return &Fig6{Opts: o, Points: points}, nil
 }
 
-func fig6Channel(h *core.Harness, o Fig6Options, ch int) ([]BankPoint, error) {
+func fig6Bank(h *core.Harness, o Fig6Options, ba addr.BankAddr) (BankPoint, error) {
 	g := o.Cfg.Geometry
 	span := o.RowsPerBankRegion
 	regions := []core.Region{
@@ -120,34 +104,27 @@ func fig6Channel(h *core.Harness, o Fig6Options, ch int) ([]BankPoint, error) {
 		{Name: "last", Start: g.Rows - span, End: g.Rows},
 	}
 	patterns := core.Table1()
-	var pts []BankPoint
-	for pc := 0; pc < g.PseudoChannels; pc++ {
-		for bank := 0; bank < g.Banks; bank++ {
-			ba := addr.BankAddr{Channel: ch, PseudoChannel: pc, Bank: bank}
-			var bers []float64
-			for _, region := range regions {
-				for phys := region.Start; phys < region.End; phys++ {
-					if phys <= 0 || phys >= g.Rows-1 {
-						continue
-					}
-					best := 0.0
-					for _, p := range patterns {
-						r, err := h.BER(ba, phys, p, o.Hammers)
-						if err != nil {
-							return nil, err
-						}
-						if b := r.BER(); b > best {
-							best = b
-						}
-					}
-					bers = append(bers, best*100)
+	var bers []float64
+	for _, region := range regions {
+		for phys := region.Start; phys < region.End; phys++ {
+			if phys <= 0 || phys >= g.Rows-1 {
+				continue
+			}
+			best := 0.0
+			for _, p := range patterns {
+				r, err := h.BER(ba, phys, p, o.Hammers)
+				if err != nil {
+					return BankPoint{}, err
+				}
+				if b := r.BER(); b > best {
+					best = b
 				}
 			}
-			sum := stats.Summarize(bers)
-			pts = append(pts, BankPoint{Bank: ba, MeanBER: sum.Mean, CV: sum.CV()})
+			bers = append(bers, best*100)
 		}
 	}
-	return pts, nil
+	sum := stats.Summarize(bers)
+	return BankPoint{Bank: ba, MeanBER: sum.Mean, CV: sum.CV()}, nil
 }
 
 // Render draws the scatter plot; each point's glyph is its channel digit,

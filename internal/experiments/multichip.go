@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/stats"
 )
 
@@ -26,6 +28,14 @@ type MultiChipOptions struct {
 	RowsPerRegion int
 	// Workers bounds per-chip sweep parallelism.
 	Workers int
+	// ChipWorkers bounds how many chip instances are measured at once;
+	// <= 0 means one at a time (each chip already parallelizes its sweep
+	// across Workers devices).
+	ChipWorkers int
+	// Ctx cancels the study; it is threaded into every per-chip sweep.
+	Ctx context.Context
+	// Progress, if non-nil, receives an update per finished chip.
+	Progress engine.ProgressFunc
 }
 
 // ChipSummary is one chip's headline numbers.
@@ -58,42 +68,57 @@ func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
 	if o.RowsPerRegion <= 0 {
 		o.RowsPerRegion = 8
 	}
-	s := &MultiChipStudy{Opts: o}
-	for _, seed := range o.Seeds {
-		cfg := *o.Base
-		cfg.Seed = seed
-		sweep, err := RunSweep(Options{
-			Cfg:           &cfg,
-			RowsPerRegion: o.RowsPerRegion,
-			Workers:       o.Workers,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: chip %#x: %w", seed, err)
-		}
-		h3 := Fig3{sweep}.Headlines()
-		h4 := Fig4{sweep}.Headlines()
-		worst := 0
-		for ch, ber := range h3.WCDPMeanBER {
-			if ber > h3.WCDPMeanBER[worst] {
-				worst = ch
-			}
-		}
-		trr, err := RunTRRStudy(TRRStudyOptions{
-			Cfg:  &cfg,
-			Bank: addr.BankAddr{Channel: 0, PseudoChannel: 0, Bank: 0},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: chip %#x: %w", seed, err)
-		}
-		s.Chips = append(s.Chips, ChipSummary{
-			Seed:         seed,
-			MinHCFirst:   h4.MinHCFirst,
-			WCDPRatio:    h3.MaxOverMinWCDP,
-			WorstChannel: worst,
-			TRRPeriod:    trr.Period,
-		})
+	chipWorkers := o.ChipWorkers
+	if chipWorkers <= 0 {
+		chipWorkers = 1
 	}
-	return s, nil
+	eo := engine.Options{Ctx: o.Ctx, Workers: chipWorkers, OnProgress: o.Progress}
+	chips, err := engine.Map(eo, len(o.Seeds),
+		func(ctx context.Context, i int) (ChipSummary, error) {
+			seed := o.Seeds[i]
+			cfg := *o.Base
+			cfg.Seed = seed
+			// Each seed is its own pool key; release its warmed devices
+			// once the chip is summarized, or a long seed scan keeps
+			// every instance's devices resident.
+			defer engine.SharedPool.DrainConfig(&cfg)
+			sweep, err := RunSweep(Options{
+				Cfg:           &cfg,
+				RowsPerRegion: o.RowsPerRegion,
+				Workers:       o.Workers,
+				Ctx:           ctx,
+			})
+			if err != nil {
+				return ChipSummary{}, fmt.Errorf("experiments: chip %#x: %w", seed, err)
+			}
+			h3 := Fig3{sweep}.Headlines()
+			h4 := Fig4{sweep}.Headlines()
+			worst := 0
+			for ch, ber := range h3.WCDPMeanBER {
+				if ber > h3.WCDPMeanBER[worst] {
+					worst = ch
+				}
+			}
+			trr, err := RunTRRStudy(TRRStudyOptions{
+				Cfg:  &cfg,
+				Bank: addr.BankAddr{Channel: 0, PseudoChannel: 0, Bank: 0},
+				Ctx:  ctx,
+			})
+			if err != nil {
+				return ChipSummary{}, fmt.Errorf("experiments: chip %#x: %w", seed, err)
+			}
+			return ChipSummary{
+				Seed:         seed,
+				MinHCFirst:   h4.MinHCFirst,
+				WCDPRatio:    h3.MaxOverMinWCDP,
+				WorstChannel: worst,
+				TRRPeriod:    trr.Period,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &MultiChipStudy{Opts: o, Chips: chips}, nil
 }
 
 // Render prints the chip-to-chip comparison.

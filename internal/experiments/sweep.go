@@ -5,14 +5,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
 	"github.com/safari-repro/hbmrh/internal/core"
+	"github.com/safari-repro/hbmrh/internal/engine"
 )
 
 // Options configures the shared spatial sweep behind Figs. 3, 4 and 5.
@@ -27,10 +27,16 @@ type Options struct {
 	RowsPerRegion int
 	// PC and Bank select the bank tested in every channel.
 	PC, Bank int
-	// Workers is the number of parallel measurement devices. Results are
-	// independent of the worker count (each worker instantiates the same
-	// deterministic chip).
+	// Workers is the number of parallel measurement devices; <= 0 means
+	// one per CPU. Results are independent of the worker count (the
+	// engine partitions work deterministically and every measurement is a
+	// pure function of the chip seed and its coordinates).
 	Workers int
+	// Ctx cancels a running sweep between per-channel jobs; nil means no
+	// cancellation.
+	Ctx context.Context
+	// Progress, if non-nil, receives an update as each channel finishes.
+	Progress engine.ProgressFunc
 }
 
 func (o *Options) setDefaults() {
@@ -40,12 +46,10 @@ func (o *Options) setDefaults() {
 	if o.Hammers <= 0 {
 		o.Hammers = core.DefaultHammers
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-		if o.Workers > o.Cfg.Geometry.Channels {
-			o.Workers = o.Cfg.Geometry.Channels
-		}
-	}
+}
+
+func (o *Options) engine() engine.Options {
+	return engine.Options{Ctx: o.Ctx, Workers: o.Workers, OnProgress: o.Progress}
 }
 
 // RowResult holds every measurement of one victim row: per-pattern BER
@@ -90,45 +94,18 @@ func RunSweep(o Options) (*Sweep, error) {
 		return nil, fmt.Errorf("experiments: bank pc%d.ba%d out of range", o.PC, o.Bank)
 	}
 
-	results := make([][]RowResult, g.Channels)
-	chans := make(chan int)
-	var wg sync.WaitGroup
-	errs := make([]error, o.Workers)
-	for w := 0; w < o.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			h, err := core.NewHarnessFromConfig(o.Cfg)
+	perChannel, err := engine.MapHarness(o.engine(), o.Cfg, g.Channels,
+		func(_ context.Context, h *core.Harness, ch int) ([]RowResult, error) {
+			rows, err := sweepChannel(h, o, ch)
 			if err != nil {
-				errs[w] = err
-				return
+				return nil, fmt.Errorf("channel %d: %w", ch, err)
 			}
-			for ch := range chans {
-				rows, err := sweepChannel(h, o, ch)
-				if err != nil {
-					errs[w] = fmt.Errorf("channel %d: %w", ch, err)
-					return
-				}
-				results[ch] = rows
-			}
-		}(w)
+			return rows, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	for ch := 0; ch < g.Channels; ch++ {
-		chans <- ch
-	}
-	close(chans)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	s := &Sweep{Opts: o}
-	for ch := 0; ch < g.Channels; ch++ {
-		s.Rows = append(s.Rows, results[ch]...)
-	}
-	return s, nil
+	return &Sweep{Opts: o, Rows: engine.Flatten(perChannel)}, nil
 }
 
 func sweepChannel(h *core.Harness, o Options, ch int) ([]RowResult, error) {

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
 	"github.com/safari-repro/hbmrh/internal/core"
+	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/hbm"
 )
 
@@ -29,6 +31,8 @@ type TRRBypassOptions struct {
 	Bank addr.BankAddr
 	// Hammers is the double-sided hammer budget (paper: 256K).
 	Hammers int
+	// Ctx cancels the study between its two arms.
+	Ctx context.Context
 }
 
 // TRRBypassStudy compares the attack with and without the decoy.
@@ -55,13 +59,20 @@ func RunTRRBypass(o TRRBypassOptions) (*TRRBypassStudy, error) {
 		o.Hammers = core.DefaultHammers
 	}
 	s := &TRRBypassStudy{Opts: o}
-	var err error
-	if s.ProtectedFlips, s.Refreshes, err = runBypassArm(o, false); err != nil {
+	// Both arms run under nominal refresh on their own fresh devices, so
+	// they are independent engine jobs: index 0 is the naive attack,
+	// index 1 the decoy-assisted one.
+	type arm struct{ flips, refs int }
+	arms, err := engine.Map(engine.Options{Ctx: o.Ctx}, 2,
+		func(_ context.Context, i int) (arm, error) {
+			flips, refs, err := runBypassArm(o, i == 1)
+			return arm{flips, refs}, err
+		})
+	if err != nil {
 		return nil, err
 	}
-	if s.BypassedFlips, _, err = runBypassArm(o, true); err != nil {
-		return nil, err
-	}
+	s.ProtectedFlips, s.Refreshes = arms[0].flips, arms[0].refs
+	s.BypassedFlips = arms[1].flips
 	return s, nil
 }
 

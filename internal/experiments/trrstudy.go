@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/hbm"
 	"github.com/safari-repro/hbmrh/internal/utrr"
 )
@@ -22,6 +24,9 @@ type TRRStudyOptions struct {
 	// StartRow is where the retention scan begins. It defaults to a row
 	// range the periodic-refresh pointer does not sweep during the run.
 	StartRow int
+	// Ctx aborts the study before it starts; the single U-TRR run is one
+	// engine job and is not interruptible internally.
+	Ctx context.Context
 }
 
 // TRRStudy is the outcome of the Section 5 reproduction.
@@ -43,6 +48,20 @@ func RunTRRStudy(o TRRStudyOptions) (*TRRStudy, error) {
 	if err := o.Cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// The study runs as one engine job on a fresh device: U-TRR leans on
+	// retention decay and the periodic-refresh pointer, i.e. accumulated
+	// device state, so a pool-warmed device would not reproduce it.
+	results, err := engine.Map(engine.Options{Ctx: o.Ctx}, 1,
+		func(context.Context, int) (*utrr.Result, error) { return runUTRR(o) })
+	if err != nil {
+		return nil, err
+	}
+	s := &TRRStudy{Opts: o, Result: results[0]}
+	s.Period, s.Periodic = results[0].InferPeriod()
+	return s, nil
+}
+
+func runUTRR(o TRRStudyOptions) (*utrr.Result, error) {
 	d, err := hbm.New(o.Cfg)
 	if err != nil {
 		return nil, err
@@ -63,13 +82,7 @@ func RunTRRStudy(o TRRStudyOptions) (*TRRStudy, error) {
 		// iteration refreshes a couple of physical rows from address 0.
 		start = o.Cfg.Geometry.Rows / 4
 	}
-	res, err := e.Run(o.Bank, start)
-	if err != nil {
-		return nil, err
-	}
-	s := &TRRStudy{Opts: o, Result: res}
-	s.Period, s.Periodic = res.InferPeriod()
-	return s, nil
+	return e.Run(o.Bank, start)
 }
 
 // Render summarizes the study the way Section 5 reports it.
