@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-engine lint ci
+.PHONY: build test bench bench-engine lint smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,14 @@ bench:
 bench-engine:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 3x .
 
+# Fleet chipscan smoke: a 32-seed scan, 4 chips at a time, exporting the
+# aggregated distributions — exercises the streaming reducer end to end.
+smoke:
+	$(GO) run ./cmd/chipscan -chip small -chips 32 -rows 2 -parallel 4 -csv /dev/null -json /dev/null
+
 lint:
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 
-ci: lint build test
+ci: lint build test smoke

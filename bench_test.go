@@ -293,6 +293,27 @@ func BenchmarkEnginePoolWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineChipscanStream measures the fleet path: chip instances
+// measured in parallel and folded through the engine's ordered streaming
+// reducer into per-region aggregates (the chipscan -chips pipeline).
+func BenchmarkEngineChipscanStream(b *testing.B) {
+	seeds := []uint64{101, 102, 103, 104, 105, 106}
+	for i := 0; i < b.N; i++ {
+		s, err := hbmrh.RunMultiChip(hbmrh.MultiChipOptions{
+			Base:          hbmrh.SmallChip(),
+			Seeds:         seeds,
+			RowsPerRegion: 2,
+			ChipWorkers:   4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Regions) != 3 {
+			b.Fatal("fleet aggregates missing")
+		}
+	}
+}
+
 // --- Extension benchmarks (Section 6 future work, implemented) ---
 
 // BenchmarkExtRowPress regenerates the aggressor-on-time study.

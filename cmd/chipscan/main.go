@@ -3,15 +3,26 @@
 // future work 1: which observations are stable chip-to-chip and which are
 // per-chip accidents.
 //
+// It scales to fleet-style scans: hundreds of seeds stream into
+// per-region aggregates in O(regions) resident sample memory, with
+// byte-identical output at any -parallel count, and a Ctrl-C aborts
+// mid-measurement rather than waiting out the current chip.
+//
 // Usage:
 //
-//	chipscan [-chip paper|small] [-chips N] [-rows N]
+//	chipscan [-chip paper|small] [-chips N] [-rows N] [-parallel N]
+//	         [-sweep-workers N] [-csv FILE] [-json FILE]
+//
+// -csv and -json write the aggregated regional distributions; "-" writes
+// to stdout in place of the rendered report.
 package main
 
 import (
 	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -28,8 +39,14 @@ func main() {
 		chips    = flag.Int("chips", 4, "number of chip instances (seeds) to test")
 		rows     = flag.Int("rows", 8, "victim rows sampled per region per chip")
 		parallel = flag.Int("parallel", 1, "chip instances measured at once")
+		sweepW   = flag.Int("sweep-workers", 0, "parallel devices per chip sweep (0 = one per CPU)")
+		csvOut   = flag.String("csv", "", "write aggregated distributions as CSV to this file (\"-\" = stdout)")
+		jsonOut  = flag.String("json", "", "write aggregated distributions as JSON to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
+	if *csvOut == "-" && *jsonOut == "-" {
+		log.Fatal("-csv - and -json - both claim stdout; pick one (the other can go to a file)")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -49,6 +66,7 @@ func main() {
 		Base:          cfg,
 		Seeds:         seeds,
 		RowsPerRegion: *rows,
+		Workers:       *sweepW,
 		ChipWorkers:   *parallel,
 		Ctx:           ctx,
 		Progress: func(p hbmrh.EngineProgress) {
@@ -58,8 +76,66 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(s.Render())
-	worstStable, trrStable := s.StableObservations()
-	fmt.Printf("\nstable across chips: worst channel = %v, TRR period = %v\n", worstStable, trrStable)
-	fmt.Println("(design-level structure persists; exact cell-level numbers are per-chip)")
+
+	toStdout := *csvOut == "-" || *jsonOut == "-"
+	if !toStdout {
+		fmt.Print(s.Render())
+		worstStable, trrStable := s.StableObservations()
+		fmt.Printf("\nstable across chips: worst channel = %v, TRR period = %v\n", worstStable, trrStable)
+		fmt.Println("(design-level structure persists; exact cell-level numbers are per-chip)")
+	}
+	if *csvOut != "" {
+		if err := writeAggregateCSV(s, *csvOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeAggregateJSON(s, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// openOut resolves an output target: "-" is stdout (closed as a no-op).
+func openOut(path string) (io.WriteCloser, error) {
+	if path == "-" {
+		return nopCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+func writeAggregateCSV(s *hbmrh.MultiChipStudy, path string) error {
+	f, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	headers, rows := s.AggregateCSV()
+	if err := w.Write(headers); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeAggregateJSON(s *hbmrh.MultiChipStudy, path string) error {
+	f, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	js, err := s.AggregateJSON()
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(append(js, '\n'))
+	return err
 }

@@ -30,6 +30,7 @@ import (
 	"github.com/safari-repro/hbmrh/internal/hbm"
 	"github.com/safari-repro/hbmrh/internal/mapping"
 	"github.com/safari-repro/hbmrh/internal/retention"
+	"github.com/safari-repro/hbmrh/internal/stats"
 	"github.com/safari-repro/hbmrh/internal/thermal"
 	"github.com/safari-repro/hbmrh/internal/utrr"
 )
@@ -215,12 +216,22 @@ func RunTRRBypass(o TRRBypassOptions) (*TRRBypassStudy, error) {
 	return experiments.RunTRRBypass(o)
 }
 
-// Multi-chip study (future work 1: more chips, statistical significance).
+// Multi-chip study (future work 1: more chips, statistical significance),
+// built for fleet scale: per-chip row samples stream into per-region
+// accumulators as chips complete, so a 200-seed scan aggregates in
+// O(regions) resident sample memory with byte-identical output at any
+// ChipWorkers count.
 type (
 	// MultiChipOptions configures the chip-to-chip study.
 	MultiChipOptions = experiments.MultiChipOptions
-	// MultiChipStudy compares headline numbers across chip instances.
+	// MultiChipStudy compares headline numbers across chip instances and
+	// carries the fleet-level regional aggregates.
 	MultiChipStudy = experiments.MultiChipStudy
+	// ChipSummary is one chip's fixed-size headline numbers.
+	ChipSummary = experiments.ChipSummary
+	// RegionAggregate is one paper region's streamed row-level
+	// distributions across the whole fleet.
+	RegionAggregate = experiments.RegionAggregate
 )
 
 // RunMultiChip reruns the headline measurements across several simulated
@@ -228,6 +239,21 @@ type (
 func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
 	return experiments.RunMultiChip(o)
 }
+
+// Streaming statistics (the memory backbone of fleet-scale scans).
+type (
+	// StatsSummary is a box-and-whiskers five-number summary plus mean
+	// and standard deviation (paper footnote 2).
+	StatsSummary = stats.Summary
+	// StatsStream is a mergeable streaming accumulator: Welford moments
+	// plus a fixed-marker quantile estimator with an exact-mode fallback
+	// for small samples.
+	StatsStream = stats.Stream
+)
+
+// NewStatsStream returns a streaming accumulator over the quantile domain
+// [lo, hi); see StatsStream.
+func NewStatsStream(lo, hi float64) *StatsStream { return stats.NewStream(lo, hi) }
 
 // Defense: the paper's vulnerability-adaptive mitigation implication.
 type (

@@ -1,0 +1,164 @@
+package config
+
+import "math"
+
+// Hash fingerprints the configuration by value: two configs with equal
+// contents hash equally regardless of pointer identity, and any field
+// difference changes the hash. The engine's warmed-device pool keys on it
+// (hot on Get/Put), replacing the reflection-and-formatting cost of a
+// fmt.Sprintf("%+v") fingerprint with one FNV-1a pass over the fields.
+//
+// Every field of Config and its nested structs must be folded in here;
+// TestHashCoversEveryField walks the struct reflectively and fails when a
+// newly added field is not covered. Slices are length-prefixed so adjacent
+// fields cannot alias across layouts.
+func (c *Config) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	h = hashU64(h, c.Seed)
+
+	h = hashInt(h, c.Geometry.Channels)
+	h = hashInt(h, c.Geometry.PseudoChannels)
+	h = hashInt(h, c.Geometry.Banks)
+	h = hashInt(h, c.Geometry.Rows)
+	h = hashInt(h, c.Geometry.Columns)
+	h = hashInt(h, c.Geometry.ColumnBytes)
+
+	h = hashInt(h, len(c.SubarraySizes))
+	for _, s := range c.SubarraySizes {
+		h = hashInt(h, s)
+	}
+
+	h = hashI64(h, c.Timing.TCK)
+	h = hashI64(h, c.Timing.TRCD)
+	h = hashI64(h, c.Timing.TRAS)
+	h = hashI64(h, c.Timing.TRP)
+	h = hashI64(h, c.Timing.TRC)
+	h = hashI64(h, c.Timing.TRFC)
+	h = hashI64(h, c.Timing.TREFI)
+	h = hashI64(h, c.Timing.TWindow)
+
+	h = hashInt(h, len(c.Fault.Channels))
+	for _, p := range c.Fault.Channels {
+		h = hashF64(h, p.MedianHC)
+		h = hashF64(h, p.Sigma)
+		h = hashF64(h, p.TrueCellFrac)
+	}
+	h = hashF64(h, c.Fault.ZFloor)
+	h = hashF64(h, c.Fault.HCFloor)
+	h = hashF64(h, c.Fault.RowJitterSigma)
+	h = hashF64(h, c.Fault.EdgeFactor)
+	h = hashF64(h, c.Fault.MidFactor)
+	h = hashF64(h, c.Fault.LastSubarrayFactor)
+	h = hashF64(h, c.Fault.BankJitterSigma)
+	h = hashF64(h, c.Fault.CouplingBoth)
+	h = hashF64(h, c.Fault.CouplingOne)
+	h = hashF64(h, c.Fault.CouplingNone)
+	h = hashF64(h, c.Fault.IntraRowAlternating)
+	h = hashInt(h, len(c.Fault.DistanceWeights))
+	for _, w := range c.Fault.DistanceWeights {
+		h = hashF64(h, w)
+	}
+	h = hashF64(h, c.Fault.RowPressGain)
+	h = hashF64(h, c.Fault.RowPressMaxFactor)
+	h = hashF64(h, c.Fault.TempSlopePerC)
+	h = hashF64(h, c.Fault.VerticalCoupling)
+
+	h = hashF64(h, c.Ret.MedianSec)
+	h = hashF64(h, c.Ret.Sigma)
+	h = hashF64(h, c.Ret.FloorSec)
+	h = hashF64(h, c.Ret.RefTempC)
+	h = hashF64(h, c.Ret.HalvingPerC)
+
+	h = hashBool(h, c.TRR.Enabled)
+	h = hashInt(h, c.TRR.RefPeriod)
+	h = hashInt(h, c.TRR.SamplerSlots)
+	h = hashInt(h, c.TRR.NeighborRadius)
+
+	h = hashInt(h, c.ECC.WordBits)
+	h = hashInt(h, int(c.Mapping))
+	return h
+}
+
+// Equal reports deep equality of configuration contents without
+// reflection — it sits on the device pool's Get/Put hot path as the
+// guard against 64-bit key collisions. Like Hash, it must cover every
+// field; TestHashCoversEveryField asserts each leaf mutation flips both
+// the hash and Equal.
+func (c *Config) Equal(o *Config) bool {
+	if c.Seed != o.Seed ||
+		c.Geometry != o.Geometry ||
+		c.Timing != o.Timing ||
+		c.Ret != o.Ret ||
+		c.TRR != o.TRR ||
+		c.ECC != o.ECC ||
+		c.Mapping != o.Mapping {
+		return false
+	}
+	if len(c.SubarraySizes) != len(o.SubarraySizes) {
+		return false
+	}
+	for i, s := range c.SubarraySizes {
+		if s != o.SubarraySizes[i] {
+			return false
+		}
+	}
+	f, g := &c.Fault, &o.Fault
+	if f.ZFloor != g.ZFloor || f.HCFloor != g.HCFloor ||
+		f.RowJitterSigma != g.RowJitterSigma ||
+		f.EdgeFactor != g.EdgeFactor || f.MidFactor != g.MidFactor ||
+		f.LastSubarrayFactor != g.LastSubarrayFactor ||
+		f.BankJitterSigma != g.BankJitterSigma ||
+		f.CouplingBoth != g.CouplingBoth || f.CouplingOne != g.CouplingOne ||
+		f.CouplingNone != g.CouplingNone ||
+		f.IntraRowAlternating != g.IntraRowAlternating ||
+		f.RowPressGain != g.RowPressGain ||
+		f.RowPressMaxFactor != g.RowPressMaxFactor ||
+		f.TempSlopePerC != g.TempSlopePerC ||
+		f.VerticalCoupling != g.VerticalCoupling {
+		return false
+	}
+	if len(f.Channels) != len(g.Channels) {
+		return false
+	}
+	for i, p := range f.Channels {
+		if p != g.Channels[i] {
+			return false
+		}
+	}
+	if len(f.DistanceWeights) != len(g.DistanceWeights) {
+		return false
+	}
+	for i, w := range f.DistanceWeights {
+		if w != g.DistanceWeights[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FNV-1a, 64-bit.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xFF)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func hashInt(h uint64, v int) uint64 { return hashU64(h, uint64(int64(v))) }
+
+func hashI64(h uint64, v int64) uint64 { return hashU64(h, uint64(v)) }
+
+func hashF64(h uint64, v float64) uint64 { return hashU64(h, math.Float64bits(v)) }
+
+func hashBool(h uint64, v bool) uint64 {
+	if v {
+		return hashU64(h, 1)
+	}
+	return hashU64(h, 0)
+}

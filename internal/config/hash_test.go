@@ -1,0 +1,205 @@
+package config
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestHashEqualForEqualConfigs(t *testing.T) {
+	a, b := PaperChip(), PaperChip()
+	if a.Hash() != b.Hash() {
+		t.Fatal("two PaperChip() configs hash differently")
+	}
+	// A value copy sharing the preset's slices must hash identically too:
+	// the pool keys per-seed copies of one base design by contents.
+	c := *a
+	if c.Hash() != a.Hash() {
+		t.Fatal("value copy hashes differently")
+	}
+	// And a deep copy with distinct backing arrays.
+	d := *a
+	d.SubarraySizes = append([]int(nil), a.SubarraySizes...)
+	d.Fault.Channels = append([]ChannelProfile(nil), a.Fault.Channels...)
+	d.Fault.DistanceWeights = append([]float64(nil), a.Fault.DistanceWeights...)
+	if d.Hash() != a.Hash() {
+		t.Fatal("deep copy hashes differently")
+	}
+}
+
+func TestHashSeparatesPresetsAndSeeds(t *testing.T) {
+	if PaperChip().Hash() == SmallChip().Hash() {
+		t.Fatal("paper and small presets collide")
+	}
+	a, b := SmallChip(), SmallChip()
+	b.Seed++
+	if a.Hash() == b.Hash() {
+		t.Fatal("adjacent seeds collide")
+	}
+}
+
+// TestHashCoversEveryField mutates every leaf field (and every slice
+// length) of Config through reflection and asserts each mutation changes
+// the hash AND flips the hand-written Equal. Adding a Config field
+// without folding it into Hash and Equal fails here.
+func TestHashCoversEveryField(t *testing.T) {
+	cfg := PaperChip()
+	pristine := deepCopy(cfg)
+	base := cfg.Hash()
+	mutateLeaves(t, reflect.ValueOf(cfg).Elem(), "Config", func(path string) {
+		if cfg.Hash() == base {
+			t.Errorf("mutating %s did not change the hash", path)
+		}
+		if cfg.Equal(pristine) || pristine.Equal(cfg) {
+			t.Errorf("mutating %s is invisible to Equal", path)
+		}
+	})
+	if cfg.Hash() != base || !cfg.Equal(pristine) {
+		t.Fatal("mutation walk did not restore the config")
+	}
+}
+
+func TestEqualForEqualConfigs(t *testing.T) {
+	a := PaperChip()
+	b := deepCopy(a)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("deep copies must compare equal")
+	}
+	if a.Equal(SmallChip()) {
+		t.Fatal("presets must not compare equal")
+	}
+}
+
+// mutateLeaves perturbs each settable leaf under v in turn, invoking
+// changed while the mutation is in place, then restores the original.
+func mutateLeaves(t *testing.T, v reflect.Value, path string, changed func(path string)) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			mutateLeaves(t, v.Field(i), path+"."+v.Type().Field(i).Name, changed)
+		}
+	case reflect.Slice:
+		if v.Len() == 0 {
+			t.Fatalf("%s: preset slice is empty, mutation walk cannot cover it", path)
+		}
+		mutateLeaves(t, v.Index(0), path+"[0]", changed)
+		orig := reflect.ValueOf(v.Interface()) // copy of the slice header
+		v.Set(v.Slice(0, v.Len()-1))
+		changed(path + ".len")
+		v.Set(orig)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		old := v.Int()
+		v.SetInt(old + 1)
+		changed(path)
+		v.SetInt(old)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		old := v.Uint()
+		v.SetUint(old + 1)
+		changed(path)
+		v.SetUint(old)
+	case reflect.Float64, reflect.Float32:
+		old := v.Float()
+		v.SetFloat(old/2 + 3)
+		changed(path)
+		v.SetFloat(old)
+	case reflect.Bool:
+		old := v.Bool()
+		v.SetBool(!old)
+		changed(path)
+		v.SetBool(old)
+	default:
+		t.Fatalf("%s: unhandled kind %s in mutation walk — extend mutateLeaves", path, v.Kind())
+	}
+}
+
+// TestHashFuzzFieldMutations applies random multi-field mutations and
+// checks the invariant both ways: equal contents hash equally, and any
+// mutated config hashes differently from the base.
+func TestHashFuzzFieldMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xD52023))
+	base := PaperChip()
+	baseHash := base.Hash()
+	for trial := 0; trial < 300; trial++ {
+		cfg := deepCopy(base)
+		if cfg.Hash() != baseHash {
+			t.Fatal("deep copy hashes differently before mutation")
+		}
+		mutated := false
+		for k := 0; k <= rng.Intn(3); k++ {
+			mutated = mutateRandomLeaf(rng, reflect.ValueOf(cfg).Elem()) || mutated
+		}
+		if !mutated {
+			continue
+		}
+		if reflect.DeepEqual(cfg, base) {
+			continue // mutation landed back on the original value
+		}
+		if cfg.Hash() == baseHash {
+			t.Fatalf("trial %d: mutated config %+v collides with base", trial, cfg)
+		}
+		if cfg.Equal(base) {
+			t.Fatalf("trial %d: mutated config %+v compares Equal to base", trial, cfg)
+		}
+	}
+}
+
+func deepCopy(c *Config) *Config {
+	d := *c
+	d.SubarraySizes = append([]int(nil), c.SubarraySizes...)
+	d.Fault.Channels = append([]ChannelProfile(nil), c.Fault.Channels...)
+	d.Fault.DistanceWeights = append([]float64(nil), c.Fault.DistanceWeights...)
+	return &d
+}
+
+// mutateRandomLeaf perturbs one randomly chosen leaf; reports false when
+// it landed on a non-mutable node and did nothing.
+func mutateRandomLeaf(rng *rand.Rand, v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Struct:
+		return mutateRandomLeaf(rng, v.Field(rng.Intn(v.NumField())))
+	case reflect.Slice:
+		if v.Len() == 0 {
+			return false
+		}
+		return mutateRandomLeaf(rng, v.Index(rng.Intn(v.Len())))
+	case reflect.Int, reflect.Int64:
+		v.SetInt(v.Int() + int64(1+rng.Intn(5)))
+		return true
+	case reflect.Uint64:
+		v.SetUint(v.Uint() + uint64(1+rng.Intn(5)))
+		return true
+	case reflect.Float64:
+		v.SetFloat(v.Float() + 0.125 + rng.Float64())
+		return true
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+		return true
+	default:
+		return false
+	}
+}
+
+// The pool-key benchmark pair: the structural hash vs the %+v fingerprint
+// it replaced. Get/Put pay this per lease, so it sits on the engine's hot
+// path for fine-sharded runs.
+func BenchmarkConfigHash(b *testing.B) {
+	cfg := PaperChip()
+	var sink uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = cfg.Hash()
+	}
+	_ = sink
+}
+
+func BenchmarkConfigSprintfFingerprint(b *testing.B) {
+	cfg := PaperChip()
+	var sink string
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = fmt.Sprintf("%+v", *cfg)
+	}
+	_ = sink
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -25,6 +26,11 @@ const RefreshBudget = 27_000_000_000 // 27 ms in picoseconds
 type Harness struct {
 	dev    *hbm.Device
 	runner *bender.Runner
+
+	// ctx, when non-nil, aborts the measurement loops: every BER
+	// measurement (and therefore every HCfirst probe and WCDP candidate)
+	// checks it before touching the device. See SetContext.
+	ctx context.Context
 
 	// EnforceBudget makes BER fail if a measurement exceeds the 27 ms
 	// budget (on by default, as in the paper's methodology).
@@ -76,10 +82,32 @@ func (h *Harness) Device() *hbm.Device { return h.dev }
 
 // Reset restores the harness tunables to their NewHarness defaults, so a
 // pooled harness is leased out in a known configuration regardless of
-// what its previous lessee changed.
+// what its previous lessee changed. It also disarms any cancellation
+// context, so a cancelled run's context cannot leak into the next lease.
 func (h *Harness) Reset() {
+	h.ctx = nil
 	h.EnforceBudget = true
 	h.HCPrecision = DefaultHCPrecision
+}
+
+// SetContext arms mid-measurement cancellation: every subsequent BER
+// measurement — including each probe of an HCfirst search and each WCDP
+// candidate — returns ctx.Err() once ctx is done, so a single huge
+// per-channel job (a full-resolution paper-geometry sweep) aborts within
+// one row's worth of work instead of running the channel to completion.
+// A nil ctx disarms the check. The engine's MapHarness arms every leased
+// harness with the run's context; Reset (called on pool Put) disarms it.
+//
+// Cancellation never changes measured values: a measurement either
+// completes exactly as it would have, or fails with ctx.Err().
+func (h *Harness) SetContext(ctx context.Context) { h.ctx = ctx }
+
+// cancelled returns the armed context's error, if any.
+func (h *Harness) cancelled() error {
+	if h.ctx == nil {
+		return nil
+	}
+	return h.ctx.Err()
 }
 
 func (h *Harness) builder() *bender.Builder {
@@ -139,6 +167,9 @@ func (h *Harness) BER(ba addr.BankAddr, physVictim int, p Pattern, hammers int) 
 // minimum-timing runs: pressed runs intentionally trade time for
 // amplification.
 func (h *Harness) BERHold(ba addr.BankAddr, physVictim int, p Pattern, hammers int, holdPS int64) (BERResult, error) {
+	if err := h.cancelled(); err != nil {
+		return BERResult{}, err
+	}
 	rows := h.dev.Geometry().Rows
 	if physVictim <= 0 || physVictim >= rows-1 {
 		return BERResult{}, fmt.Errorf("%w: physical row %d", ErrEdgeVictim, physVictim)

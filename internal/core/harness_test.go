@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -365,6 +366,68 @@ func TestBERHoldAmplifies(t *testing.T) {
 	}
 	if pressed.Flips == 0 {
 		t.Fatal("no RowPress amplification through the harness")
+	}
+}
+
+func TestHarnessContextCancelsMeasurements(t *testing.T) {
+	h := newTestHarness(t)
+	b := ba(7, 0, 0)
+	row := midRow(h, 1)
+	p := Table1()[1]
+
+	ctx, cancel := context.WithCancel(context.Background())
+	h.SetContext(ctx)
+	// Armed but live: measurements run normally.
+	if _, err := h.BER(b, row, p, 2048); err != nil {
+		t.Fatalf("armed harness failed a live measurement: %v", err)
+	}
+	cancel()
+	if _, err := h.BER(b, row, p, 2048); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BER err = %v, want context.Canceled", err)
+	}
+	if _, _, err := h.HCFirst(b, row, p, DefaultHammers); !errors.Is(err, context.Canceled) {
+		t.Fatalf("HCFirst err = %v, want context.Canceled", err)
+	}
+	if _, err := h.WCDP(b, row, DefaultHammers); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WCDP err = %v, want context.Canceled", err)
+	}
+	// Disarming restores normal operation; Reset does the same for pooled
+	// reuse.
+	h.SetContext(nil)
+	if _, err := h.BER(b, row, p, 2048); err != nil {
+		t.Fatalf("disarmed harness still failing: %v", err)
+	}
+	h.SetContext(ctx)
+	h.Reset()
+	if _, err := h.BER(b, row, p, 2048); err != nil {
+		t.Fatalf("Reset did not disarm the context: %v", err)
+	}
+}
+
+func TestHarnessContextCancellationDoesNotPerturbResults(t *testing.T) {
+	// A measurement either completes identically or fails with ctx.Err():
+	// interleaving cancelled calls must not change subsequent results.
+	h := newTestHarness(t)
+	b := ba(6, 0, 0)
+	row := midRow(h, 1)
+	p := Table1()[1]
+	want, err := h.BER(b, row, p, DefaultHammers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h.SetContext(ctx)
+	if _, err := h.BER(b, row, p, DefaultHammers); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	h.SetContext(nil)
+	got, err := h.BER(b, row, p, DefaultHammers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-cancellation measurement drifted: %+v vs %+v", got, want)
 	}
 }
 

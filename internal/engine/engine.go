@@ -79,44 +79,155 @@ func (o Options) pool() *DevicePool {
 // aborts the run; if the context is cancelled before all jobs finish, Map
 // returns ctx.Err().
 func Map[T any](o Options, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
-	return mapWorkers(o, n,
-		func() (struct{}, func(), error) { return struct{}{}, func() {}, nil },
-		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) })
+	if n <= 0 {
+		return nil, o.context().Err()
+	}
+	results := make([]T, n)
+	err := mapWorkers(o, n, noSetup,
+		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) },
+		func(i int, v T) error { results[i] = v; return nil },
+		nil)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // MapHarness is Map with a warmed characterization harness per worker,
-// leased from the device pool for the duration of the run. Jobs must not
-// depend on device history (all Section 4 measurements rewrite their rows
-// before hammering, so they do not); retention- or temperature-sensitive
-// studies should build fresh devices through Map instead.
+// leased from the device pool for the duration of the run and armed with
+// the run's context so a cancellation aborts the harness mid-measurement,
+// not just between jobs. Jobs must not depend on device history (all
+// Section 4 measurements rewrite their rows before hammering, so they do
+// not); retention- or temperature-sensitive studies should build fresh
+// devices through Map instead.
 func MapHarness[T any](o Options, cfg *config.Config, n int,
 	fn func(ctx context.Context, h *core.Harness, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, o.context().Err()
+	}
 	pool := o.pool()
-	return mapWorkers(o, n,
+	ctx := o.context()
+	results := make([]T, n)
+	err := mapWorkers(o, n,
 		func() (*core.Harness, func(), error) {
 			h, err := pool.Get(cfg)
 			if err != nil {
 				return nil, nil, err
 			}
+			// Thread the run's context into the harness measurement
+			// loops; Put resets it with the other tunables.
+			h.SetContext(ctx)
 			return h, func() { pool.Put(cfg, h) }, nil
 		},
-		fn)
+		fn,
+		func(i int, v T) error { results[i] = v; return nil },
+		nil)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
+
+// Reduce runs fn for every index in [0, n) across the worker pool and
+// folds each result — in strict index order — into caller state via fold,
+// discarding it afterwards. This is the streaming alternative to Map for
+// runs whose aggregate is small but whose per-job results (or job count)
+// are large: resident memory is the fold state plus O(workers) unfolded
+// results, not O(n). The bound is enforced with backpressure, not just
+// scheduling luck: a worker whose completed index is more than one window
+// (= the worker count) ahead of the fold frontier parks until the frontier
+// advances, so a straggling early job cannot make later results pile up.
+//
+// fold runs serialized and in index order regardless of worker count or
+// completion order, so a deterministic fold (e.g. merging streaming
+// accumulators) yields byte-identical aggregates at any parallelism. A
+// fold error aborts the run like a job error.
+func Reduce[T any](o Options, n int, fn func(ctx context.Context, i int) (T, error),
+	fold func(i int, v T) error) error {
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	aborted := false
+	pending := make(map[int]T)
+	next := 0
+	window := o.workers(n)
+	return mapWorkers(o, n, noSetup,
+		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) },
+		func(i int, v T) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for i >= next+window && !aborted {
+				cond.Wait()
+			}
+			if aborted {
+				return nil // run is unwinding; the fold stops at the failure point
+			}
+			pending[i] = v
+			for {
+				w, ok := pending[next]
+				if !ok {
+					return nil
+				}
+				delete(pending, next)
+				if err := fold(next, w); err != nil {
+					return err
+				}
+				next++
+				cond.Broadcast()
+			}
+		},
+		func() { // onAbort: wake parked workers so the run can unwind
+			mu.Lock()
+			aborted = true
+			mu.Unlock()
+			cond.Broadcast()
+		})
+}
+
+func noSetup() (struct{}, func(), error) { return struct{}{}, func() {}, nil }
 
 // mapWorkers is the scheduler core: workers pull indexes from a shared
 // counter, each holding worker-local state S built by setup (a pooled
-// device, or nothing). Result placement is by index, which is what makes
-// the output independent of scheduling.
+// device, or nothing). Each completed job's result is handed to place with
+// its index — into a results slice (Map) or an ordered fold (Reduce) —
+// which is what makes the output independent of scheduling. A place error
+// aborts the run like a job error at that index.
+//
+// onAbort, when non-nil, is invoked exactly once as soon as the run starts
+// unwinding (a setup/job/place error, or context cancellation) and in any
+// case before mapWorkers returns. A blocking place implementation (the
+// reducer's backpressure parking) must use it to release parked workers,
+// or an unwinding run would never join.
 func mapWorkers[S, T any](o Options, n int,
 	setup func() (S, func(), error),
-	fn func(ctx context.Context, s S, i int) (T, error)) ([]T, error) {
+	fn func(ctx context.Context, s S, i int) (T, error),
+	place func(i int, v T) error,
+	onAbort func()) error {
 	ctx := o.context()
 	if n <= 0 {
-		return nil, ctx.Err()
+		return ctx.Err()
 	}
 	workers := o.workers(n)
 
-	results := make([]T, n)
+	var abortOnce sync.Once
+	abort := func() {
+		if onAbort != nil {
+			abortOnce.Do(onAbort)
+		}
+	}
+	defer abort()
+	if onAbort != nil {
+		// Watch for cancellation while workers may be parked in place.
+		watcherDone := make(chan struct{})
+		defer close(watcherDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				abort()
+			case <-watcherDone:
+			}
+		}()
+	}
+
 	jobErrs := make([]error, n)
 	setupErrs := make([]error, workers)
 	var next, done atomic.Int64
@@ -138,6 +249,7 @@ func mapWorkers[S, T any](o Options, n int,
 			if err != nil {
 				setupErrs[w] = err
 				failed.Store(true)
+				abort()
 				return
 			}
 			defer release()
@@ -150,12 +262,15 @@ func mapWorkers[S, T any](o Options, n int,
 					return
 				}
 				r, err := fn(ctx, s, i)
+				if err == nil {
+					err = place(i, r)
+				}
 				if err != nil {
 					jobErrs[i] = err
 					failed.Store(true)
+					abort()
 					return
 				}
-				results[i] = r
 				d := int(done.Add(1))
 				if o.OnProgress != nil {
 					progressMu.Lock()
@@ -172,18 +287,15 @@ func mapWorkers[S, T any](o Options, n int,
 
 	for _, err := range jobErrs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, err := range setupErrs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return results, nil
+	return ctx.Err()
 }
 
 // Flatten concatenates per-job slices in job order, preserving the

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
@@ -23,13 +22,24 @@ import (
 // refresh cadence, retention decay) must not use the pool.
 type DevicePool struct {
 	mu   sync.Mutex
-	idle map[string][]*core.Harness
+	idle map[uint64]*idleSet
 	st   PoolStats
 
 	// MaxIdlePerKey caps how many warmed devices are kept per
 	// configuration; surplus Puts are dropped for the GC. 0 means
 	// GOMAXPROCS.
 	MaxIdlePerKey int
+}
+
+// idleSet holds one configuration's warmed devices plus a deep snapshot
+// of that configuration. The snapshot guards the 64-bit key: on the
+// astronomically rare hash collision (or a caller mutating a config's
+// slices after Put), Get must build fresh rather than silently lease a
+// device instantiated for different parameters — this repo's whole point
+// is measurement fidelity.
+type idleSet struct {
+	cfg       config.Config // deep snapshot: slices cloned
+	harnesses []*core.Harness
 }
 
 // PoolStats counts pool traffic; Reused/Created is the warm-hit ratio.
@@ -40,6 +50,10 @@ type PoolStats struct {
 	Reused int
 	// Dropped counts Puts discarded over MaxIdlePerKey.
 	Dropped int
+	// Collisions counts operations that hit an idle set whose snapshot
+	// did not match the config contents (64-bit key collision); they are
+	// served/dropped as misses instead of aliasing devices.
+	Collisions int
 }
 
 // SharedPool is the process-wide pool every engine run uses by default.
@@ -47,27 +61,50 @@ var SharedPool = NewDevicePool()
 
 // NewDevicePool returns an empty pool.
 func NewDevicePool() *DevicePool {
-	return &DevicePool{idle: make(map[string][]*core.Harness)}
+	return &DevicePool{idle: make(map[uint64]*idleSet)}
 }
+
+// snapshot deep-copies a config (cloning its slices) so the idle set's
+// guard cannot alias backing arrays the caller might mutate.
+func snapshot(cfg *config.Config) config.Config {
+	c := *cfg
+	c.SubarraySizes = append([]int(nil), cfg.SubarraySizes...)
+	c.Fault.Channels = append([]config.ChannelProfile(nil), cfg.Fault.Channels...)
+	c.Fault.DistanceWeights = append([]float64(nil), cfg.Fault.DistanceWeights...)
+	return c
+}
+
+// sameConfig reports deep equality of configuration contents. It uses
+// the hand-written comparator (not reflection) because it runs on every
+// warm Get hit and Put.
+func sameConfig(a, b *config.Config) bool { return a.Equal(b) }
 
 // key fingerprints the configuration by value, so two configs with equal
 // contents (e.g. per-seed copies of the same design sharing a seed) share
-// warmed devices regardless of pointer identity.
-func (p *DevicePool) key(cfg *config.Config) string {
-	return fmt.Sprintf("%+v", *cfg)
+// warmed devices regardless of pointer identity. The structural hash costs
+// one FNV pass over the fields, replacing the fmt.Sprintf("%+v") string
+// fingerprint that dominated Get/Put on fine-sharded runs (see the
+// BenchmarkConfigHash / BenchmarkConfigSprintfFingerprint pair).
+func (p *DevicePool) key(cfg *config.Config) uint64 {
+	return cfg.Hash()
 }
 
 // Get leases a warmed harness for cfg, building one only when the idle
-// set is empty. The caller owns it exclusively until Put.
+// set is empty (or, vanishingly rarely, holds a hash-colliding config —
+// verified by contents before any device is handed out). The caller owns
+// it exclusively until Put.
 func (p *DevicePool) Get(cfg *config.Config) (*core.Harness, error) {
 	k := p.key(cfg)
 	p.mu.Lock()
-	if hs := p.idle[k]; len(hs) > 0 {
-		h := hs[len(hs)-1]
-		p.idle[k] = hs[:len(hs)-1]
-		p.st.Reused++
-		p.mu.Unlock()
-		return h, nil
+	if e := p.idle[k]; e != nil && len(e.harnesses) > 0 {
+		if sameConfig(&e.cfg, cfg) {
+			h := e.harnesses[len(e.harnesses)-1]
+			e.harnesses = e.harnesses[:len(e.harnesses)-1]
+			p.st.Reused++
+			p.mu.Unlock()
+			return h, nil
+		}
+		p.st.Collisions++
 	}
 	p.st.Created++
 	p.mu.Unlock()
@@ -88,11 +125,23 @@ func (p *DevicePool) Put(cfg *config.Config, h *core.Harness) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.idle[k]) >= max {
+	e := p.idle[k]
+	if e == nil {
+		p.idle[k] = &idleSet{cfg: snapshot(cfg), harnesses: []*core.Harness{h}}
+		return
+	}
+	if !sameConfig(&e.cfg, cfg) {
+		// Key collision with a different resident config: dropping the
+		// device is always safe; aliasing it never is.
+		p.st.Collisions++
 		p.st.Dropped++
 		return
 	}
-	p.idle[k] = append(p.idle[k], h)
+	if len(e.harnesses) >= max {
+		p.st.Dropped++
+		return
+	}
+	e.harnesses = append(e.harnesses, h)
 }
 
 // Stats returns a snapshot of the pool counters.
@@ -106,7 +155,7 @@ func (p *DevicePool) Stats() PoolStats {
 func (p *DevicePool) Drain() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.idle = make(map[string][]*core.Harness)
+	p.idle = make(map[uint64]*idleSet)
 }
 
 // DrainConfig releases the idle devices warmed for one configuration.

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
@@ -141,6 +142,68 @@ func TestSweepCancelMidRun(t *testing.T) {
 	if len(updates) == 0 || updates[len(updates)-1] >= g.Channels {
 		t.Fatalf("sweep ran %v of %d channels despite prompt cancellation",
 			updates, g.Channels)
+	}
+}
+
+func TestSweepCancelMidMeasurementPaperGeometry(t *testing.T) {
+	// A full-resolution paper-geometry channel job measures ~9K rows x 4
+	// patterns x ~13 probes; before mid-measurement cancellation the
+	// engine could only abort *between* channel jobs, so a cancel landing
+	// mid-channel still paid the whole channel. The harness now checks
+	// the run's context on every measurement: the job must abort within
+	// one probe's worth of work.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		cancel()
+	}()
+	var completed []int
+	start := time.Now()
+	_, err := RunSweep(Options{
+		Cfg:           config.PaperChip(),
+		RowsPerRegion: 0, // every row: the paper's full resolution
+		Workers:       1,
+		Ctx:           ctx,
+		Progress:      func(p engine.Progress) { completed = append(completed, p.Done) },
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Prompt return: far below one full channel's runtime. Generous bound
+	// for race-instrumented CI.
+	if elapsed > 20*time.Second {
+		t.Fatalf("cancellation took %v; mid-measurement abort is not working", elapsed)
+	}
+	// No channel job can have completed: the cancel fired mid-channel 0.
+	if len(completed) != 0 {
+		t.Fatalf("channel jobs completed despite mid-channel cancellation: %v", completed)
+	}
+}
+
+func TestTRRStudyCancelMidIterations(t *testing.T) {
+	// The fleet contract covers a chip job's TRR phase too: a cancel
+	// landing inside the U-TRR loop must abort between iterations, not
+	// wait out the remaining run.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunTRRStudy(TRRStudyOptions{
+		Cfg:        config.PaperChip(),
+		Bank:       addr.BankAddr{Channel: 0, PseudoChannel: 0, Bank: 0},
+		Iterations: 100000, // far more work than the cancel window allows
+		Ctx:        ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("TRR study took %v to cancel; per-iteration abort is not working", elapsed)
 	}
 }
 

@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
 	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/stats"
 )
@@ -16,6 +19,12 @@ import (
 // of our observations"). Every simulated chip instance is a seed; the
 // study reruns the headline measurements across seeds and checks which
 // observations are stable chip-to-chip.
+//
+// The study is built for fleet scale: per-chip row samples are folded
+// into per-region streaming accumulators (stats.Stream) as each chip
+// completes, in deterministic seed-index order, so resident sample memory
+// is O(regions) — not O(chips x rows) — and a 200-seed scan aggregates in
+// the same footprint as a 4-seed one.
 
 // MultiChipOptions configures the study.
 type MultiChipOptions struct {
@@ -32,7 +41,8 @@ type MultiChipOptions struct {
 	// <= 0 means one at a time (each chip already parallelizes its sweep
 	// across Workers devices).
 	ChipWorkers int
-	// Ctx cancels the study; it is threaded into every per-chip sweep.
+	// Ctx cancels the study; it is threaded into every per-chip sweep
+	// down to per-measurement granularity.
 	Ctx context.Context
 	// Progress, if non-nil, receives an update per finished chip.
 	Progress engine.ProgressFunc
@@ -51,13 +61,57 @@ type ChipSummary struct {
 	TRRPeriod int
 }
 
-// MultiChipStudy aggregates the per-chip summaries.
-type MultiChipStudy struct {
-	Opts  MultiChipOptions
-	Chips []ChipSummary
+// RegionAggregate is the fleet-level distribution of one paper region's
+// per-row WCDP metrics, streamed across every chip.
+type RegionAggregate struct {
+	// Region is the paper region name ("first", "middle", "last").
+	Region string
+	// BER accumulates every sampled row's WCDP bit error rate (fraction).
+	BER *stats.Stream
+	// HCFirst accumulates every sampled row's WCDP HCfirst in hammers;
+	// rows that never flip are excluded, as in Fig. 4.
+	HCFirst *stats.Stream
 }
 
-// RunMultiChip measures every seed's headline numbers.
+// MultiChipStudy aggregates the per-chip summaries and the fleet-level
+// regional distributions.
+type MultiChipStudy struct {
+	Opts MultiChipOptions
+	// Chips holds one fixed-size summary per seed (no sample slices).
+	Chips []ChipSummary
+	// Regions holds the streamed row-level aggregates in core.Regions
+	// order; identical for any ChipWorkers count.
+	Regions []RegionAggregate
+}
+
+// newRegionAggregates allocates empty accumulators for a bank layout. The
+// quantile domains are declared up front — BER is a fraction, HCfirst is
+// bounded by the search ceiling — which is what keeps shard merging
+// order-independent.
+func newRegionAggregates(rows int) []RegionAggregate {
+	regions := core.Regions(rows)
+	out := make([]RegionAggregate, len(regions))
+	for i, r := range regions {
+		out[i] = RegionAggregate{
+			Region:  r.Name,
+			BER:     stats.NewStream(0, 1),
+			HCFirst: stats.NewStream(0, float64(core.DefaultHammers)),
+		}
+	}
+	return out
+}
+
+// chipResult is one finished chip: its headline summary plus its regional
+// accumulators, ready to merge into the study's aggregates and discard.
+type chipResult struct {
+	sum     ChipSummary
+	regions []RegionAggregate
+}
+
+// RunMultiChip measures every seed's headline numbers and streams the
+// row-level distributions into the study's regional aggregates as chips
+// complete. The fold runs in strict seed-index order, so the aggregated
+// output is byte-identical for ChipWorkers=1 and ChipWorkers=N.
 func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
 	if o.Base == nil {
 		o.Base = config.PaperChip()
@@ -72,56 +126,91 @@ func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
 	if chipWorkers <= 0 {
 		chipWorkers = 1
 	}
+	study := &MultiChipStudy{
+		Opts:    o,
+		Chips:   make([]ChipSummary, 0, len(o.Seeds)),
+		Regions: newRegionAggregates(o.Base.Geometry.Rows),
+	}
+	regionIdx := make(map[string]int, len(study.Regions))
+	for i, r := range study.Regions {
+		regionIdx[r.Region] = i
+	}
+
 	eo := engine.Options{Ctx: o.Ctx, Workers: chipWorkers, OnProgress: o.Progress}
-	chips, err := engine.Map(eo, len(o.Seeds),
-		func(ctx context.Context, i int) (ChipSummary, error) {
-			seed := o.Seeds[i]
-			cfg := *o.Base
-			cfg.Seed = seed
-			// Each seed is its own pool key; release its warmed devices
-			// once the chip is summarized, or a long seed scan keeps
-			// every instance's devices resident.
-			defer engine.SharedPool.DrainConfig(&cfg)
-			sweep, err := RunSweep(Options{
-				Cfg:           &cfg,
-				RowsPerRegion: o.RowsPerRegion,
-				Workers:       o.Workers,
-				Ctx:           ctx,
-			})
-			if err != nil {
-				return ChipSummary{}, fmt.Errorf("experiments: chip %#x: %w", seed, err)
+	err := engine.Reduce(eo, len(o.Seeds),
+		func(ctx context.Context, i int) (chipResult, error) {
+			return measureChip(ctx, o, o.Seeds[i], regionIdx)
+		},
+		func(_ int, r chipResult) error {
+			study.Chips = append(study.Chips, r.sum)
+			for ri := range study.Regions {
+				study.Regions[ri].BER.Merge(r.regions[ri].BER)
+				study.Regions[ri].HCFirst.Merge(r.regions[ri].HCFirst)
 			}
-			h3 := Fig3{sweep}.Headlines()
-			h4 := Fig4{sweep}.Headlines()
-			worst := 0
-			for ch, ber := range h3.WCDPMeanBER {
-				if ber > h3.WCDPMeanBER[worst] {
-					worst = ch
-				}
-			}
-			trr, err := RunTRRStudy(TRRStudyOptions{
-				Cfg:  &cfg,
-				Bank: addr.BankAddr{Channel: 0, PseudoChannel: 0, Bank: 0},
-				Ctx:  ctx,
-			})
-			if err != nil {
-				return ChipSummary{}, fmt.Errorf("experiments: chip %#x: %w", seed, err)
-			}
-			return ChipSummary{
-				Seed:         seed,
-				MinHCFirst:   h4.MinHCFirst,
-				WCDPRatio:    h3.MaxOverMinWCDP,
-				WorstChannel: worst,
-				TRRPeriod:    trr.Period,
-			}, nil
+			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	return &MultiChipStudy{Opts: o, Chips: chips}, nil
+	return study, nil
 }
 
-// Render prints the chip-to-chip comparison.
+// measureChip runs one seed's headline measurements and condenses the
+// sweep into the chip's summary plus per-region accumulators; the sweep's
+// per-row dataset is dropped when this returns.
+func measureChip(ctx context.Context, o MultiChipOptions, seed uint64, regionIdx map[string]int) (chipResult, error) {
+	cfg := *o.Base
+	cfg.Seed = seed
+	// Each seed is its own pool key; release its warmed devices once the
+	// chip is summarized, or a long seed scan keeps every instance's
+	// devices resident.
+	defer engine.SharedPool.DrainConfig(&cfg)
+	sweep, err := RunSweep(Options{
+		Cfg:           &cfg,
+		RowsPerRegion: o.RowsPerRegion,
+		Workers:       o.Workers,
+		Ctx:           ctx,
+	})
+	if err != nil {
+		return chipResult{}, fmt.Errorf("experiments: chip %#x: %w", seed, err)
+	}
+	h3 := Fig3{sweep}.Headlines()
+	h4 := Fig4{sweep}.Headlines()
+	worst := 0
+	for ch, ber := range h3.WCDPMeanBER {
+		if ber > h3.WCDPMeanBER[worst] {
+			worst = ch
+		}
+	}
+	regions := newRegionAggregates(o.Base.Geometry.Rows)
+	for _, r := range sweep.Rows {
+		agg := &regions[regionIdx[r.Region]]
+		agg.BER.Add(r.WCDPBER())
+		if hc, found := r.WCDPHCFirst(); found {
+			agg.HCFirst.Add(float64(hc))
+		}
+	}
+	trr, err := RunTRRStudy(TRRStudyOptions{
+		Cfg:  &cfg,
+		Bank: addr.BankAddr{Channel: 0, PseudoChannel: 0, Bank: 0},
+		Ctx:  ctx,
+	})
+	if err != nil {
+		return chipResult{}, fmt.Errorf("experiments: chip %#x: %w", seed, err)
+	}
+	return chipResult{
+		sum: ChipSummary{
+			Seed:         seed,
+			MinHCFirst:   h4.MinHCFirst,
+			WCDPRatio:    h3.MaxOverMinWCDP,
+			WorstChannel: worst,
+			TRRPeriod:    trr.Period,
+		},
+		regions: regions,
+	}, nil
+}
+
+// Render prints the chip-to-chip comparison and the fleet aggregates.
 func (s *MultiChipStudy) Render() string {
 	var sb strings.Builder
 	sb.WriteString("Extension: chip-to-chip variation (future work 1)\n")
@@ -131,14 +220,122 @@ func (s *MultiChipStudy) Render() string {
 			c.Seed, c.MinHCFirst, c.WCDPRatio, c.WorstChannel, c.TRRPeriod)
 	}
 	if len(s.Chips) > 1 {
-		var mins []float64
+		mins := stats.NewStream(0, float64(core.DefaultHammers))
 		for _, c := range s.Chips {
-			mins = append(mins, float64(c.MinHCFirst))
+			mins.Add(float64(c.MinHCFirst))
 		}
-		sum := stats.Summarize(mins)
-		fmt.Fprintf(&sb, "min HCfirst across chips: %.0f .. %.0f (mean %.0f)\n", sum.Min, sum.Max, sum.Mean)
+		fmt.Fprintf(&sb, "min HCfirst across chips: %.0f .. %.0f (mean %.0f)\n",
+			mins.Min(), mins.Max(), mins.Mean())
+	}
+	sb.WriteString("\nfleet aggregate: per-row WCDP metrics streamed across all chips\n")
+	for _, r := range s.Regions {
+		if r.BER.N() > 0 {
+			fmt.Fprintf(&sb, "region %-7s BER%%     %s\n", r.Region, scaled(r.BER.Summary(), 100))
+		}
+		if r.HCFirst.N() > 0 {
+			fmt.Fprintf(&sb, "region %-7s HCfirst  %s\n", r.Region, r.HCFirst.Summary())
+		}
 	}
 	return sb.String()
+}
+
+// scaled multiplies a summary's value fields for display (BER fraction to
+// percent) without touching N.
+func scaled(sum stats.Summary, k float64) stats.Summary {
+	sum.Min *= k
+	sum.Q1 *= k
+	sum.Median *= k
+	sum.Q3 *= k
+	sum.Max *= k
+	sum.Mean *= k
+	sum.StdDev *= k
+	return sum
+}
+
+// AggregateCSV exports the fleet-level regional distributions, one row
+// per region and metric. Metrics with no samples (e.g. HCfirst when no
+// row flipped) are skipped.
+func (s *MultiChipStudy) AggregateCSV() (headers []string, rows [][]string) {
+	headers = []string{"region", "metric", "n", "min", "q1", "median", "q3", "max", "mean", "stddev"}
+	emit := func(region, metric string, st *stats.Stream) {
+		if st.N() == 0 {
+			return
+		}
+		sum := st.Summary()
+		rows = append(rows, []string{
+			region, metric,
+			strconv.Itoa(sum.N),
+			fmtG(sum.Min), fmtG(sum.Q1), fmtG(sum.Median), fmtG(sum.Q3),
+			fmtG(sum.Max), fmtG(sum.Mean), fmtG(sum.StdDev),
+		})
+	}
+	for _, r := range s.Regions {
+		emit(r.Region, "wcdp_ber", r.BER)
+		emit(r.Region, "wcdp_hc_first", r.HCFirst)
+	}
+	return headers, rows
+}
+
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// summaryJSON pins the export schema to snake_case independently of
+// stats.Summary's Go field names, so a rename there cannot silently
+// change the -json format.
+type summaryJSON struct {
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Q1     float64 `json:"q1"`
+	Median float64 `json:"median"`
+	Q3     float64 `json:"q3"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+}
+
+func toSummaryJSON(sum stats.Summary) *summaryJSON {
+	return &summaryJSON{
+		N: sum.N, Min: sum.Min, Q1: sum.Q1, Median: sum.Median,
+		Q3: sum.Q3, Max: sum.Max, Mean: sum.Mean, StdDev: sum.StdDev,
+	}
+}
+
+// AggregateJSON exports the per-chip summaries and the fleet-level
+// regional distributions as deterministic JSON (fixed field order, seeds
+// in study order, snake_case keys throughout).
+func (s *MultiChipStudy) AggregateJSON() ([]byte, error) {
+	type regionJSON struct {
+		Region  string       `json:"region"`
+		BER     *summaryJSON `json:"wcdp_ber,omitempty"`
+		HCFirst *summaryJSON `json:"wcdp_hc_first,omitempty"`
+	}
+	type chipJSON struct {
+		Seed         uint64  `json:"seed"`
+		MinHCFirst   int     `json:"min_hc_first"`
+		WCDPRatio    float64 `json:"wcdp_ratio"`
+		WorstChannel int     `json:"worst_channel"`
+		TRRPeriod    int     `json:"trr_period"`
+	}
+	out := struct {
+		Chips   []chipJSON   `json:"chips"`
+		Regions []regionJSON `json:"regions"`
+	}{
+		Chips:   make([]chipJSON, 0, len(s.Chips)),
+		Regions: make([]regionJSON, 0, len(s.Regions)),
+	}
+	for _, c := range s.Chips {
+		out.Chips = append(out.Chips, chipJSON(c))
+	}
+	for _, r := range s.Regions {
+		rj := regionJSON{Region: r.Region}
+		if r.BER.N() > 0 {
+			rj.BER = toSummaryJSON(r.BER.Summary())
+		}
+		if r.HCFirst.N() > 0 {
+			rj.HCFirst = toSummaryJSON(r.HCFirst.Summary())
+		}
+		out.Regions = append(out.Regions, rj)
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // StableObservations reports which of the paper's key observations hold

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/stats"
+)
+
+// fleetStudy runs a small multi-chip scan with the given chip-level
+// parallelism.
+func fleetStudy(t testing.TB, chipWorkers int, seeds []uint64) *MultiChipStudy {
+	t.Helper()
+	s, err := RunMultiChip(MultiChipOptions{
+		Base:          config.SmallChip(),
+		Seeds:         seeds,
+		RowsPerRegion: 3,
+		ChipWorkers:   chipWorkers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMultiChipStreamingMatchesBatch is the streaming-vs-batch
+// equivalence check at the study level: the aggregates that RunMultiChip
+// streams per region must equal batch summaries of the same rows
+// recomputed from independent per-seed sweeps. The fleet is small enough
+// that the streams stay in exact mode, so equality is bitwise.
+func TestMultiChipStreamingMatchesBatch(t *testing.T) {
+	seeds := []uint64{5, 6, 7}
+	s := fleetStudy(t, 2, seeds)
+
+	batchBER := map[string][]float64{}
+	batchHC := map[string][]float64{}
+	for _, seed := range seeds {
+		cfg := *config.SmallChip()
+		cfg.Seed = seed
+		sweep, err := RunSweep(Options{Cfg: &cfg, RowsPerRegion: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range sweep.Rows {
+			batchBER[r.Region] = append(batchBER[r.Region], r.WCDPBER())
+			if hc, found := r.WCDPHCFirst(); found {
+				batchHC[r.Region] = append(batchHC[r.Region], float64(hc))
+			}
+		}
+	}
+
+	if len(s.Regions) != 3 {
+		t.Fatalf("%d region aggregates, want 3", len(s.Regions))
+	}
+	for _, agg := range s.Regions {
+		if agg.BER.Sketched() {
+			t.Fatalf("region %s: stream sketched on a tiny fleet", agg.Region)
+		}
+		wantBER := stats.Summarize(batchBER[agg.Region])
+		if got := agg.BER.Summary(); got != wantBER {
+			t.Errorf("region %s: streamed BER %+v != batch %+v", agg.Region, got, wantBER)
+		}
+		if hc := batchHC[agg.Region]; len(hc) > 0 {
+			wantHC := stats.Summarize(hc)
+			if got := agg.HCFirst.Summary(); got != wantHC {
+				t.Errorf("region %s: streamed HCfirst %+v != batch %+v", agg.Region, got, wantHC)
+			}
+		} else if agg.HCFirst.N() != 0 {
+			t.Errorf("region %s: stream holds %d HCfirst samples, batch found none",
+				agg.Region, agg.HCFirst.N())
+		}
+	}
+}
+
+// TestMultiChipDeterministicAcrossChipWorkers is the fleet determinism
+// regression: chip-parallel scans must produce byte-identical aggregated
+// output — render, CSV and JSON — for the same seed set at any worker
+// count, because the streaming fold runs in seed-index order.
+func TestMultiChipDeterministicAcrossChipWorkers(t *testing.T) {
+	seeds := []uint64{40, 41, 42, 43, 44, 45}
+	serial := fleetStudy(t, 1, seeds)
+	parallel := fleetStudy(t, 8, seeds)
+
+	if !reflect.DeepEqual(serial.Chips, parallel.Chips) {
+		t.Fatalf("chip summaries differ across worker counts:\n%+v\nvs\n%+v",
+			serial.Chips, parallel.Chips)
+	}
+	if a, b := serial.Render(), parallel.Render(); a != b {
+		t.Fatalf("rendered output differs across worker counts:\n%s\nvs\n%s", a, b)
+	}
+	ha, ra := serial.AggregateCSV()
+	hb, rb := parallel.AggregateCSV()
+	if !reflect.DeepEqual(ha, hb) || !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("aggregate CSV differs across worker counts:\n%v\nvs\n%v", ra, rb)
+	}
+	ja, err := serial.AggregateJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := parallel.AggregateJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("aggregate JSON differs across worker counts:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+func TestMultiChipRetainsNoSampleSlices(t *testing.T) {
+	// The fleet contract: the study keeps fixed-size chip summaries and
+	// O(regions) accumulators, never per-chip sample slices. ChipSummary
+	// staying slice-free is what the reflection walk pins down.
+	var c ChipSummary
+	ty := reflect.TypeOf(c)
+	for i := 0; i < ty.NumField(); i++ {
+		if k := ty.Field(i).Type.Kind(); k == reflect.Slice || k == reflect.Map || k == reflect.Ptr {
+			t.Errorf("ChipSummary.%s is a %s; per-chip summaries must stay fixed-size",
+				ty.Field(i).Name, k)
+		}
+	}
+	s := fleetStudy(t, 2, []uint64{9, 10})
+	if len(s.Regions) != 3 {
+		t.Fatalf("%d region aggregates, want 3", len(s.Regions))
+	}
+}
+
+func TestMultiChipRenderIncludesFleetAggregates(t *testing.T) {
+	s := fleetStudy(t, 1, []uint64{3, 4})
+	out := s.Render()
+	for _, want := range []string{"chip-to-chip", "fleet aggregate", "first", "middle", "last", "BER%", "HCfirst"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMultiChipAggregateExports(t *testing.T) {
+	s := fleetStudy(t, 1, []uint64{3, 4})
+	headers, rows := s.AggregateCSV()
+	if len(headers) != 10 {
+		t.Fatalf("%d CSV headers", len(headers))
+	}
+	if len(rows) == 0 || len(rows) > 6 {
+		t.Fatalf("%d CSV rows for 3 regions x 2 metrics", len(rows))
+	}
+	for _, r := range rows {
+		if len(r) != len(headers) {
+			t.Fatalf("CSV row %v arity mismatch", r)
+		}
+	}
+	js, err := s.AggregateJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"chips"`, `"regions"`, `"wcdp_ber"`, `"seed"`, `"median"`, `"stddev"`} {
+		if !bytes.Contains(js, []byte(want)) {
+			t.Errorf("aggregate JSON missing %s:\n%s", want, js)
+		}
+	}
+	// The schema is snake_case throughout: no Go-cased Summary keys.
+	if bytes.Contains(js, []byte(`"Median"`)) || bytes.Contains(js, []byte(`"StdDev"`)) {
+		t.Errorf("aggregate JSON leaks Go-cased summary keys:\n%s", js)
+	}
+}

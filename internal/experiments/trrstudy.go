@@ -24,8 +24,9 @@ type TRRStudyOptions struct {
 	// StartRow is where the retention scan begins. It defaults to a row
 	// range the periodic-refresh pointer does not sweep during the run.
 	StartRow int
-	// Ctx aborts the study before it starts; the single U-TRR run is one
-	// engine job and is not interruptible internally.
+	// Ctx aborts the study: before it starts, and between U-TRR
+	// iterations once running (a fleet chip job's TRR phase cancels as
+	// promptly as its sweep phase).
 	Ctx context.Context
 }
 
@@ -52,7 +53,7 @@ func RunTRRStudy(o TRRStudyOptions) (*TRRStudy, error) {
 	// retention decay and the periodic-refresh pointer, i.e. accumulated
 	// device state, so a pool-warmed device would not reproduce it.
 	results, err := engine.Map(engine.Options{Ctx: o.Ctx}, 1,
-		func(context.Context, int) (*utrr.Result, error) { return runUTRR(o) })
+		func(ctx context.Context, _ int) (*utrr.Result, error) { return runUTRR(o, ctx) })
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +62,7 @@ func RunTRRStudy(o TRRStudyOptions) (*TRRStudy, error) {
 	return s, nil
 }
 
-func runUTRR(o TRRStudyOptions) (*utrr.Result, error) {
+func runUTRR(o TRRStudyOptions, ctx context.Context) (*utrr.Result, error) {
 	d, err := hbm.New(o.Cfg)
 	if err != nil {
 		return nil, err
@@ -73,6 +74,7 @@ func runUTRR(o TRRStudyOptions) (*utrr.Result, error) {
 		}
 	}
 	e := utrr.New(d)
+	e.Ctx = ctx
 	if o.Iterations > 0 {
 		e.Iterations = o.Iterations
 	}

@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream is a mergeable streaming accumulator producing the same Summary a
+// batch Summarize would, without retaining the sample once it grows past a
+// cutoff. It is the memory backbone of fleet-scale studies: hundreds of
+// chip instances feed per-region Streams as they complete, so resident
+// memory is O(regions), not O(chips x rows).
+//
+// Moments stream through Welford's algorithm (merged across shards with the
+// Chan et al. parallel update). Quantiles come from a fixed-marker
+// estimator in the spirit of the P² algorithm (Jain & Chlamtac, CACM'85):
+// a constant-size set of markers tracks the distribution in one pass.
+// Unlike classic P² — whose marker positions depend on arrival order and
+// therefore cannot be merged — the markers here are bin boundaries fixed a
+// priori over a caller-declared domain, which makes Merge commutative and
+// associative in the bin counts: shards can be combined in any order and
+// yield identical quantile estimates.
+//
+// For small samples (N <= the exact cutoff) the Stream keeps the raw
+// values and Summary is bit-identical to Summarize; past the cutoff the
+// buffer is dropped and quantiles are interpolated from the bins, landing
+// within one bin width of the nearest-rank empirical quantile (see
+// Quantile for the caveat on sparse/discrete distributions).
+type Stream struct {
+	lo, hi float64
+	cutoff int
+
+	n        int64
+	mean, m2 float64
+	min, max float64
+
+	bins []int64
+	// exact holds the raw sample while n <= cutoff; nil once sketched.
+	exact    []float64
+	sketched bool
+}
+
+// Default sizing of a Stream: the exact-mode cutoff bounds the retained
+// sample, and the bin count bounds the sketch-mode quantile error at
+// (hi-lo)/DefaultStreamBins.
+const (
+	DefaultExactCutoff = 1024
+	DefaultStreamBins  = 512
+)
+
+// NewStream returns a Stream over the quantile domain [lo, hi) with the
+// default cutoff and bin count. The domain must be declared up front —
+// that is what keeps merging order-independent — and should cover the
+// metric's full range (BER: [0,1]; HCfirst: [0, maxHammers]). Values
+// outside the domain clamp into the edge bins; Min/Max still report the
+// true extrema.
+func NewStream(lo, hi float64) *Stream {
+	return NewStreamSized(lo, hi, DefaultExactCutoff, DefaultStreamBins)
+}
+
+// NewStreamSized is NewStream with an explicit exact-mode cutoff and bin
+// count.
+func NewStreamSized(lo, hi float64, cutoff, bins int) *Stream {
+	if hi <= lo {
+		panic("stats: stream domain must be non-empty")
+	}
+	if cutoff < 0 {
+		cutoff = 0
+	}
+	if bins <= 0 {
+		panic("stats: stream needs at least one bin")
+	}
+	return &Stream{lo: lo, hi: hi, cutoff: cutoff, bins: make([]int64, bins)}
+}
+
+// Add folds one sample into the stream.
+func (s *Stream) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.bins[s.binOf(x)]++
+	if !s.sketched {
+		s.exact = append(s.exact, x)
+		if len(s.exact) > s.cutoff {
+			s.exact, s.sketched = nil, true
+		}
+	}
+}
+
+func (s *Stream) binOf(x float64) int {
+	i := int((x - s.lo) / (s.hi - s.lo) * float64(len(s.bins)))
+	if i < 0 {
+		return 0
+	}
+	if i >= len(s.bins) {
+		return len(s.bins) - 1
+	}
+	return i
+}
+
+// Merge folds another stream's state into s. Both must share the same
+// domain, cutoff and bin count (shards of one aggregation always do; a
+// mismatch indicates a harness bug and panics). Bin counts, sample count
+// and extrema merge exactly commutatively; the merged moments agree across
+// merge orders up to floating-point rounding.
+func (s *Stream) Merge(o *Stream) {
+	if s.lo != o.lo || s.hi != o.hi || s.cutoff != o.cutoff || len(s.bins) != len(o.bins) {
+		panic(fmt.Sprintf("stats: merging incompatible streams: [%g,%g)/%d/%d vs [%g,%g)/%d/%d",
+			s.lo, s.hi, s.cutoff, len(s.bins), o.lo, o.hi, o.cutoff, len(o.bins)))
+	}
+	if o.n == 0 {
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+	for i, c := range o.bins {
+		s.bins[i] += c
+	}
+	if s.sketched || o.sketched || len(s.exact)+len(o.exact) > s.cutoff {
+		s.exact, s.sketched = nil, true
+	} else {
+		s.exact = append(s.exact, o.exact...)
+	}
+}
+
+// N returns the number of samples folded in so far.
+func (s *Stream) N() int { return int(s.n) }
+
+// Mean returns the streaming mean, or NaN for an empty stream.
+func (s *Stream) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// StdDev returns the streaming population standard deviation (matching
+// Summarize), or NaN for an empty stream.
+func (s *Stream) StdDev() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	v := s.m2 / float64(s.n)
+	if v < 0 {
+		v = 0 // guard against rounding for near-constant samples
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest sample seen. It panics on an empty stream.
+func (s *Stream) Min() float64 {
+	if s.n == 0 {
+		panic("stats: Min of empty stream")
+	}
+	return s.min
+}
+
+// Max returns the largest sample seen. It panics on an empty stream.
+func (s *Stream) Max() float64 {
+	if s.n == 0 {
+		panic("stats: Max of empty stream")
+	}
+	return s.max
+}
+
+// Sketched reports whether the stream has outgrown exact mode and dropped
+// the raw sample.
+func (s *Stream) Sketched() bool { return s.sketched }
+
+// Quantile estimates the q-quantile (q in [0,1]). Exact mode interpolates
+// order statistics of the retained sample. Sketch mode locates the bin
+// holding the target rank and interpolates within it, returning a value
+// within one bin width of the nearest-rank empirical quantile (for
+// samples inside the declared domain; out-of-domain values clamp into
+// the edge bins). Interpolating quantile definitions — Summarize's Tukey
+// hinges, or exact mode's rank interpolation — can differ from the
+// nearest-rank quantile by more than that at jumps of sparse or heavily
+// discrete distributions, where the true quantile falls between two
+// samples many bins apart; on distributions dense at the quartiles the
+// definitions agree to within a bin or two (what the equivalence tests
+// assert). It panics on an empty stream.
+func (s *Stream) Quantile(q float64) float64 {
+	if s.n == 0 {
+		panic("stats: Quantile of empty stream")
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	rank := q * float64(s.n-1)
+	if !s.sketched {
+		sorted := make([]float64, len(s.exact))
+		copy(sorted, s.exact)
+		sort.Float64s(sorted)
+		i := int(rank)
+		frac := rank - float64(i)
+		if i+1 >= len(sorted) {
+			return sorted[len(sorted)-1]
+		}
+		return sorted[i] + frac*(sorted[i+1]-sorted[i])
+	}
+	w := (s.hi - s.lo) / float64(len(s.bins))
+	var cum int64
+	for i, c := range s.bins {
+		if c == 0 {
+			continue
+		}
+		if rank < float64(cum+c) {
+			// Samples in bin i occupy ranks [cum, cum+c); spread them
+			// uniformly over the bin. The fraction is capped at 1 so the
+			// estimate never leaves the occupied bin (a single-sample bin
+			// would otherwise overshoot by half a width), keeping it
+			// within one bin width of the nearest-rank order statistic;
+			// finally clamp to the observed extrema.
+			frac := (rank - float64(cum) + 0.5) / float64(c)
+			if frac > 1 {
+				frac = 1
+			}
+			v := s.lo + w*(float64(i)+frac)
+			return math.Min(math.Max(v, s.min), s.max)
+		}
+		cum += c
+	}
+	return s.max
+}
+
+// Summary renders the stream as the paper's box-and-whiskers summary. In
+// exact mode it equals Summarize of the sample bit for bit; in sketch mode
+// the quartiles carry the estimator's one-bin-width tolerance. It panics
+// on an empty stream, which always indicates a harness bug.
+func (s *Stream) Summary() Summary {
+	if s.n == 0 {
+		panic("stats: Summary of empty stream")
+	}
+	if !s.sketched {
+		return Summarize(s.exact)
+	}
+	return Summary{
+		N:      int(s.n),
+		Min:    s.min,
+		Q1:     s.Quantile(0.25),
+		Median: s.Quantile(0.5),
+		Q3:     s.Quantile(0.75),
+		Max:    s.max,
+		Mean:   s.mean,
+		StdDev: s.StdDev(),
+	}
+}
+
+// QuantileTolerance returns the sketch's resolution: one bin width (zero
+// while the stream is still exact). This bounds the error against the
+// nearest-rank empirical quantile; see Quantile for why interpolating
+// definitions can differ by more on sparse or discrete distributions.
+func (s *Stream) QuantileTolerance() float64 {
+	if !s.sketched {
+		return 0
+	}
+	return (s.hi - s.lo) / float64(len(s.bins))
+}

@@ -20,6 +20,7 @@
 package utrr
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
@@ -31,6 +32,12 @@ import (
 type Experiment struct {
 	dev  *hbm.Device
 	prof *retention.Profiler
+
+	// Ctx, when non-nil, aborts the run between iterations (and before
+	// the up-front retention scan) with Ctx.Err(). Simulated time costs
+	// nothing, so one iteration's wall time is a handful of row
+	// operations — per-iteration checks keep cancellation prompt.
+	Ctx context.Context
 
 	// Iterations is the number of six-step iterations (paper: 100).
 	Iterations int
@@ -52,6 +59,14 @@ func New(d *hbm.Device) *Experiment {
 		BandHi:     8,
 		ScanRows:   256,
 	}
+}
+
+// cancelled returns the armed context's error, if any.
+func (e *Experiment) cancelled() error {
+	if e.Ctx == nil {
+		return nil
+	}
+	return e.Ctx.Err()
 }
 
 // Result is the outcome of a U-TRR run.
@@ -101,6 +116,9 @@ func (r *Result) InferPeriod() (int, bool) {
 // comes from the reverse-engineering step (core.RecoverMapping); here it
 // is read from the device for speed.
 func (e *Experiment) Run(b addr.BankAddr, startRow int) (*Result, error) {
+	if err := e.cancelled(); err != nil {
+		return nil, err
+	}
 	g := e.dev.Geometry()
 	row, T, err := e.prof.FindRow(b, startRow, e.ScanRows, e.BandLo, e.BandHi)
 	if err != nil {
@@ -125,6 +143,9 @@ func (e *Experiment) Run(b addr.BankAddr, startRow int) (*Result, error) {
 	}
 	half := int64(T / 2 * 1e12)
 	for it := 0; it < e.Iterations; it++ {
+		if err := e.cancelled(); err != nil {
+			return nil, err
+		}
 		// Steps 1-2: restore R's data and charge, wait T/2.
 		if err := hbm.WriteRow(e.dev, b, row, pattern); err != nil {
 			return nil, fmt.Errorf("utrr: iteration %d: %w", it, err)
