@@ -16,14 +16,29 @@ test:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# The engine baseline recorded in BENCH_engine.json.
+# The engine + codec baselines recorded in BENCH_engine.json.
 bench-engine:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 3x .
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkStreamCodec' -benchtime 3x .
 
-# Fleet chipscan smoke: a 32-seed scan, 4 chips at a time, exporting the
-# aggregated distributions — exercises the streaming reducer end to end.
+# Fleet chipscan smoke: a 32-seed scan, 4 chips at a time, run once in a
+# single process and once as four serialized seed-range shards plus a
+# merge — the merged CSV/JSON must be byte-identical to the
+# single-process exports (the distributable-fleet contract).
+SMOKE_DIR := .smoke
+
 smoke:
-	$(GO) run ./cmd/chipscan -chip small -chips 32 -rows 2 -parallel 4 -csv /dev/null -json /dev/null
+	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
+	$(GO) run ./cmd/chipscan -chip small -chips 32 -rows 2 -parallel 4 \
+		-csv $(SMOKE_DIR)/single.csv -json $(SMOKE_DIR)/single.json
+	for i in 0 1 2 3; do \
+		$(GO) run ./cmd/chipscan -chip small -chips 32 -rows 2 -parallel 4 \
+			-shard $$i/4 -artifact $(SMOKE_DIR)/shard$$i.json >/dev/null || exit 1; \
+	done
+	$(GO) run ./cmd/chipscan merge -csv $(SMOKE_DIR)/merged.csv \
+		-json $(SMOKE_DIR)/merged.json $(SMOKE_DIR)/shard*.json
+	cmp $(SMOKE_DIR)/single.csv $(SMOKE_DIR)/merged.csv
+	cmp $(SMOKE_DIR)/single.json $(SMOKE_DIR)/merged.json
+	rm -rf $(SMOKE_DIR)
 
 lint:
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \

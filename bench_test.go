@@ -8,6 +8,7 @@ package hbmrh_test
 // cmd/utrr-discover.
 
 import (
+	"math/rand"
 	"testing"
 
 	hbmrh "github.com/safari-repro/hbmrh"
@@ -308,9 +309,35 @@ func BenchmarkEngineChipscanStream(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(s.Regions) != 3 {
+		if len(s.Artifact.Groups) == 0 {
 			b.Fatal("fleet aggregates missing")
 		}
+	}
+}
+
+// BenchmarkStreamCodec measures the shard serialization boundary: one
+// sketched per-group accumulator (the unit a shard artifact carries per
+// region×channel metric) round-tripping through the versioned binary
+// codec, then merging into a second accumulator — the work `chipscan
+// merge` pays per group per shard.
+func BenchmarkStreamCodec(b *testing.B) {
+	src := hbmrh.NewStatsStream(0, 1)
+	rng := rand.New(rand.NewSource(97))
+	for i := 0; i < 5000; i++ {
+		src.Add(rng.Float64())
+	}
+	acc := hbmrh.NewStatsStream(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := src.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dec hbmrh.StatsStream
+		if err := dec.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+		acc.Merge(&dec)
 	}
 }
 

@@ -4,17 +4,30 @@
 // per-chip accidents.
 //
 // It scales to fleet-style scans: hundreds of seeds stream into
-// per-region aggregates in O(regions) resident sample memory, with
+// region×channel aggregates in O(groups) resident sample memory, with
 // byte-identical output at any -parallel count, and a Ctrl-C aborts
-// mid-measurement rather than waiting out the current chip.
+// mid-measurement rather than waiting out the current chip. A scan also
+// distributes across machines: -shard i/N measures one contiguous
+// seed-range slice and -artifact serializes its accumulators; the merge
+// subcommand recombines the shards — after verifying config-hash, code
+// and format compatibility — into output byte-identical to a
+// single-process run.
 //
 // Usage:
 //
 //	chipscan [-chip paper|small] [-chips N] [-rows N] [-parallel N]
-//	         [-sweep-workers N] [-csv FILE] [-json FILE]
+//	         [-sweep-workers N] [-shard I/N] [-group-by AXIS]
+//	         [-artifact FILE] [-csv FILE] [-json FILE]
+//	chipscan merge [-group-by AXIS] [-artifact FILE] [-csv FILE]
+//	         [-json FILE] shard.json...
 //
-// -csv and -json write the aggregated regional distributions; "-" writes
-// to stdout in place of the rendered report.
+// -group-by selects the aggregation axis of the rendered and exported
+// distributions: region (default), channel (the paper's first-order
+// axis), or region-channel.
+//
+// -csv and -json write the aggregated distribution summaries; -artifact
+// writes the full serialized accumulator state (the input of merge).
+// "-" writes to stdout in place of the rendered report.
 package main
 
 import (
@@ -26,6 +39,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 
 	hbmrh "github.com/safari-repro/hbmrh"
@@ -34,19 +48,86 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chipscan: ")
-	var (
-		chip     = flag.String("chip", "small", "chip preset: paper or small")
-		chips    = flag.Int("chips", 4, "number of chip instances (seeds) to test")
-		rows     = flag.Int("rows", 8, "victim rows sampled per region per chip")
-		parallel = flag.Int("parallel", 1, "chip instances measured at once")
-		sweepW   = flag.Int("sweep-workers", 0, "parallel devices per chip sweep (0 = one per CPU)")
-		csvOut   = flag.String("csv", "", "write aggregated distributions as CSV to this file (\"-\" = stdout)")
-		jsonOut  = flag.String("json", "", "write aggregated distributions as JSON to this file (\"-\" = stdout)")
-	)
-	flag.Parse()
-	if *csvOut == "-" && *jsonOut == "-" {
-		log.Fatal("-csv - and -json - both claim stdout; pick one (the other can go to a file)")
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		runMerge(os.Args[2:])
+		return
 	}
+	runScan(os.Args[1:])
+}
+
+// exportFlags are the output options shared by scan and merge runs.
+type exportFlags struct {
+	groupBy  *string
+	csvOut   *string
+	jsonOut  *string
+	artifact *string
+}
+
+func addExportFlags(fs *flag.FlagSet) exportFlags {
+	return exportFlags{
+		groupBy:  fs.String("group-by", "region", "aggregation axis: region, channel or region-channel"),
+		csvOut:   fs.String("csv", "", "write aggregated distribution summaries as CSV to this file (\"-\" = stdout)"),
+		jsonOut:  fs.String("json", "", "write aggregated distribution summaries as JSON to this file (\"-\" = stdout)"),
+		artifact: fs.String("artifact", "", "write the full serialized artifact (shard merge input) to this file (\"-\" = stdout)"),
+	}
+}
+
+func (e exportFlags) validate() hbmrh.ResultsGroupBy {
+	stdout := 0
+	for _, p := range []*string{e.csvOut, e.jsonOut, e.artifact} {
+		if *p == "-" {
+			stdout++
+		}
+	}
+	if stdout > 1 {
+		log.Fatal("only one of -csv, -json, -artifact may claim stdout")
+	}
+	gb, err := hbmrh.ParseGroupBy(*e.groupBy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return gb
+}
+
+func (e exportFlags) toStdout() bool {
+	return *e.csvOut == "-" || *e.jsonOut == "-" || *e.artifact == "-"
+}
+
+// write emits every requested export of the study's artifact.
+func (e exportFlags) write(s *hbmrh.MultiChipStudy) {
+	if *e.csvOut != "" {
+		if err := writeAggregateCSV(s, *e.csvOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *e.jsonOut != "" {
+		if err := writeAggregateJSON(s, *e.jsonOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *e.artifact != "" {
+		if err := s.Artifact.WriteFile(*e.artifact); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func runScan(args []string) {
+	fs := flag.NewFlagSet("chipscan", flag.ExitOnError)
+	var (
+		chip     = fs.String("chip", "small", "chip preset: paper or small")
+		chips    = fs.Int("chips", 4, "number of chip instances (seeds) to test")
+		rows     = fs.Int("rows", 8, "victim rows sampled per region per chip")
+		parallel = fs.Int("parallel", 1, "chip instances measured at once")
+		sweepW   = fs.Int("sweep-workers", 0, "parallel devices per chip sweep (0 = one per CPU)")
+		shard    = fs.String("shard", "", "measure one shard of the seed range, as I/N (e.g. 0/4); all N shards together cover every seed exactly once")
+	)
+	exports := addExportFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q (the merge subcommand goes first: chipscan merge ...)", fs.Args())
+	}
+	gb := exports.validate()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -62,12 +143,22 @@ func main() {
 	for i := range seeds {
 		seeds[i] = cfg.Seed + uint64(i)
 	}
+	shardIdx, shardCount := parseShard(*shard, *chips)
+	lo, hi := hbmrh.ShardRange(*chips, shardIdx, shardCount)
+	seeds = seeds[lo:hi]
+	if len(seeds) == 0 {
+		log.Fatalf("-shard %s leaves no seeds for this shard (only %d chips)", *shard, *chips)
+	}
+
 	s, err := hbmrh.RunMultiChip(hbmrh.MultiChipOptions{
 		Base:          cfg,
 		Seeds:         seeds,
 		RowsPerRegion: *rows,
 		Workers:       *sweepW,
 		ChipWorkers:   *parallel,
+		GroupBy:       gb,
+		Shard:         shardIdx,
+		ShardCount:    shardCount,
 		Ctx:           ctx,
 		Progress: func(p hbmrh.EngineProgress) {
 			fmt.Fprintf(os.Stderr, "chip %d/%d done\n", p.Done, p.Total)
@@ -77,23 +168,80 @@ func main() {
 		log.Fatal(err)
 	}
 
-	toStdout := *csvOut == "-" || *jsonOut == "-"
-	if !toStdout {
-		fmt.Print(s.Render())
-		worstStable, trrStable := s.StableObservations()
-		fmt.Printf("\nstable across chips: worst channel = %v, TRR period = %v\n", worstStable, trrStable)
-		fmt.Println("(design-level structure persists; exact cell-level numbers are per-chip)")
+	if !exports.toStdout() {
+		printReport(s)
 	}
-	if *csvOut != "" {
-		if err := writeAggregateCSV(s, *csvOut); err != nil {
+	exports.write(s)
+}
+
+// printReport renders the study plus the stability epilogue; scan and
+// merge share it so their stdout reports cannot diverge (the CI smoke
+// byte-compares the two paths' exports).
+func printReport(s *hbmrh.MultiChipStudy) {
+	fmt.Print(s.Render())
+	worstStable, trrStable := s.StableObservations()
+	fmt.Printf("\nstable across chips: worst channel = %v, TRR period = %v\n", worstStable, trrStable)
+	fmt.Println("(design-level structure persists; exact cell-level numbers are per-chip)")
+}
+
+// parseShard parses I/N and validates it against the chip count.
+func parseShard(s string, chips int) (shard, of int) {
+	if s == "" {
+		return 0, 1
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &shard, &of); err != nil || fmt.Sprintf("%d/%d", shard, of) != s {
+		log.Fatalf("-shard %q: want I/N, e.g. 0/4", s)
+	}
+	if of < 1 || shard < 0 || shard >= of {
+		log.Fatalf("-shard %q: shard index must be in [0, N)", s)
+	}
+	if of > chips {
+		log.Fatalf("-shard %q: cannot split %d chips into %d shards", s, chips, of)
+	}
+	return shard, of
+}
+
+func runMerge(args []string) {
+	fs := flag.NewFlagSet("chipscan merge", flag.ExitOnError)
+	exports := addExportFlags(fs)
+	fs.Parse(args)
+	gb := exports.validate()
+	if fs.NArg() == 0 {
+		log.Fatal("merge needs at least one shard artifact file")
+	}
+
+	shards := make([]*hbmrh.ResultsArtifact, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		a, err := hbmrh.ReadArtifact(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shards = append(shards, a)
+	}
+	// Merge in ascending seed order, so the merged output is independent
+	// of argument order (shell glob order included).
+	sort.SliceStable(shards, func(i, j int) bool {
+		return shards[i].Meta.SeedFirst < shards[j].Meta.SeedFirst
+	})
+	merged := shards[0]
+	for _, next := range shards[1:] {
+		if err := hbmrh.MergeArtifacts(merged, next); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if *jsonOut != "" {
-		if err := writeAggregateJSON(s, *jsonOut); err != nil {
-			log.Fatal(err)
-		}
+
+	s := hbmrh.StudyFromArtifact(merged, gb)
+	// Pre-flight the requested view: artifacts from other tools (sweep,
+	// fig6) may store a coarser axis that cannot derive every view, and
+	// that should be a clean CLI error, not a panic inside an export.
+	if _, err := s.Groups(); err != nil {
+		log.Fatalf("%v (this artifact stores axis %q; pass -group-by %s)",
+			err, merged.Meta.GroupBy, merged.Meta.GroupBy)
 	}
+	if !exports.toStdout() {
+		printReport(s)
+	}
+	exports.write(s)
 }
 
 // openOut resolves an output target: "-" is stdout (closed as a no-op).
@@ -136,6 +284,6 @@ func writeAggregateJSON(s *hbmrh.MultiChipStudy, path string) error {
 	if err != nil {
 		return err
 	}
-	_, err = f.Write(append(js, '\n'))
+	_, err = f.Write(js)
 	return err
 }

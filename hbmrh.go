@@ -29,6 +29,7 @@ import (
 	"github.com/safari-repro/hbmrh/internal/experiments"
 	"github.com/safari-repro/hbmrh/internal/hbm"
 	"github.com/safari-repro/hbmrh/internal/mapping"
+	"github.com/safari-repro/hbmrh/internal/results"
 	"github.com/safari-repro/hbmrh/internal/retention"
 	"github.com/safari-repro/hbmrh/internal/stats"
 	"github.com/safari-repro/hbmrh/internal/thermal"
@@ -217,21 +218,20 @@ func RunTRRBypass(o TRRBypassOptions) (*TRRBypassStudy, error) {
 }
 
 // Multi-chip study (future work 1: more chips, statistical significance),
-// built for fleet scale: per-chip row samples stream into per-region
+// built for fleet scale: per-chip row samples stream into region×channel
 // accumulators as chips complete, so a 200-seed scan aggregates in
-// O(regions) resident sample memory with byte-identical output at any
-// ChipWorkers count.
+// O(regions × channels) resident sample memory with byte-identical output
+// at any ChipWorkers count. The aggregates live in a serializable results
+// Artifact, so a scan can run as contiguous seed-range shards on many
+// machines and merge back byte-identically (see MergeArtifacts).
 type (
 	// MultiChipOptions configures the chip-to-chip study.
 	MultiChipOptions = experiments.MultiChipOptions
 	// MultiChipStudy compares headline numbers across chip instances and
-	// carries the fleet-level regional aggregates.
+	// carries the fleet-level aggregates as a results artifact.
 	MultiChipStudy = experiments.MultiChipStudy
 	// ChipSummary is one chip's fixed-size headline numbers.
 	ChipSummary = experiments.ChipSummary
-	// RegionAggregate is one paper region's streamed row-level
-	// distributions across the whole fleet.
-	RegionAggregate = experiments.RegionAggregate
 )
 
 // RunMultiChip reruns the headline measurements across several simulated
@@ -240,14 +240,72 @@ func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
 	return experiments.RunMultiChip(o)
 }
 
+// StudyFromArtifact reconstructs a renderable multi-chip study from a
+// loaded (typically merged) artifact.
+func StudyFromArtifact(a *ResultsArtifact, gb ResultsGroupBy) *MultiChipStudy {
+	return experiments.StudyFromArtifact(a, gb)
+}
+
+// Unified results layer: every driver that produces distributions emits
+// this serializable artifact schema — provenance metadata (config hash,
+// seed range, code version, format version), an aggregation axis, and
+// mergeable streaming accumulators — so shard outputs from different
+// processes and machines merge with conflict checking and render through
+// one CSV/JSON path.
+type (
+	// ResultsArtifact is one serializable results payload.
+	ResultsArtifact = results.Artifact
+	// ResultsMeta is an artifact's provenance and merge-compatibility
+	// metadata.
+	ResultsMeta = results.Meta
+	// ResultsGroup is one aggregation cell (key + metric streams).
+	ResultsGroup = results.Group
+	// ResultsKey identifies an aggregation group.
+	ResultsKey = results.Key
+	// ResultsGroupBy selects an aggregation axis.
+	ResultsGroupBy = results.GroupBy
+)
+
+// Aggregation axes of the results layer.
+const (
+	// GroupByRegion groups by paper region (first/middle/last).
+	GroupByRegion = results.ByRegion
+	// GroupByChannel groups by HBM2 channel, the paper's first-order
+	// vulnerability axis.
+	GroupByChannel = results.ByChannel
+	// GroupByRegionChannel is the finest axis, one group per
+	// region×channel cell.
+	GroupByRegionChannel = results.ByRegionChannel
+)
+
+// ParseGroupBy parses an axis flag value ("region", "channel",
+// "region-channel").
+func ParseGroupBy(s string) (ResultsGroupBy, error) { return results.ParseGroupBy(s) }
+
+// ReadArtifact loads and validates an artifact file written by
+// ResultsArtifact.WriteFile.
+func ReadArtifact(path string) (*ResultsArtifact, error) { return results.ReadFile(path) }
+
+// MergeArtifacts folds shard b into a after verifying format, tool,
+// code-version, config-hash and axis compatibility plus seed-range
+// contiguity; on success a covers both shards' seed ranges.
+func MergeArtifacts(a, b *ResultsArtifact) error { return results.Merge(a, b) }
+
+// ShardRange partitions n seeds into `of` contiguous shards and returns
+// the half-open index range of one shard; independently launched shard
+// processes agree on the partition.
+func ShardRange(n, shard, of int) (lo, hi int) { return results.ShardRange(n, shard, of) }
+
 // Streaming statistics (the memory backbone of fleet-scale scans).
 type (
 	// StatsSummary is a box-and-whiskers five-number summary plus mean
 	// and standard deviation (paper footnote 2).
 	StatsSummary = stats.Summary
-	// StatsStream is a mergeable streaming accumulator: Welford moments
-	// plus a fixed-marker quantile estimator with an exact-mode fallback
-	// for small samples.
+	// StatsStream is a mergeable, serializable streaming accumulator:
+	// exact-sum moments (order-independent merges, bit for bit) plus a
+	// fixed-marker quantile estimator with an exact-mode fallback for
+	// small samples, and a versioned binary/JSON codec for crossing
+	// process boundaries.
 	StatsStream = stats.Stream
 )
 

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"github.com/safari-repro/hbmrh/internal/results"
+	"github.com/safari-repro/hbmrh/internal/stats"
+)
+
+// Artifact routing for the figure drivers that produce distributions:
+// the Figs. 3-5 sweep and the Fig. 6 bank scatter emit their summary
+// outputs through the same results.Artifact schema the multi-chip fleet
+// study uses, so one CSV/JSON renderer and one merge/compatibility path
+// serve every distribution export in the repo. (Drivers whose output is
+// a scalar or a curve — TRR period, RowPress slopes — have nothing to
+// gain from a distribution schema and keep their bespoke renders.)
+
+// Artifact condenses the sweep's per-row WCDP metrics into a
+// region×channel results artifact for the sweep's single chip instance.
+// The groups match the multi-chip study's schema, so a sweep artifact is
+// the single-chip degenerate case of a fleet artifact.
+func (s *Sweep) Artifact() *results.Artifact {
+	a := &results.Artifact{
+		Meta: results.Meta{
+			Format:      results.FormatVersion,
+			Tool:        "sweep",
+			CodeVersion: results.CodeVersion(),
+			ConfigHash:  fmt.Sprintf("%016x", s.Opts.Cfg.Hash()),
+			GroupBy:     results.ByRegionChannel.String(),
+			SeedFirst:   s.Opts.Cfg.Seed,
+			SeedCount:   1,
+			ShardCount:  1,
+			Params: map[string]string{
+				"rows_per_region": strconv.Itoa(s.Opts.RowsPerRegion),
+				"hammers":         strconv.Itoa(s.Opts.Hammers),
+			},
+		},
+		Groups: newFineGroups(s.Opts.Cfg),
+	}
+	foldSweepRows(s.Opts.Cfg, a.Groups, s.Rows)
+	return a
+}
+
+// Fig6 artifact metric names.
+const (
+	metricBankMeanBER = "bank_mean_ber_pct"
+	metricBankCV      = "bank_cv"
+)
+
+// Artifact condenses the Fig. 6 scatter into a per-channel results
+// artifact: each channel's distribution of per-bank mean BER (percent)
+// and coefficient of variation across the channel's banks — the figure's
+// "channel variation dominates bank variation" observation as data.
+func (f *Fig6) Artifact() *results.Artifact {
+	g := f.Opts.Cfg.Geometry
+	a := &results.Artifact{
+		Meta: results.Meta{
+			Format:      results.FormatVersion,
+			Tool:        "fig6",
+			CodeVersion: results.CodeVersion(),
+			ConfigHash:  fmt.Sprintf("%016x", f.Opts.Cfg.Hash()),
+			GroupBy:     results.ByChannel.String(),
+			SeedFirst:   f.Opts.Cfg.Seed,
+			SeedCount:   1,
+			ShardCount:  1,
+			Params: map[string]string{
+				"rows_per_bank_region": strconv.Itoa(f.Opts.RowsPerBankRegion),
+				"hammers":              strconv.Itoa(f.Opts.Hammers),
+			},
+		},
+	}
+	for ch := 0; ch < g.Channels; ch++ {
+		a.Groups = append(a.Groups, results.Group{
+			Key: results.Key{Channel: ch},
+			Metrics: []results.Metric{
+				// Mean BER is already in percent; CV is dimensionless and
+				// in practice well under 10.
+				{Name: metricBankMeanBER, Stream: stats.NewStream(0, 100)},
+				{Name: metricBankCV, Stream: stats.NewStream(0, 10)},
+			},
+		})
+	}
+	for _, p := range f.Points {
+		grp := &a.Groups[p.Bank.Channel]
+		grp.Metrics[0].Stream.Add(p.MeanBER)
+		// CV is NaN for an all-zero bank (zero mean); streams hold finite
+		// samples only, so such banks are excluded from the CV
+		// distribution the way never-flipping rows are from HCfirst.
+		if !math.IsNaN(p.CV) {
+			grp.Metrics[1].Stream.Add(p.CV)
+		}
+	}
+	return a
+}

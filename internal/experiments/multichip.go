@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -11,6 +10,7 @@ import (
 	"github.com/safari-repro/hbmrh/internal/config"
 	"github.com/safari-repro/hbmrh/internal/core"
 	"github.com/safari-repro/hbmrh/internal/engine"
+	"github.com/safari-repro/hbmrh/internal/results"
 	"github.com/safari-repro/hbmrh/internal/stats"
 )
 
@@ -21,17 +21,23 @@ import (
 // observations are stable chip-to-chip.
 //
 // The study is built for fleet scale: per-chip row samples are folded
-// into per-region streaming accumulators (stats.Stream) as each chip
-// completes, in deterministic seed-index order, so resident sample memory
-// is O(regions) — not O(chips x rows) — and a 200-seed scan aggregates in
-// the same footprint as a 4-seed one.
+// into streaming accumulators (stats.Stream) at the finest aggregation
+// axis — region×channel, the paper's first-order result axis being per
+// channel — as each chip completes, in deterministic seed-index order, so
+// resident sample memory is O(regions × channels), not O(chips × rows).
+// The aggregates live in a results.Artifact, which serializes to a shard
+// file: a 1000-seed scan can run as N seed-range shards on N machines and
+// merge back into output byte-identical to a single-process run (the
+// accumulators merge order-independently bit for bit).
 
 // MultiChipOptions configures the study.
 type MultiChipOptions struct {
 	// Base is the chip design; each seed instantiates one chip of it.
 	// nil means config.PaperChip().
 	Base *config.Config
-	// Seeds are the chip instances to test.
+	// Seeds are the chip instances to test. Shard artifacts record the
+	// range [Seeds[0], Seeds[0]+len(Seeds)) and merge only contiguously,
+	// so fleet shards must slice one ascending seed run (results.ShardRange).
 	Seeds []uint64
 	// RowsPerRegion is the sweep sampling density per chip.
 	RowsPerRegion int
@@ -41,6 +47,14 @@ type MultiChipOptions struct {
 	// <= 0 means one at a time (each chip already parallelizes its sweep
 	// across Workers devices).
 	ChipWorkers int
+	// GroupBy selects the axis of rendered and exported aggregates:
+	// region (default), channel, or region-channel. The study always
+	// folds the finest axis; this only picks the view.
+	GroupBy results.GroupBy
+	// Shard/ShardCount record which slice of a sharded fleet run this is
+	// (informational, written to the artifact; the caller slices Seeds).
+	// Zero values mean an unsharded run.
+	Shard, ShardCount int
 	// Ctx cancels the study; it is threaded into every per-chip sweep
 	// down to per-measurement granularity.
 	Ctx context.Context
@@ -48,70 +62,110 @@ type MultiChipOptions struct {
 	Progress engine.ProgressFunc
 }
 
-// ChipSummary is one chip's headline numbers.
-type ChipSummary struct {
-	Seed uint64
-	// MinHCFirst is the chip's global minimum HCfirst.
-	MinHCFirst int
-	// WCDPRatio is the most/least vulnerable channel BER ratio.
-	WCDPRatio float64
-	// WorstChannel is the channel with the highest mean WCDP BER.
-	WorstChannel int
-	// TRRPeriod is the uncovered mitigation period (0 if aperiodic).
-	TRRPeriod int
-}
-
-// RegionAggregate is the fleet-level distribution of one paper region's
-// per-row WCDP metrics, streamed across every chip.
-type RegionAggregate struct {
-	// Region is the paper region name ("first", "middle", "last").
-	Region string
-	// BER accumulates every sampled row's WCDP bit error rate (fraction).
-	BER *stats.Stream
-	// HCFirst accumulates every sampled row's WCDP HCfirst in hammers;
-	// rows that never flip are excluded, as in Fig. 4.
-	HCFirst *stats.Stream
-}
+// ChipSummary is one chip's headline numbers, carried through shard
+// artifacts as a results.ChipRecord.
+type ChipSummary = results.ChipRecord
 
 // MultiChipStudy aggregates the per-chip summaries and the fleet-level
-// regional distributions.
+// distributions.
 type MultiChipStudy struct {
 	Opts MultiChipOptions
 	// Chips holds one fixed-size summary per seed (no sample slices).
 	Chips []ChipSummary
-	// Regions holds the streamed row-level aggregates in core.Regions
-	// order; identical for any ChipWorkers count.
-	Regions []RegionAggregate
+	// Artifact carries the provenance metadata and the region×channel
+	// streaming aggregates; identical for any ChipWorkers count, and the
+	// unit of shard serialization and merging.
+	Artifact *results.Artifact
+
+	// views memoizes derived axis views: Render plus the CSV and JSON
+	// exporters all read the same view at CLI exit, and deriving it
+	// re-clones and re-merges every fine-axis stream.
+	views map[results.GroupBy][]results.Group
 }
 
-// newRegionAggregates allocates empty accumulators for a bank layout. The
-// quantile domains are declared up front — BER is a fraction, HCfirst is
-// bounded by the search ceiling — which is what keeps shard merging
-// order-independent.
-func newRegionAggregates(rows int) []RegionAggregate {
-	regions := core.Regions(rows)
-	out := make([]RegionAggregate, len(regions))
-	for i, r := range regions {
-		out[i] = RegionAggregate{
-			Region:  r.Name,
-			BER:     stats.NewStream(0, 1),
-			HCFirst: stats.NewStream(0, float64(core.DefaultHammers)),
+// multiChipMetrics are the artifact metric names, in group order.
+const (
+	metricBER     = "wcdp_ber"
+	metricHCFirst = "wcdp_hc_first"
+)
+
+// newFineGroups allocates empty region×channel accumulators for a chip
+// design. The quantile domains are declared up front — BER is a fraction,
+// HCfirst is bounded by the search ceiling — which is what keeps shard
+// merging order-independent.
+func newFineGroups(cfg *config.Config) []results.Group {
+	regions := core.Regions(cfg.Geometry.Rows)
+	out := make([]results.Group, 0, len(regions)*cfg.Geometry.Channels)
+	for _, r := range regions {
+		for ch := 0; ch < cfg.Geometry.Channels; ch++ {
+			out = append(out, results.Group{
+				Key: results.Key{Region: r.Name, Channel: ch},
+				Metrics: []results.Metric{
+					{Name: metricBER, Stream: stats.NewStream(0, 1)},
+					{Name: metricHCFirst, Stream: stats.NewStream(0, float64(core.DefaultHammers))},
+				},
+			})
 		}
 	}
 	return out
 }
 
-// chipResult is one finished chip: its headline summary plus its regional
-// accumulators, ready to merge into the study's aggregates and discard.
+// foldSweepRows streams a sweep's per-row WCDP metrics into fine-axis
+// groups allocated by newFineGroups for the same design. Rows that never
+// flip are excluded from HCfirst, as in Fig. 4.
+func foldSweepRows(cfg *config.Config, groups []results.Group, rows []RowResult) {
+	channels := cfg.Geometry.Channels
+	regionIdx := make(map[string]int, 3)
+	for i, r := range core.Regions(cfg.Geometry.Rows) {
+		regionIdx[r.Name] = i
+	}
+	for i := range rows {
+		r := &rows[i]
+		g := &groups[regionIdx[r.Region]*channels+r.Channel]
+		g.Metrics[0].Stream.Add(r.WCDPBER())
+		if hc, found := r.WCDPHCFirst(); found {
+			g.Metrics[1].Stream.Add(float64(hc))
+		}
+	}
+}
+
+// chipResult is one finished chip: its headline summary plus its fine-axis
+// accumulators, ready to merge into the study's artifact and discard.
 type chipResult struct {
-	sum     ChipSummary
-	regions []RegionAggregate
+	sum    ChipSummary
+	groups []results.Group
+}
+
+// multiChipMeta builds the artifact provenance for one (possibly sharded)
+// study run.
+func multiChipMeta(o *MultiChipOptions) results.Meta {
+	shard, shardCount := o.Shard, o.ShardCount
+	if shardCount <= 0 {
+		shard, shardCount = 0, 1
+	}
+	return results.Meta{
+		Format:      results.FormatVersion,
+		Tool:        "chipscan",
+		CodeVersion: results.CodeVersion(),
+		ConfigHash:  fmt.Sprintf("%016x", o.Base.Hash()),
+		GroupBy:     results.ByRegionChannel.String(),
+		SeedFirst:   o.Seeds[0],
+		SeedCount:   len(o.Seeds),
+		Shard:       shard,
+		ShardCount:  shardCount,
+		Params: map[string]string{
+			"rows_per_region": strconv.Itoa(o.RowsPerRegion),
+		},
+	}
 }
 
 // RunMultiChip measures every seed's headline numbers and streams the
-// row-level distributions into the study's regional aggregates as chips
-// complete. The fold runs in strict seed-index order, so the aggregated
-// output is byte-identical for ChipWorkers=1 and ChipWorkers=N.
+// row-level distributions into the study's region×channel aggregates as
+// chips complete. The fold runs in strict seed-index order, so the
+// aggregated output is byte-identical for ChipWorkers=1 and ChipWorkers=N
+// — and, because the accumulators merge exactly, also byte-identical
+// between a single run over all seeds and a merge of contiguous seed-range
+// shards.
 func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
 	if o.Base == nil {
 		o.Base = config.PaperChip()
@@ -127,38 +181,47 @@ func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
 		chipWorkers = 1
 	}
 	study := &MultiChipStudy{
-		Opts:    o,
-		Chips:   make([]ChipSummary, 0, len(o.Seeds)),
-		Regions: newRegionAggregates(o.Base.Geometry.Rows),
-	}
-	regionIdx := make(map[string]int, len(study.Regions))
-	for i, r := range study.Regions {
-		regionIdx[r.Region] = i
+		Opts:  o,
+		Chips: make([]ChipSummary, 0, len(o.Seeds)),
+		Artifact: &results.Artifact{
+			Meta:   multiChipMeta(&o),
+			Groups: newFineGroups(o.Base),
+		},
 	}
 
 	eo := engine.Options{Ctx: o.Ctx, Workers: chipWorkers, OnProgress: o.Progress}
 	err := engine.Reduce(eo, len(o.Seeds),
 		func(ctx context.Context, i int) (chipResult, error) {
-			return measureChip(ctx, o, o.Seeds[i], regionIdx)
+			return measureChip(ctx, o, o.Seeds[i])
 		},
 		func(_ int, r chipResult) error {
 			study.Chips = append(study.Chips, r.sum)
-			for ri := range study.Regions {
-				study.Regions[ri].BER.Merge(r.regions[ri].BER)
-				study.Regions[ri].HCFirst.Merge(r.regions[ri].HCFirst)
-			}
+			results.MergeGroups(study.Artifact.Groups, r.groups)
 			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
+	study.Artifact.Chips = study.Chips
 	return study, nil
 }
 
+// StudyFromArtifact reconstructs a renderable study from a loaded (e.g.
+// merged) artifact: the chip records and aggregates come from the
+// artifact, gb selects the render axis. Measurement options are not
+// recoverable and stay zero.
+func StudyFromArtifact(a *results.Artifact, gb results.GroupBy) *MultiChipStudy {
+	return &MultiChipStudy{
+		Opts:     MultiChipOptions{GroupBy: gb},
+		Chips:    a.Chips,
+		Artifact: a,
+	}
+}
+
 // measureChip runs one seed's headline measurements and condenses the
-// sweep into the chip's summary plus per-region accumulators; the sweep's
+// sweep into the chip's summary plus fine-axis accumulators; the sweep's
 // per-row dataset is dropped when this returns.
-func measureChip(ctx context.Context, o MultiChipOptions, seed uint64, regionIdx map[string]int) (chipResult, error) {
+func measureChip(ctx context.Context, o MultiChipOptions, seed uint64) (chipResult, error) {
 	cfg := *o.Base
 	cfg.Seed = seed
 	// Each seed is its own pool key; release its warmed devices once the
@@ -182,14 +245,8 @@ func measureChip(ctx context.Context, o MultiChipOptions, seed uint64, regionIdx
 			worst = ch
 		}
 	}
-	regions := newRegionAggregates(o.Base.Geometry.Rows)
-	for _, r := range sweep.Rows {
-		agg := &regions[regionIdx[r.Region]]
-		agg.BER.Add(r.WCDPBER())
-		if hc, found := r.WCDPHCFirst(); found {
-			agg.HCFirst.Add(float64(hc))
-		}
-	}
+	groups := newFineGroups(o.Base)
+	foldSweepRows(o.Base, groups, sweep.Rows)
 	trr, err := RunTRRStudy(TRRStudyOptions{
 		Cfg:  &cfg,
 		Bank: addr.BankAddr{Channel: 0, PseudoChannel: 0, Bank: 0},
@@ -206,11 +263,50 @@ func measureChip(ctx context.Context, o MultiChipOptions, seed uint64, regionIdx
 			WorstChannel: worst,
 			TRRPeriod:    trr.Period,
 		},
-		regions: regions,
+		groups: groups,
 	}, nil
 }
 
-// Render prints the chip-to-chip comparison and the fleet aggregates.
+// metricLabel maps artifact metric names to report labels.
+func metricLabel(name string) string {
+	switch name {
+	case metricBER:
+		return "BER%"
+	case metricHCFirst:
+		return "HCfirst"
+	}
+	return name
+}
+
+// metricScale maps artifact metric names to display scale factors (BER
+// fraction to percent).
+func metricScale(name string) float64 {
+	if name == metricBER {
+		return 100
+	}
+	return 1
+}
+
+// Groups returns the study's aggregates at the configured view axis,
+// derived once per axis and memoized (the study's aggregates are final
+// once RunMultiChip or StudyFromArtifact returns).
+func (s *MultiChipStudy) Groups() ([]results.Group, error) {
+	if g, ok := s.views[s.Opts.GroupBy]; ok {
+		return g, nil
+	}
+	g, err := s.Artifact.View(s.Opts.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	if s.views == nil {
+		s.views = map[results.GroupBy][]results.Group{}
+	}
+	s.views[s.Opts.GroupBy] = g
+	return g, nil
+}
+
+// Render prints the chip-to-chip comparison and the fleet aggregates at
+// the configured axis.
 func (s *MultiChipStudy) Render() string {
 	var sb strings.Builder
 	sb.WriteString("Extension: chip-to-chip variation (future work 1)\n")
@@ -227,115 +323,42 @@ func (s *MultiChipStudy) Render() string {
 		fmt.Fprintf(&sb, "min HCfirst across chips: %.0f .. %.0f (mean %.0f)\n",
 			mins.Min(), mins.Max(), mins.Mean())
 	}
-	sb.WriteString("\nfleet aggregate: per-row WCDP metrics streamed across all chips\n")
-	for _, r := range s.Regions {
-		if r.BER.N() > 0 {
-			fmt.Fprintf(&sb, "region %-7s BER%%     %s\n", r.Region, scaled(r.BER.Summary(), 100))
-		}
-		if r.HCFirst.N() > 0 {
-			fmt.Fprintf(&sb, "region %-7s HCfirst  %s\n", r.Region, r.HCFirst.Summary())
-		}
+	fmt.Fprintf(&sb, "\nfleet aggregate: per-row WCDP metrics streamed across all chips, by %s\n",
+		s.Opts.GroupBy)
+	groups, err := s.Groups()
+	if err != nil {
+		fmt.Fprintf(&sb, "(aggregates unavailable: %v)\n", err)
+		return sb.String()
 	}
+	sb.WriteString(results.RenderGroups(groups, metricLabel, metricScale))
 	return sb.String()
 }
 
-// scaled multiplies a summary's value fields for display (BER fraction to
-// percent) without touching N.
-func scaled(sum stats.Summary, k float64) stats.Summary {
-	sum.Min *= k
-	sum.Q1 *= k
-	sum.Median *= k
-	sum.Q3 *= k
-	sum.Max *= k
-	sum.Mean *= k
-	sum.StdDev *= k
-	return sum
-}
-
-// AggregateCSV exports the fleet-level regional distributions, one row
-// per region and metric. Metrics with no samples (e.g. HCfirst when no
-// row flipped) are skipped.
+// AggregateCSV exports the fleet-level distributions at the configured
+// axis, one row per group and metric. Metrics with no samples (e.g.
+// HCfirst when no row flipped) are skipped.
 func (s *MultiChipStudy) AggregateCSV() (headers []string, rows [][]string) {
-	headers = []string{"region", "metric", "n", "min", "q1", "median", "q3", "max", "mean", "stddev"}
-	emit := func(region, metric string, st *stats.Stream) {
-		if st.N() == 0 {
-			return
-		}
-		sum := st.Summary()
-		rows = append(rows, []string{
-			region, metric,
-			strconv.Itoa(sum.N),
-			fmtG(sum.Min), fmtG(sum.Q1), fmtG(sum.Median), fmtG(sum.Q3),
-			fmtG(sum.Max), fmtG(sum.Mean), fmtG(sum.StdDev),
-		})
+	groups, err := s.Groups()
+	if err != nil {
+		// RunMultiChip always stores the finest axis, so every view
+		// derives; a study reconstructed from a foreign artifact
+		// (StudyFromArtifact) can hold a coarser axis, and callers must
+		// pre-flight the view with Groups() first. Past that contract,
+		// failing loudly beats silently exporting nothing.
+		panic(err)
 	}
-	for _, r := range s.Regions {
-		emit(r.Region, "wcdp_ber", r.BER)
-		emit(r.Region, "wcdp_hc_first", r.HCFirst)
-	}
-	return headers, rows
+	return results.SummaryCSVGroups(s.Opts.GroupBy, groups)
 }
 
-func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-
-// summaryJSON pins the export schema to snake_case independently of
-// stats.Summary's Go field names, so a rename there cannot silently
-// change the -json format.
-type summaryJSON struct {
-	N      int     `json:"n"`
-	Min    float64 `json:"min"`
-	Q1     float64 `json:"q1"`
-	Median float64 `json:"median"`
-	Q3     float64 `json:"q3"`
-	Max    float64 `json:"max"`
-	Mean   float64 `json:"mean"`
-	StdDev float64 `json:"stddev"`
-}
-
-func toSummaryJSON(sum stats.Summary) *summaryJSON {
-	return &summaryJSON{
-		N: sum.N, Min: sum.Min, Q1: sum.Q1, Median: sum.Median,
-		Q3: sum.Q3, Max: sum.Max, Mean: sum.Mean, StdDev: sum.StdDev,
-	}
-}
-
-// AggregateJSON exports the per-chip summaries and the fleet-level
-// regional distributions as deterministic JSON (fixed field order, seeds
-// in study order, snake_case keys throughout).
+// AggregateJSON exports the artifact provenance, per-chip summaries and
+// the fleet-level distributions at the configured axis as deterministic
+// JSON (fixed field order, seeds in study order, snake_case keys).
 func (s *MultiChipStudy) AggregateJSON() ([]byte, error) {
-	type regionJSON struct {
-		Region  string       `json:"region"`
-		BER     *summaryJSON `json:"wcdp_ber,omitempty"`
-		HCFirst *summaryJSON `json:"wcdp_hc_first,omitempty"`
+	groups, err := s.Groups()
+	if err != nil {
+		return nil, err
 	}
-	type chipJSON struct {
-		Seed         uint64  `json:"seed"`
-		MinHCFirst   int     `json:"min_hc_first"`
-		WCDPRatio    float64 `json:"wcdp_ratio"`
-		WorstChannel int     `json:"worst_channel"`
-		TRRPeriod    int     `json:"trr_period"`
-	}
-	out := struct {
-		Chips   []chipJSON   `json:"chips"`
-		Regions []regionJSON `json:"regions"`
-	}{
-		Chips:   make([]chipJSON, 0, len(s.Chips)),
-		Regions: make([]regionJSON, 0, len(s.Regions)),
-	}
-	for _, c := range s.Chips {
-		out.Chips = append(out.Chips, chipJSON(c))
-	}
-	for _, r := range s.Regions {
-		rj := regionJSON{Region: r.Region}
-		if r.BER.N() > 0 {
-			rj.BER = toSummaryJSON(r.BER.Summary())
-		}
-		if r.HCFirst.N() > 0 {
-			rj.HCFirst = toSummaryJSON(r.HCFirst.Summary())
-		}
-		out.Regions = append(out.Regions, rj)
-	}
-	return json.MarshalIndent(out, "", "  ")
+	return s.Artifact.SummaryJSONGroups(groups)
 }
 
 // StableObservations reports which of the paper's key observations hold

@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
 	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/results"
 	"github.com/safari-repro/hbmrh/internal/stats"
 )
 
@@ -26,17 +29,36 @@ func fleetStudy(t testing.TB, chipWorkers int, seeds []uint64) *MultiChipStudy {
 	return s
 }
 
+// regionView returns the study's aggregates at the region axis, keyed by
+// region name and metric.
+func regionView(t *testing.T, s *MultiChipStudy) map[string]map[string]*stats.Stream {
+	t.Helper()
+	groups, err := s.Artifact.View(results.ByRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]map[string]*stats.Stream{}
+	for _, g := range groups {
+		ms := map[string]*stats.Stream{}
+		for _, m := range g.Metrics {
+			ms[m.Name] = m.Stream
+		}
+		out[g.Key.Region] = ms
+	}
+	return out
+}
+
 // TestMultiChipStreamingMatchesBatch is the streaming-vs-batch
 // equivalence check at the study level: the aggregates that RunMultiChip
-// streams per region must equal batch summaries of the same rows
-// recomputed from independent per-seed sweeps. The fleet is small enough
-// that the streams stay in exact mode, so equality is bitwise.
+// streams per region and channel must equal batch summaries of the same
+// rows recomputed from independent per-seed sweeps. The fleet is small
+// enough that the streams stay in exact mode, so equality is bitwise.
 func TestMultiChipStreamingMatchesBatch(t *testing.T) {
 	seeds := []uint64{5, 6, 7}
 	s := fleetStudy(t, 2, seeds)
 
-	batchBER := map[string][]float64{}
-	batchHC := map[string][]float64{}
+	batchBER := map[results.Key][]float64{}
+	batchHC := map[results.Key][]float64{}
 	for _, seed := range seeds {
 		cfg := *config.SmallChip()
 		cfg.Seed = seed
@@ -45,40 +67,58 @@ func TestMultiChipStreamingMatchesBatch(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, r := range sweep.Rows {
-			batchBER[r.Region] = append(batchBER[r.Region], r.WCDPBER())
+			k := results.Key{Region: r.Region, Channel: r.Channel}
+			batchBER[k] = append(batchBER[k], r.WCDPBER())
 			if hc, found := r.WCDPHCFirst(); found {
-				batchHC[r.Region] = append(batchHC[r.Region], float64(hc))
+				batchHC[k] = append(batchHC[k], float64(hc))
 			}
 		}
 	}
 
-	if len(s.Regions) != 3 {
-		t.Fatalf("%d region aggregates, want 3", len(s.Regions))
+	channels := config.SmallChip().Geometry.Channels
+	if want := 3 * channels; len(s.Artifact.Groups) != want {
+		t.Fatalf("%d fine groups, want %d", len(s.Artifact.Groups), want)
 	}
-	for _, agg := range s.Regions {
-		if agg.BER.Sketched() {
-			t.Fatalf("region %s: stream sketched on a tiny fleet", agg.Region)
+	for _, g := range s.Artifact.Groups {
+		ber, hc := g.Metrics[0].Stream, g.Metrics[1].Stream
+		if ber.Sketched() {
+			t.Fatalf("group %v: stream sketched on a tiny fleet", g.Key)
 		}
-		wantBER := stats.Summarize(batchBER[agg.Region])
-		if got := agg.BER.Summary(); got != wantBER {
-			t.Errorf("region %s: streamed BER %+v != batch %+v", agg.Region, got, wantBER)
+		wantBER := stats.Summarize(batchBER[g.Key])
+		if got := ber.Summary(); got != wantBER {
+			t.Errorf("group %v: streamed BER %+v != batch %+v", g.Key, got, wantBER)
 		}
-		if hc := batchHC[agg.Region]; len(hc) > 0 {
-			wantHC := stats.Summarize(hc)
-			if got := agg.HCFirst.Summary(); got != wantHC {
-				t.Errorf("region %s: streamed HCfirst %+v != batch %+v", agg.Region, got, wantHC)
+		if vals := batchHC[g.Key]; len(vals) > 0 {
+			wantHC := stats.Summarize(vals)
+			if got := hc.Summary(); got != wantHC {
+				t.Errorf("group %v: streamed HCfirst %+v != batch %+v", g.Key, got, wantHC)
 			}
-		} else if agg.HCFirst.N() != 0 {
-			t.Errorf("region %s: stream holds %d HCfirst samples, batch found none",
-				agg.Region, agg.HCFirst.N())
+		} else if hc.N() != 0 {
+			t.Errorf("group %v: stream holds %d HCfirst samples, batch found none", g.Key, hc.N())
+		}
+	}
+
+	// The derived region view must aggregate exactly the union of its
+	// channels' samples.
+	regions := regionView(t, s)
+	if len(regions) != 3 {
+		t.Fatalf("%d region groups, want 3", len(regions))
+	}
+	for region, ms := range regions {
+		var all []float64
+		for ch := 0; ch < channels; ch++ {
+			all = append(all, batchBER[results.Key{Region: region, Channel: ch}]...)
+		}
+		if got, want := ms[metricBER].Summary(), stats.Summarize(all); got != want {
+			t.Errorf("region %s: derived view %+v != batch %+v", region, got, want)
 		}
 	}
 }
 
 // TestMultiChipDeterministicAcrossChipWorkers is the fleet determinism
 // regression: chip-parallel scans must produce byte-identical aggregated
-// output — render, CSV and JSON — for the same seed set at any worker
-// count, because the streaming fold runs in seed-index order.
+// output — render, CSV and JSON on every axis — for the same seed set at
+// any worker count, because the streaming fold runs in seed-index order.
 func TestMultiChipDeterministicAcrossChipWorkers(t *testing.T) {
 	seeds := []uint64{40, 41, 42, 43, 44, 45}
 	serial := fleetStudy(t, 1, seeds)
@@ -91,28 +131,122 @@ func TestMultiChipDeterministicAcrossChipWorkers(t *testing.T) {
 	if a, b := serial.Render(), parallel.Render(); a != b {
 		t.Fatalf("rendered output differs across worker counts:\n%s\nvs\n%s", a, b)
 	}
-	ha, ra := serial.AggregateCSV()
-	hb, rb := parallel.AggregateCSV()
-	if !reflect.DeepEqual(ha, hb) || !reflect.DeepEqual(ra, rb) {
-		t.Fatalf("aggregate CSV differs across worker counts:\n%v\nvs\n%v", ra, rb)
+	for _, gb := range []results.GroupBy{results.ByRegion, results.ByChannel, results.ByRegionChannel} {
+		serial.Opts.GroupBy, parallel.Opts.GroupBy = gb, gb
+		ha, ra := serial.AggregateCSV()
+		hb, rb := parallel.AggregateCSV()
+		if !reflect.DeepEqual(ha, hb) || !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("%v: aggregate CSV differs across worker counts:\n%v\nvs\n%v", gb, ra, rb)
+		}
+		ja, err := serial.AggregateJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := parallel.AggregateJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("%v: aggregate JSON differs across worker counts:\n%s\nvs\n%s", gb, ja, jb)
+		}
 	}
-	ja, err := serial.AggregateJSON()
+}
+
+// TestMultiChipShardMergeMatchesSingleProcess pins the fleet-sharding
+// contract end to end: 32 seeds measured in one process versus four
+// contiguous seed-range shards — each serialized to an artifact file, as
+// on four machines — loaded back and merged must render byte-identical
+// CSV and JSON on every axis.
+func TestMultiChipShardMergeMatchesSingleProcess(t *testing.T) {
+	base := config.SmallChip()
+	const chips, shards = 32, 4
+	seeds := make([]uint64, chips)
+	for i := range seeds {
+		seeds[i] = base.Seed + uint64(i)
+	}
+	run := func(seedSlice []uint64, shard, shardCount int) *MultiChipStudy {
+		s, err := RunMultiChip(MultiChipOptions{
+			Base:          base,
+			Seeds:         seedSlice,
+			RowsPerRegion: 2,
+			ChipWorkers:   2,
+			Shard:         shard,
+			ShardCount:    shardCount,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	single := run(seeds, 0, 0)
+
+	dir := t.TempDir()
+	paths := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		lo, hi := results.ShardRange(chips, i, shards)
+		shardStudy := run(seeds[lo:hi], i, shards)
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		if err := shardStudy.Artifact.WriteFile(paths[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged, err := results.ReadFile(paths[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	jb, err := parallel.AggregateJSON()
-	if err != nil {
-		t.Fatal(err)
+	for _, p := range paths[1:] {
+		next, err := results.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := results.Merge(merged, next); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if !bytes.Equal(ja, jb) {
-		t.Fatalf("aggregate JSON differs across worker counts:\n%s\nvs\n%s", ja, jb)
+
+	if !reflect.DeepEqual(single.Artifact.Meta, merged.Meta) {
+		t.Fatalf("merged meta differs from single-process run:\n%+v\nvs\n%+v",
+			single.Artifact.Meta, merged.Meta)
+	}
+	if !reflect.DeepEqual(single.Chips, merged.Chips) {
+		t.Fatal("merged chip records differ from single-process run")
+	}
+	for _, gb := range []results.GroupBy{results.ByRegion, results.ByChannel, results.ByRegionChannel} {
+		hs, rs, err := single.Artifact.SummaryCSV(gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hm, rm, err := merged.SummaryCSV(gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(hs, hm) || !reflect.DeepEqual(rs, rm) {
+			t.Fatalf("%v: sharded CSV differs from single-process run:\n%v\nvs\n%v", gb, rs, rm)
+		}
+		js, err := single.Artifact.SummaryJSON(gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jm, err := merged.SummaryJSON(gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(js, jm) {
+			t.Fatalf("%v: sharded JSON differs from single-process run:\n%s\nvs\n%s", gb, js, jm)
+		}
+	}
+	// The reconstructed study renders like the original.
+	if a, b := single.Render(), StudyFromArtifact(merged, results.ByRegion).Render(); a != b {
+		t.Fatalf("merged render differs:\n%s\nvs\n%s", a, b)
 	}
 }
 
 func TestMultiChipRetainsNoSampleSlices(t *testing.T) {
 	// The fleet contract: the study keeps fixed-size chip summaries and
-	// O(regions) accumulators, never per-chip sample slices. ChipSummary
-	// staying slice-free is what the reflection walk pins down.
+	// O(regions x channels) accumulators, never per-chip sample slices.
+	// ChipSummary staying slice-free is what the reflection walk pins
+	// down.
 	var c ChipSummary
 	ty := reflect.TypeOf(c)
 	for i := 0; i < ty.NumField(); i++ {
@@ -122,8 +256,9 @@ func TestMultiChipRetainsNoSampleSlices(t *testing.T) {
 		}
 	}
 	s := fleetStudy(t, 2, []uint64{9, 10})
-	if len(s.Regions) != 3 {
-		t.Fatalf("%d region aggregates, want 3", len(s.Regions))
+	channels := config.SmallChip().Geometry.Channels
+	if want := 3 * channels; len(s.Artifact.Groups) != want {
+		t.Fatalf("%d fine groups, want %d", len(s.Artifact.Groups), want)
 	}
 }
 
@@ -134,6 +269,11 @@ func TestMultiChipRenderIncludesFleetAggregates(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}
+	}
+	s.Opts.GroupBy = results.ByChannel
+	out = s.Render()
+	if !strings.Contains(out, "by channel") || !strings.Contains(out, "channel 0") {
+		t.Errorf("channel-axis render missing channel groups:\n%s", out)
 	}
 }
 
@@ -151,11 +291,22 @@ func TestMultiChipAggregateExports(t *testing.T) {
 			t.Fatalf("CSV row %v arity mismatch", r)
 		}
 	}
+	// The channel axis widens the export to one row per channel/metric.
+	s.Opts.GroupBy = results.ByRegionChannel
+	chHeaders, chRows := s.AggregateCSV()
+	if len(chHeaders) != 11 {
+		t.Fatalf("%d CSV headers on the region-channel axis", len(chHeaders))
+	}
+	if len(chRows) <= len(rows) {
+		t.Fatalf("region-channel export has %d rows, region export %d", len(chRows), len(rows))
+	}
+	s.Opts.GroupBy = results.ByRegion
+
 	js, err := s.AggregateJSON()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"chips"`, `"regions"`, `"wcdp_ber"`, `"seed"`, `"median"`, `"stddev"`} {
+	for _, want := range []string{`"meta"`, `"config_hash"`, `"chips"`, `"groups"`, `"wcdp_ber"`, `"seed"`, `"median"`, `"stddev"`} {
 		if !bytes.Contains(js, []byte(want)) {
 			t.Errorf("aggregate JSON missing %s:\n%s", want, js)
 		}
@@ -163,5 +314,55 @@ func TestMultiChipAggregateExports(t *testing.T) {
 	// The schema is snake_case throughout: no Go-cased Summary keys.
 	if bytes.Contains(js, []byte(`"Median"`)) || bytes.Contains(js, []byte(`"StdDev"`)) {
 		t.Errorf("aggregate JSON leaks Go-cased summary keys:\n%s", js)
+	}
+}
+
+// TestSweepAndFig6ArtifactsShareTheSchema pins the unified results layer:
+// the figure drivers that produce distributions emit the same artifact
+// shape the fleet study does, renderable by the same exporters.
+func TestSweepAndFig6ArtifactsShareTheSchema(t *testing.T) {
+	sweep, err := RunSweep(Options{Cfg: config.SmallChip(), RowsPerRegion: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := sweep.Artifact()
+	channels := config.SmallChip().Geometry.Channels
+	if len(sa.Groups) != 3*channels {
+		t.Fatalf("sweep artifact has %d groups", len(sa.Groups))
+	}
+	total := 0
+	for _, g := range sa.Groups {
+		total += g.Metrics[0].Stream.N()
+	}
+	if total != len(sweep.Rows) {
+		t.Fatalf("sweep artifact folded %d BER samples for %d rows", total, len(sweep.Rows))
+	}
+	if _, _, err := sa.SummaryCSV(results.ByChannel); err != nil {
+		t.Fatalf("sweep artifact channel view: %v", err)
+	}
+	if _, err := sa.MarshalIndented(); err != nil {
+		t.Fatalf("sweep artifact serialize: %v", err)
+	}
+
+	f6, err := RunFig6(Fig6Options{Cfg: config.SmallChip(), RowsPerBankRegion: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := f6.Artifact()
+	if len(fa.Groups) != channels {
+		t.Fatalf("fig6 artifact has %d groups", len(fa.Groups))
+	}
+	banksPerChannel := len(f6.Points) / channels
+	for _, g := range fa.Groups {
+		if n := g.Metrics[0].Stream.N(); n != banksPerChannel {
+			t.Fatalf("fig6 channel %d folded %d banks, want %d", g.Key.Channel, n, banksPerChannel)
+		}
+	}
+	js, err := fa.SummaryJSON(results.ByChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(js, []byte(`"bank_mean_ber_pct"`)) {
+		t.Fatalf("fig6 summary JSON missing metrics:\n%s", js)
 	}
 }

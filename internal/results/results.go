@@ -1,0 +1,386 @@
+// Package results is the unified results layer of the study drivers: a
+// typed, serializable artifact schema for aggregated distributions.
+//
+// An Artifact names its aggregation axis (per region, per channel, or
+// region×channel — the paper's first-order axis is per channel), carries
+// the provenance that makes merging safe (config hash, seed range, code
+// version, format version), and holds one streaming accumulator
+// (stats.Stream) per group and metric. Because the accumulators merge
+// order-independently bit for bit, N shard artifacts produced on N
+// machines and merged with Merge render byte-identical summaries to a
+// single-process run over the union of their seed ranges — the property
+// that turns chipscan into a distributable fleet tool.
+//
+// The schema is deliberately driver-agnostic: the multi-chip study emits
+// its fleet aggregates through it, and the figure drivers that produce
+// distributions (the Figs. 3-5 sweep, the Fig. 6 bank scatter) emit the
+// same shape, so every summary export in the repo shares one CSV/JSON
+// renderer and one merge path.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+
+	"github.com/safari-repro/hbmrh/internal/stats"
+)
+
+// FormatVersion is the artifact schema version. Merge refuses artifacts
+// of a different version; bump it on any incompatible schema change.
+const FormatVersion = 1
+
+// GroupBy selects an aggregation axis.
+type GroupBy int
+
+const (
+	// ByRegion groups by paper region (first/middle/last), the seed
+	// state's only axis.
+	ByRegion GroupBy = iota
+	// ByChannel groups by HBM2 channel, the paper's first-order
+	// vulnerability axis.
+	ByChannel
+	// ByRegionChannel is the finest axis: one group per region×channel
+	// cell. Artifacts store this axis; coarser views derive from it.
+	ByRegionChannel
+)
+
+// String returns the canonical flag spelling of the axis.
+func (g GroupBy) String() string {
+	switch g {
+	case ByRegion:
+		return "region"
+	case ByChannel:
+		return "channel"
+	case ByRegionChannel:
+		return "region-channel"
+	}
+	return fmt.Sprintf("groupby(%d)", int(g))
+}
+
+// ParseGroupBy parses the flag spelling produced by String.
+func ParseGroupBy(s string) (GroupBy, error) {
+	switch s {
+	case "region":
+		return ByRegion, nil
+	case "channel":
+		return ByChannel, nil
+	case "region-channel":
+		return ByRegionChannel, nil
+	}
+	return 0, fmt.Errorf("results: unknown group-by axis %q (want region, channel or region-channel)", s)
+}
+
+// Key identifies one aggregation group. Region is "" when the axis has no
+// region component; Channel is -1 when it has no channel component.
+type Key struct {
+	Region  string `json:"region,omitempty"`
+	Channel int    `json:"channel"`
+}
+
+// NoChannel is the Key.Channel sentinel for axes without a channel
+// component.
+const NoChannel = -1
+
+// Label renders the key for reports ("region first", "channel 3",
+// "region first ch3").
+func (k Key) Label() string {
+	switch {
+	case k.Region != "" && k.Channel != NoChannel:
+		return fmt.Sprintf("region %s ch%d", k.Region, k.Channel)
+	case k.Region != "":
+		return "region " + k.Region
+	default:
+		return fmt.Sprintf("channel %d", k.Channel)
+	}
+}
+
+// Metric is one named distribution of a group.
+type Metric struct {
+	Name   string        `json:"name"`
+	Stream *stats.Stream `json:"stream"`
+}
+
+// Group is one aggregation cell: a key plus its metric accumulators in a
+// fixed order.
+type Group struct {
+	Key     Key      `json:"key"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// ChipRecord is one chip instance's fixed-size headline numbers, carried
+// through shard artifacts so a merged fleet report lists every chip.
+type ChipRecord struct {
+	Seed uint64 `json:"seed"`
+	// MinHCFirst is the chip's global minimum HCfirst.
+	MinHCFirst int `json:"min_hc_first"`
+	// WCDPRatio is the most/least vulnerable channel BER ratio.
+	WCDPRatio float64 `json:"wcdp_ratio"`
+	// WorstChannel is the channel with the highest mean WCDP BER.
+	WorstChannel int `json:"worst_channel"`
+	// TRRPeriod is the uncovered mitigation period (0 if aperiodic).
+	TRRPeriod int `json:"trr_period"`
+}
+
+// Meta is an artifact's provenance: everything Merge must check before
+// two artifacts may be combined, plus the seed-range bookkeeping that
+// keeps shard unions canonical.
+type Meta struct {
+	// Format is the schema version (FormatVersion at write time).
+	Format int `json:"format"`
+	// Tool names the producing driver ("chipscan", "sweep", "fig6");
+	// artifacts from different drivers never merge.
+	Tool string `json:"tool"`
+	// CodeVersion identifies the producing build; shards measured by
+	// different code must not merge (the fault model or methodology may
+	// have changed between builds).
+	CodeVersion string `json:"code_version"`
+	// ConfigHash fingerprints the base chip configuration
+	// (config.Config.Hash, hex). Shards of one fleet scan share it.
+	ConfigHash string `json:"config_hash"`
+	// GroupBy is the stored aggregation axis (coarser views derive at
+	// render time).
+	GroupBy string `json:"group_by"`
+	// SeedFirst/SeedCount describe the contiguous seed range this
+	// artifact covers. Merge requires ranges to be contiguous and
+	// ascending, which makes the merged artifact independent of how the
+	// range was sharded.
+	SeedFirst uint64 `json:"seed_first"`
+	SeedCount int    `json:"seed_count"`
+	// Shard/ShardCount record which slice of a sharded run this artifact
+	// is (0/1 for unsharded and merged artifacts).
+	Shard      int `json:"shard"`
+	ShardCount int `json:"shard_count"`
+	// Params pins the remaining knobs that must match for a merge to be
+	// meaningful (sampling density, hammer count, ...). Keys marshal
+	// sorted, so the JSON form is deterministic.
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Artifact is one serializable results payload: provenance, per-chip
+// records (for chip-granular studies) and the aggregation groups.
+type Artifact struct {
+	Meta   Meta         `json:"meta"`
+	Chips  []ChipRecord `json:"chips,omitempty"`
+	Groups []Group      `json:"groups"`
+}
+
+// CodeVersion returns the identifier recorded in Meta.CodeVersion: the
+// main module's version (with VCS revision when the build stamps one),
+// or "dev" for unstamped builds (`go test`, and `go run` without VCS
+// stamping). The code-version merge gate is therefore only as strong as
+// the build pipeline: distributed fleets should ship a `go build`
+// binary, where the VCS revision is stamped and divergent checkouts are
+// refused; two unstamped "dev" builds are indistinguishable and merge on
+// config-hash/params compatibility alone.
+func CodeVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	v := bi.Main.Version
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			v += "+" + s.Value
+		}
+	}
+	if v == "" || v == "(devel)" {
+		return "dev"
+	}
+	return v
+}
+
+// CompatibleWith reports, as an error, the first reason b cannot merge
+// into a: format/tool/code/config/axis/params skew, or structurally
+// misaligned groups.
+func (a *Artifact) CompatibleWith(b *Artifact) error {
+	am, bm := &a.Meta, &b.Meta
+	switch {
+	case am.Format != bm.Format:
+		return fmt.Errorf("results: format version %d vs %d", am.Format, bm.Format)
+	case am.Tool != bm.Tool:
+		return fmt.Errorf("results: artifacts from different tools: %q vs %q", am.Tool, bm.Tool)
+	case am.CodeVersion != bm.CodeVersion:
+		return fmt.Errorf("results: artifacts from different builds: %q vs %q", am.CodeVersion, bm.CodeVersion)
+	case am.ConfigHash != bm.ConfigHash:
+		return fmt.Errorf("results: artifacts of different chip configs: %s vs %s", am.ConfigHash, bm.ConfigHash)
+	case am.GroupBy != bm.GroupBy:
+		return fmt.Errorf("results: artifacts on different axes: %q vs %q", am.GroupBy, bm.GroupBy)
+	}
+	if len(am.Params) != len(bm.Params) {
+		return fmt.Errorf("results: artifacts with different parameter sets")
+	}
+	for k, v := range am.Params {
+		if bv, ok := bm.Params[k]; !ok || bv != v {
+			return fmt.Errorf("results: parameter %q: %q vs %q", k, v, bm.Params[k])
+		}
+	}
+	if len(a.Groups) != len(b.Groups) {
+		return fmt.Errorf("results: %d groups vs %d", len(a.Groups), len(b.Groups))
+	}
+	for i := range a.Groups {
+		ga, gb := &a.Groups[i], &b.Groups[i]
+		if ga.Key != gb.Key {
+			return fmt.Errorf("results: group %d keys differ: %v vs %v", i, ga.Key, gb.Key)
+		}
+		if len(ga.Metrics) != len(gb.Metrics) {
+			return fmt.Errorf("results: group %v metric counts differ", ga.Key)
+		}
+		for j := range ga.Metrics {
+			ma, mb := &ga.Metrics[j], &gb.Metrics[j]
+			if ma.Name != mb.Name {
+				return fmt.Errorf("results: group %v metric %d: %q vs %q", ga.Key, j, ma.Name, mb.Name)
+			}
+			if err := ma.Stream.CompatibleWith(mb.Stream); err != nil {
+				return fmt.Errorf("results: group %v metric %q: %w", ga.Key, ma.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Merge folds b into a after verifying compatibility, seed-range
+// contiguity and chip uniqueness. The merged artifact covers the union
+// range and is normalized to an unsharded view (Shard 0/1), so merging
+// all shards of a run reproduces the single-process artifact's metadata.
+// On error a is left unmodified.
+func Merge(a, b *Artifact) error {
+	if err := a.CompatibleWith(b); err != nil {
+		return err
+	}
+	if b.Meta.SeedFirst != a.Meta.SeedFirst+uint64(a.Meta.SeedCount) {
+		return fmt.Errorf("results: seed ranges not contiguous: [%d,+%d) then [%d,+%d) — merge shards in ascending seed order with no gaps",
+			a.Meta.SeedFirst, a.Meta.SeedCount, b.Meta.SeedFirst, b.Meta.SeedCount)
+	}
+	seen := make(map[uint64]bool, len(a.Chips))
+	for _, c := range a.Chips {
+		seen[c.Seed] = true
+	}
+	for _, c := range b.Chips {
+		if seen[c.Seed] {
+			return fmt.Errorf("results: chip seed %#x present in both artifacts", c.Seed)
+		}
+	}
+	for i := range a.Groups {
+		for j := range a.Groups[i].Metrics {
+			a.Groups[i].Metrics[j].Stream.Merge(b.Groups[i].Metrics[j].Stream)
+		}
+	}
+	a.Chips = append(a.Chips, b.Chips...)
+	a.Meta.SeedCount += b.Meta.SeedCount
+	a.Meta.Shard, a.Meta.ShardCount = 0, 1
+	return nil
+}
+
+// MergeGroups folds src's streams into dst without metadata checks; the
+// group structures must align (the in-process fold of one study, where
+// every per-chip group set comes from the same allocator). It panics on
+// structural mismatch, like stats.Stream.Merge.
+func MergeGroups(dst, src []Group) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("results: merging misaligned group sets: %d vs %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		if dst[i].Key != src[i].Key || len(dst[i].Metrics) != len(src[i].Metrics) {
+			panic(fmt.Sprintf("results: merging misaligned group %d: %v vs %v", i, dst[i].Key, src[i].Key))
+		}
+		for j := range dst[i].Metrics {
+			dst[i].Metrics[j].Stream.Merge(src[i].Metrics[j].Stream)
+		}
+	}
+}
+
+// View derives the artifact's groups at the requested axis. The stored
+// axis is returned as-is; coarser axes merge the stored region×channel
+// streams in canonical order (regions in stored order, channels
+// ascending), so a view is as deterministic as the artifact itself.
+func (a *Artifact) View(gb GroupBy) ([]Group, error) {
+	stored, err := ParseGroupBy(a.Meta.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	if gb == stored {
+		return a.Groups, nil
+	}
+	if stored != ByRegionChannel {
+		return nil, fmt.Errorf("results: artifact stores axis %q; only region-channel artifacts support other views", a.Meta.GroupBy)
+	}
+	var coarse func(Key) Key
+	switch gb {
+	case ByRegion:
+		coarse = func(k Key) Key { return Key{Region: k.Region, Channel: NoChannel} }
+	case ByChannel:
+		coarse = func(k Key) Key { return Key{Channel: k.Channel} }
+	default:
+		return nil, fmt.Errorf("results: cannot derive view %v", gb)
+	}
+	idx := map[Key]int{}
+	var out []Group
+	for _, g := range a.Groups {
+		key := coarse(g.Key)
+		i, ok := idx[key]
+		if !ok {
+			i = len(out)
+			idx[key] = i
+			ms := make([]Metric, len(g.Metrics))
+			for j, m := range g.Metrics {
+				ms[j] = Metric{Name: m.Name, Stream: m.Stream.Clone()}
+			}
+			out = append(out, Group{Key: key, Metrics: ms})
+			continue
+		}
+		if len(out[i].Metrics) != len(g.Metrics) {
+			return nil, fmt.Errorf("results: group %v metric sets differ across cells", key)
+		}
+		for j, m := range g.Metrics {
+			if out[i].Metrics[j].Name != m.Name {
+				return nil, fmt.Errorf("results: group %v metric order differs across cells", key)
+			}
+			out[i].Metrics[j].Stream.Merge(m.Stream)
+		}
+	}
+	return out, nil
+}
+
+// MarshalIndented renders the artifact as deterministic indented JSON
+// (fixed field order, map keys sorted, streams in their versioned wire
+// form) with a trailing newline — the artifact file format.
+func (a *Artifact) MarshalIndented() ([]byte, error) {
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Decode parses an artifact file produced by MarshalIndented (any JSON
+// encoding of the schema, strictly speaking) and validates its format
+// version and stored axis.
+func Decode(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("results: decoding artifact: %w", err)
+	}
+	if a.Meta.Format != FormatVersion {
+		return nil, fmt.Errorf("results: artifact format version %d, this build reads version %d", a.Meta.Format, FormatVersion)
+	}
+	if _, err := ParseGroupBy(a.Meta.GroupBy); err != nil {
+		return nil, err
+	}
+	for _, g := range a.Groups {
+		for _, m := range g.Metrics {
+			if m.Stream == nil {
+				return nil, fmt.Errorf("results: group %v metric %q has no stream", g.Key, m.Name)
+			}
+		}
+	}
+	return &a, nil
+}
+
+// ShardRange partitions n seeds into `of` contiguous shards and returns
+// shard's half-open index range [lo, hi). Every seed lands in exactly one
+// shard and shard sizes differ by at most one; the partition depends only
+// on (n, of), so independently launched shard processes agree on it.
+func ShardRange(n, shard, of int) (lo, hi int) {
+	return n * shard / of, n * (shard + 1) / of
+}

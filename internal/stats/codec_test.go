@@ -1,0 +1,304 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// codecStreams returns accumulators in every interesting state: empty,
+// exact-mode, boundary (n == cutoff), sketched, out-of-domain extrema,
+// and all-zero samples.
+func codecStreams() map[string]*Stream {
+	rng := rand.New(rand.NewSource(23))
+	empty := NewStream(0, 1)
+	exact := NewStreamSized(0, 1, 64, 32)
+	for i := 0; i < 10; i++ {
+		exact.Add(rng.Float64())
+	}
+	boundary := NewStreamSized(0, 1, 16, 32)
+	for i := 0; i < 16; i++ {
+		boundary.Add(rng.Float64())
+	}
+	sketched := NewStreamSized(0, 1, 8, 32)
+	for i := 0; i < 500; i++ {
+		sketched.Add(rng.Float64())
+	}
+	outOfDomain := NewStreamSized(0, 1, 8, 16)
+	for _, x := range []float64{-3, 0.5, 7.25} {
+		outOfDomain.Add(x)
+	}
+	zeros := NewStreamSized(0, 1, 4, 8)
+	for i := 0; i < 30; i++ {
+		zeros.Add(0)
+	}
+	return map[string]*Stream{
+		"empty": empty, "exact": exact, "boundary": boundary,
+		"sketched": sketched, "out_of_domain": outOfDomain, "zeros": zeros,
+	}
+}
+
+func mustMarshal(t *testing.T, s *Stream) []byte {
+	t.Helper()
+	b, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestStreamCodecRoundTripIdentity(t *testing.T) {
+	for name, s := range codecStreams() {
+		bin := mustMarshal(t, s)
+		var fromBin Stream
+		if err := fromBin.UnmarshalBinary(bin); err != nil {
+			t.Fatalf("%s: binary decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, &fromBin) {
+			t.Errorf("%s: binary round trip drifted:\n%+v\nvs\n%+v", name, s, &fromBin)
+		}
+		js, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: json encode: %v", name, err)
+		}
+		var fromJSON Stream
+		if err := json.Unmarshal(js, &fromJSON); err != nil {
+			t.Fatalf("%s: json decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, &fromJSON) {
+			t.Errorf("%s: JSON round trip drifted:\n%+v\nvs\n%+v", name, s, &fromJSON)
+		}
+		// A decoded stream must keep working as an accumulator.
+		fromBin.Add(0.25)
+		if fromBin.N() != s.N()+1 {
+			t.Errorf("%s: decoded stream broken: N=%d", name, fromBin.N())
+		}
+	}
+}
+
+// TestStreamCodecMergeAfterDecode pins the shard contract: merging
+// decoded shards is bit-identical to merging the originals — encode is
+// transparent to aggregation.
+func TestStreamCodecMergeAfterDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, n := range []int{5, 40, 3000} { // exact, exact-crossing, sketched
+		a := NewStreamSized(0, 1, 64, 128)
+		b := NewStreamSized(0, 1, 64, 128)
+		for i := 0; i < n; i++ {
+			a.Add(rng.Float64())
+			b.Add(rng.Float64() * rng.Float64())
+		}
+		var da, db Stream
+		if err := da.UnmarshalBinary(mustMarshal(t, a)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.UnmarshalBinary(mustMarshal(t, b)); err != nil {
+			t.Fatal(err)
+		}
+		direct := a.Clone()
+		direct.Merge(b)
+		da.Merge(&db)
+		if !reflect.DeepEqual(direct, &da) {
+			t.Errorf("n=%d: merge-after-decode != merge-before-encode:\n%+v\nvs\n%+v", n, direct, &da)
+		}
+	}
+}
+
+func TestStreamCodecRejectsTruncation(t *testing.T) {
+	for name, s := range codecStreams() {
+		full := mustMarshal(t, s)
+		for cut := 0; cut < len(full); cut++ {
+			var d Stream
+			if err := d.UnmarshalBinary(full[:cut]); err == nil {
+				t.Fatalf("%s: truncation to %d/%d bytes decoded without error", name, cut, len(full))
+			}
+		}
+		var d Stream
+		if err := d.UnmarshalBinary(append(append([]byte{}, full...), 0)); err == nil {
+			t.Errorf("%s: trailing byte accepted", name)
+		}
+	}
+}
+
+func TestStreamCodecRejectsVersionSkewAndForeignBytes(t *testing.T) {
+	s := codecStreams()["sketched"]
+	full := mustMarshal(t, s)
+
+	skewed := append([]byte{}, full...)
+	binary.LittleEndian.PutUint16(skewed[4:], StreamCodecVersion+1)
+	var d Stream
+	if err := d.UnmarshalBinary(skewed); err == nil {
+		t.Error("version-skewed binary payload accepted")
+	}
+
+	foreign := append([]byte{}, full...)
+	copy(foreign, "nope")
+	if err := d.UnmarshalBinary(foreign); err == nil {
+		t.Error("payload with foreign magic accepted")
+	}
+
+	js, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsSkew := bytes.Replace(js, []byte(`{"v":1`), []byte(`{"v":2`), 1)
+	if bytes.Equal(js, jsSkew) {
+		t.Fatal("version field not found in JSON form")
+	}
+	if err := json.Unmarshal(jsSkew, &d); err == nil {
+		t.Error("version-skewed JSON payload accepted")
+	}
+}
+
+func TestStreamCodecRejectsCorruptState(t *testing.T) {
+	base := func() streamJSON {
+		return streamJSON{V: 1, Lo: 0, Hi: 1, Cutoff: 4, N: 2, Min: 0.1, Max: 0.9,
+			Sum: []float64{1}, SumSq: []float64{0.82}, Bins: []int64{1, 1}, Exact: []float64{0.1, 0.9}}
+	}
+	cases := map[string]func(*streamJSON){
+		"empty domain":       func(j *streamJSON) { j.Hi = j.Lo },
+		"no bins":            func(j *streamJSON) { j.Bins = nil },
+		"negative bin":       func(j *streamJSON) { j.Bins = []int64{3, -1} },
+		"bin sum mismatch":   func(j *streamJSON) { j.Bins = []int64{1, 2} },
+		"negative n":         func(j *streamJSON) { j.N = -1; j.Bins = []int64{0, 0}; j.Exact = nil },
+		"exact len mismatch": func(j *streamJSON) { j.Exact = j.Exact[:1] },
+		"sketched with raw sample": func(j *streamJSON) {
+			j.Sketched = true
+		},
+		"sketched below cutoff": func(j *streamJSON) { j.Sketched = true; j.Exact = nil },
+		"min above max":         func(j *streamJSON) { j.Min = 2 },
+		"nonzero empty": func(j *streamJSON) {
+			j.N = 0
+			j.Bins = []int64{0, 0}
+			j.Exact = nil
+		},
+	}
+	for name, corrupt := range cases {
+		j := base()
+		corrupt(&j)
+		raw, err := json.Marshal(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Stream
+		if err := json.Unmarshal(raw, &d); err == nil {
+			t.Errorf("%s: corrupt payload accepted", name)
+		}
+	}
+}
+
+func TestStreamCodecRejectsNonFiniteState(t *testing.T) {
+	s := NewStream(0, 1)
+	s.Add(math.NaN())
+	if _, err := s.MarshalBinary(); err == nil {
+		t.Error("binary encode of NaN-poisoned stream succeeded")
+	}
+	if _, err := json.Marshal(s); err == nil {
+		t.Error("JSON encode of NaN-poisoned stream succeeded")
+	}
+}
+
+// FuzzStreamCodec throws arbitrary bytes at the binary decoder (it must
+// never panic, and anything it accepts must re-encode canonically) and
+// checks encode/decode identity from a seeded sample shape.
+func FuzzStreamCodec(f *testing.F) {
+	for _, s := range codecStreams() {
+		b, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte("hbst"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Stream
+		if err := d.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted payloads must round-trip to the same bytes (the format
+		// has no redundant encodings) and produce a usable accumulator.
+		re, err := d.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode of accepted payload failed: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted payload is not canonical:\n%x\nvs\n%x", data, re)
+		}
+		d.Add(0.5)
+		if d.N() < 1 {
+			t.Fatal("decoded stream lost its count")
+		}
+		if d.N() > 1 {
+			_ = d.Quantile(0.5)
+			_ = d.Summary()
+		}
+	})
+}
+
+func TestExactSumMatchesNaiveOnSimpleData(t *testing.T) {
+	var e ExactSum
+	want := 0.0
+	for i := 1; i <= 100; i++ {
+		e.Add(float64(i))
+		want += float64(i)
+	}
+	if got := e.Value(); got != want {
+		t.Fatalf("exact sum of integers %v != %v", got, want)
+	}
+}
+
+// TestExactSumOrderAndGroupingIndependent is the associativity property
+// the shard-merge guarantee rests on: any permutation, any grouping, same
+// bits.
+func TestExactSumOrderAndGroupingIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64()*8) * (float64(i%3) - 1) // wild magnitudes, mixed signs
+	}
+	var seq ExactSum
+	for _, x := range xs {
+		seq.Add(x)
+	}
+	ref := seq.Value()
+
+	perm := rng.Perm(len(xs))
+	var shuffled ExactSum
+	for _, i := range perm {
+		shuffled.Add(xs[i])
+	}
+	if shuffled.Value() != ref {
+		t.Fatalf("sum depends on order: %v vs %v", shuffled.Value(), ref)
+	}
+
+	for _, shards := range []int{2, 3, 7} {
+		parts := make([]ExactSum, shards)
+		for i, x := range xs {
+			parts[i%shards].Add(x)
+		}
+		var merged ExactSum
+		for i := range parts {
+			merged.Merge(&parts[i])
+		}
+		if merged.Value() != ref {
+			t.Fatalf("%d-way sharded sum %v != sequential %v", shards, merged.Value(), ref)
+		}
+	}
+}
+
+func TestExactSumCancellation(t *testing.T) {
+	// 1e16 + 1 - 1e16 loses the 1 in naive float64 addition; the exact
+	// sum must keep it.
+	var e ExactSum
+	e.Add(1e16)
+	e.Add(1)
+	e.Add(-1e16)
+	if got := e.Value(); got != 1 {
+		t.Fatalf("cancellation lost precision: %v", got)
+	}
+}

@@ -1,0 +1,95 @@
+package stats
+
+import "math"
+
+// ExactSum accumulates float64 values with no rounding error. The running
+// total is kept as a Shewchuk expansion — a short slice of non-overlapping
+// partials whose exact real sum is the accumulated total — exactly as in
+// Python's math.fsum. Value rounds the exact total to the nearest float64
+// once, so the reported sum depends only on the multiset of added values,
+// never on the order they arrived or how shards were grouped before
+// merging. That associativity is what lets a sharded fleet scan merge
+// accumulators across processes and machines and still produce output
+// byte-identical to a single sequential fold: Welford-style running
+// moments are not floating-point associative, exact sums are.
+//
+// The zero value is an empty sum. Values must be finite; infinities and
+// NaN propagate into the partials and poison the total, matching the
+// behaviour of a plain float64 sum.
+type ExactSum struct {
+	partials []float64
+}
+
+// Add folds x into the sum exactly.
+func (e *ExactSum) Add(x float64) {
+	ps := e.partials
+	i := 0
+	for _, y := range ps {
+		if math.Abs(x) < math.Abs(y) {
+			x, y = y, x
+		}
+		// Two-sum: hi + lo == x + y exactly, |lo| <= ulp(hi)/2.
+		hi := x + y
+		lo := y - (hi - x)
+		if lo != 0 {
+			ps[i] = lo
+			i++
+		}
+		x = hi
+	}
+	e.partials = append(ps[:i], x)
+}
+
+// Merge folds another exact sum into e. The result represents the exact
+// real sum of both totals, so merging is commutative and associative at
+// the Value level regardless of internal representation. o must not alias
+// e.
+func (e *ExactSum) Merge(o *ExactSum) {
+	for _, p := range o.partials {
+		e.Add(p)
+	}
+}
+
+// Value returns the exact total rounded once to the nearest float64
+// (round-half-to-even), the same correctly-rounded result math.fsum
+// produces. An empty sum is 0.
+func (e *ExactSum) Value() float64 {
+	ps := e.partials
+	n := len(ps)
+	if n == 0 {
+		return 0
+	}
+	n--
+	hi := ps[n]
+	var lo float64
+	for n > 0 {
+		x := hi
+		n--
+		y := ps[n]
+		hi = x + y
+		yr := hi - x
+		lo = y - yr
+		if lo != 0 {
+			break
+		}
+	}
+	// Round-half-to-even correction: if the discarded remainder is exactly
+	// half an ulp and the next partial pushes it past, adjust (CPython's
+	// math.fsum does the same).
+	if n > 0 && ((lo < 0 && ps[n-1] < 0) || (lo > 0 && ps[n-1] > 0)) {
+		y := lo * 2
+		x := hi + y
+		if y == x-hi {
+			hi = x
+		}
+	}
+	return hi
+}
+
+// clone returns a deep copy.
+func (e *ExactSum) clone() ExactSum {
+	if e.partials == nil {
+		return ExactSum{}
+	}
+	return ExactSum{partials: append([]float64(nil), e.partials...)}
+}

@@ -12,8 +12,13 @@ import (
 // chip instances feed per-region Streams as they complete, so resident
 // memory is O(regions), not O(chips x rows).
 //
-// Moments stream through Welford's algorithm (merged across shards with the
-// Chan et al. parallel update). Quantiles come from a fixed-marker
+// Moments come from exact sums (ExactSum): Σx and Σx² are accumulated
+// with no rounding error and rounded once when read, so Mean and StdDev
+// depend only on the multiset of samples — never on arrival order or on
+// how shards were grouped before merging. This is what makes a sharded
+// fleet scan byte-identical to a single sequential fold; running-moment
+// recurrences (Welford/Chan) are not floating-point associative and
+// cannot give that guarantee. Quantiles come from a fixed-marker
 // estimator in the spirit of the P² algorithm (Jain & Chlamtac, CACM'85):
 // a constant-size set of markers tracks the distribution in one pass.
 // Unlike classic P² — whose marker positions depend on arrival order and
@@ -27,13 +32,17 @@ import (
 // buffer is dropped and quantiles are interpolated from the bins, landing
 // within one bin width of the nearest-rank empirical quantile (see
 // Quantile for the caveat on sparse/discrete distributions).
+//
+// A Stream serializes with MarshalBinary/MarshalJSON (versioned; see
+// codec.go), so shard accumulators can cross process and machine
+// boundaries and merge on the other side with the same guarantees.
 type Stream struct {
 	lo, hi float64
 	cutoff int
 
-	n        int64
-	mean, m2 float64
-	min, max float64
+	n          int64
+	sum, sumSq ExactSum
+	min, max   float64
 
 	bins []int64
 	// exact holds the raw sample while n <= cutoff; nil once sketched.
@@ -77,9 +86,8 @@ func NewStreamSized(lo, hi float64, cutoff, bins int) *Stream {
 // Add folds one sample into the stream.
 func (s *Stream) Add(x float64) {
 	s.n++
-	d := x - s.mean
-	s.mean += d / float64(s.n)
-	s.m2 += d * (x - s.mean)
+	s.sum.Add(x)
+	s.sumSq.Add(x * x)
 	if s.n == 1 {
 		s.min, s.max = x, x
 	} else {
@@ -110,30 +118,40 @@ func (s *Stream) binOf(x float64) int {
 	return i
 }
 
+// CompatibleWith reports whether two streams share the same domain,
+// cutoff and bin count — the precondition for Merge. Shards of one
+// aggregation always do; artifact-level merging (internal/results) calls
+// this to turn a mismatch into an error instead of a panic.
+func (s *Stream) CompatibleWith(o *Stream) error {
+	if s.lo != o.lo || s.hi != o.hi || s.cutoff != o.cutoff || len(s.bins) != len(o.bins) {
+		return fmt.Errorf("stats: incompatible streams: [%g,%g)/%d/%d vs [%g,%g)/%d/%d",
+			s.lo, s.hi, s.cutoff, len(s.bins), o.lo, o.hi, o.cutoff, len(o.bins))
+	}
+	return nil
+}
+
 // Merge folds another stream's state into s. Both must share the same
 // domain, cutoff and bin count (shards of one aggregation always do; a
-// mismatch indicates a harness bug and panics). Bin counts, sample count
-// and extrema merge exactly commutatively; the merged moments agree across
-// merge orders up to floating-point rounding.
+// mismatch indicates a harness bug and panics — see CompatibleWith for
+// the checked variant). Bin counts, sample count, extrema and the exact
+// moment sums all merge exactly, so every Summary field is independent of
+// the merge order and grouping.
 func (s *Stream) Merge(o *Stream) {
-	if s.lo != o.lo || s.hi != o.hi || s.cutoff != o.cutoff || len(s.bins) != len(o.bins) {
-		panic(fmt.Sprintf("stats: merging incompatible streams: [%g,%g)/%d/%d vs [%g,%g)/%d/%d",
-			s.lo, s.hi, s.cutoff, len(s.bins), o.lo, o.hi, o.cutoff, len(o.bins)))
+	if err := s.CompatibleWith(o); err != nil {
+		panic(err.Error())
 	}
 	if o.n == 0 {
 		return
 	}
-	n := s.n + o.n
-	d := o.mean - s.mean
-	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
-	s.mean += d * float64(o.n) / float64(n)
+	s.sum.Merge(&o.sum)
+	s.sumSq.Merge(&o.sumSq)
 	if s.n == 0 || o.min < s.min {
 		s.min = o.min
 	}
 	if s.n == 0 || o.max > s.max {
 		s.max = o.max
 	}
-	s.n = n
+	s.n += o.n
 	for i, c := range o.bins {
 		s.bins[i] += c
 	}
@@ -144,24 +162,42 @@ func (s *Stream) Merge(o *Stream) {
 	}
 }
 
+// Clone returns a deep copy of the stream; mutating the copy never
+// affects the original. Coarser aggregation views (internal/results)
+// clone fine-axis streams before merging them together.
+func (s *Stream) Clone() *Stream {
+	c := *s
+	c.bins = append([]int64(nil), s.bins...)
+	c.exact = append([]float64(nil), s.exact...)
+	c.sum = s.sum.clone()
+	c.sumSq = s.sumSq.clone()
+	return &c
+}
+
 // N returns the number of samples folded in so far.
 func (s *Stream) N() int { return int(s.n) }
 
-// Mean returns the streaming mean, or NaN for an empty stream.
+// Mean returns the streaming mean — the exactly-accumulated Σx rounded
+// once, then divided by N — or NaN for an empty stream. The result is
+// independent of sample arrival order and shard merge grouping.
 func (s *Stream) Mean() float64 {
 	if s.n == 0 {
 		return math.NaN()
 	}
-	return s.mean
+	return s.sum.Value() / float64(s.n)
 }
 
-// StdDev returns the streaming population standard deviation (matching
-// Summarize), or NaN for an empty stream.
+// StdDev returns the streaming population standard deviation (the same
+// Σx²/N − mean² formula Summarize uses, but over exactly-accumulated
+// sums), or NaN for an empty stream. Like Mean, it is independent of
+// arrival order and merge grouping.
 func (s *Stream) StdDev() float64 {
 	if s.n == 0 {
 		return math.NaN()
 	}
-	v := s.m2 / float64(s.n)
+	n := float64(s.n)
+	mean := s.sum.Value() / n
+	v := s.sumSq.Value()/n - mean*mean
 	if v < 0 {
 		v = 0 // guard against rounding for near-constant samples
 	}
@@ -265,7 +301,7 @@ func (s *Stream) Summary() Summary {
 		Median: s.Quantile(0.5),
 		Q3:     s.Quantile(0.75),
 		Max:    s.max,
-		Mean:   s.mean,
+		Mean:   s.Mean(),
 		StdDev: s.StdDev(),
 	}
 }

@@ -99,9 +99,15 @@ func TestStreamMergeOrderIndependent(t *testing.T) {
 			if forward.min != backward.min || forward.max != backward.max {
 				t.Errorf("%s n=%d: extrema depend on merge order", name, n)
 			}
-			if !closeRel(forward.Mean(), backward.Mean(), 1e-12) ||
-				!closeAbs(forward.StdDev(), backward.StdDev(), 1e-12) {
-				t.Errorf("%s n=%d: moments depend on merge order beyond rounding", name, n)
+			// Moments are exact sums rounded once, so they must agree bit
+			// for bit across merge orders — not merely within tolerance.
+			if forward.Mean() != backward.Mean() || forward.StdDev() != backward.StdDev() {
+				t.Errorf("%s n=%d: moments depend on merge order: mean %v vs %v, stddev %v vs %v",
+					name, n, forward.Mean(), backward.Mean(), forward.StdDev(), backward.StdDev())
+			}
+			whole2 := streamOf(xs)
+			if forward.Mean() != whole2.Mean() || forward.StdDev() != whole2.StdDev() {
+				t.Errorf("%s n=%d: sharded moments differ from the sequential fold", name, n)
 			}
 			// Quantiles depend only on order-independent state (bins, n,
 			// extrema in sketch mode; the sorted multiset in exact mode),
