@@ -16,9 +16,12 @@ test:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# The engine + codec baselines recorded in BENCH_engine.json.
+# The engine + sense + codec baselines: runs the suite and regenerates
+# BENCH_engine.json, recording nproc/GOMAXPROCS so multicore captures are
+# distinguishable from single-CPU container runs. Set BENCH_NOTE to
+# describe the refresh.
 bench-engine:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkStreamCodec' -benchtime 3x .
+	sh scripts/bench_engine.sh
 
 # Fleet chipscan smoke: a 32-seed scan, 4 chips at a time, run once in a
 # single process and once as four serialized seed-range shards plus a

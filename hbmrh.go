@@ -344,9 +344,15 @@ type (
 	ThermalPlant = thermal.Plant
 	// BenderProgram is an executable DRAM command program.
 	BenderProgram = bender.Program
-	// BenderBuilder assembles timing-correct programs.
+	// BenderBuilder assembles timing-correct programs. Builders are
+	// reusable via Reset; the *BenderProgram returned by Build aliases
+	// the builder's buffers and is valid until the next Reset, emit or
+	// Build on the same builder.
 	BenderBuilder = bender.Builder
-	// BenderRunner executes programs against a device.
+	// BenderRunner executes programs against a device. A runner owns its
+	// result buffers: the Result returned by Run — including every Reads
+	// entry — is valid only until the next Run on the same runner; copy
+	// anything that must outlive it.
 	BenderRunner = bender.Runner
 	// RecoveredMap is a reverse-engineered physical row layout.
 	RecoveredMap = mapping.RecoveredMap

@@ -91,75 +91,96 @@ type Program struct {
 	// Data holds write payloads referenced by OpWr instructions. Each
 	// entry must be exactly one column long.
 	Data [][]byte
+
+	// validFor caches the geometry the program last validated against, so
+	// re-running the same program (the harness's steady state) skips the
+	// per-instruction walk. Mutating Instrs/Data after validation is
+	// outside the API contract.
+	validFor addr.Geometry
+	valid    bool
+}
+
+// valErr formats a per-instruction validation error. A plain function
+// (rather than a closure in the validation loop) keeps the happy path
+// allocation-free.
+func valErr(i int, op Op, f string, args ...any) error {
+	return fmt.Errorf("bender: instr %d (%s): %s", i, op, fmt.Sprintf(f, args...))
 }
 
 // Validate checks structural well-formedness against a geometry: operand
-// ranges, loop nesting, data table references and payload sizes.
+// ranges, loop nesting, data table references and payload sizes. A
+// successful validation is cached per geometry, so the runner's
+// revalidation on every Run is a no-op for already-checked programs.
 func (p *Program) Validate(g addr.Geometry) error {
+	if p.valid && p.validFor == g {
+		return nil
+	}
 	depth := 0
 	for i, in := range p.Instrs {
-		where := func(f string, args ...any) error {
-			return fmt.Errorf("bender: instr %d (%s): %s", i, in.Op, fmt.Sprintf(f, args...))
-		}
 		switch in.Op {
 		case OpAct:
 			if !validBank(g, in) {
-				return where("bank ch%d.pc%d.ba%d out of range", in.Ch, in.PC, in.Bank)
+				return valErr(i, in.Op, "bank ch%d.pc%d.ba%d out of range", in.Ch, in.PC, in.Bank)
 			}
 			if in.Row < 0 || in.Row >= g.Rows {
-				return where("row %d out of range", in.Row)
+				return valErr(i, in.Op, "row %d out of range", in.Row)
 			}
 		case OpPre:
 			if !validBank(g, in) {
-				return where("bank out of range")
+				return valErr(i, in.Op, "bank out of range")
 			}
 		case OpPreA, OpRef:
 			if in.Ch < 0 || in.Ch >= g.Channels || in.PC < 0 || in.PC >= g.PseudoChannels {
-				return where("pseudo channel ch%d.pc%d out of range", in.Ch, in.PC)
+				return valErr(i, in.Op, "pseudo channel ch%d.pc%d out of range", in.Ch, in.PC)
 			}
 		case OpRd:
 			if !validBank(g, in) || in.Col < 0 || in.Col >= g.Columns {
-				return where("bank/column out of range")
+				return valErr(i, in.Op, "bank/column out of range")
 			}
 		case OpWr:
 			if !validBank(g, in) || in.Col < 0 || in.Col >= g.Columns {
-				return where("bank/column out of range")
+				return valErr(i, in.Op, "bank/column out of range")
 			}
 			if in.Data < 0 || in.Data >= len(p.Data) {
-				return where("data index %d outside table of %d", in.Data, len(p.Data))
+				return valErr(i, in.Op, "data index %d outside table of %d", in.Data, len(p.Data))
 			}
 			if len(p.Data[in.Data]) != g.ColumnBytes {
-				return where("payload %d is %d bytes, column holds %d", in.Data, len(p.Data[in.Data]), g.ColumnBytes)
+				return valErr(i, in.Op, "payload %d is %d bytes, column holds %d", in.Data, len(p.Data[in.Data]), g.ColumnBytes)
 			}
 		case OpMRS:
 			if in.Ch < 0 || in.Ch >= g.Channels {
-				return where("channel out of range")
+				return valErr(i, in.Op, "channel out of range")
 			}
 			if in.Row < 0 {
-				return where("negative register index")
+				return valErr(i, in.Op, "negative register index")
 			}
 		case OpWait:
 			if in.Arg < 0 {
-				return where("negative wait")
+				return valErr(i, in.Op, "negative wait")
 			}
 		case OpLoop:
 			if in.Arg <= 0 {
-				return where("loop count %d must be positive", in.Arg)
+				return valErr(i, in.Op, "loop count %d must be positive", in.Arg)
 			}
 			depth++
 		case OpEndLoop:
 			depth--
 			if depth < 0 {
-				return where("endloop without loop")
+				return valErr(i, in.Op, "endloop without loop")
 			}
 		case OpEnd:
+			if depth != 0 {
+				return valErr(i, in.Op, "end inside loop")
+			}
 		default:
-			return where("unknown opcode")
+			return valErr(i, in.Op, "unknown opcode")
 		}
 	}
 	if depth != 0 {
 		return fmt.Errorf("bender: %d unclosed loop(s)", depth)
 	}
+	p.validFor = g
+	p.valid = true
 	return nil
 }
 
@@ -169,12 +190,23 @@ func validBank(g addr.Geometry, in Instr) bool {
 
 // Builder assembles programs with the inter-command waits the timing
 // parameters require, the way the DRAM Bender host library does.
+//
+// A Builder can be reused: Reset clears the instruction stream but keeps
+// the interned write-payload table and all backing capacity, so a harness
+// assembling one program per measurement allocates nothing in steady
+// state. The *Program returned by Build aliases the Builder's buffers and
+// is valid until the next Reset or instruction emit.
 type Builder struct {
 	timing config.Timing
 	geom   addr.Geometry
 	prog   Program
-	// dataIndex deduplicates write payloads.
+	// dataIndex deduplicates write payloads; it persists across Reset so
+	// recurring fill patterns intern once per Builder, not per program.
 	dataIndex map[string]int
+	// built is the reusable Program handed out by Build.
+	built Program
+	// fillBuf is the reusable payload scratch of WriteRowFill.
+	fillBuf []byte
 }
 
 // NewBuilder returns a builder for a device with the given timing and
@@ -183,13 +215,23 @@ func NewBuilder(t config.Timing, g addr.Geometry) *Builder {
 	return &Builder{timing: t, geom: g, dataIndex: make(map[string]int)}
 }
 
-// Build finalizes and validates the program.
+// Reset clears the instruction stream for assembling a new program. The
+// interned payload table and instruction capacity are retained. Programs
+// returned by earlier Build calls are invalidated.
+func (b *Builder) Reset() {
+	b.prog.Instrs = b.prog.Instrs[:0]
+	b.prog.valid = false
+}
+
+// Build finalizes and validates the program. The returned Program aliases
+// the Builder's buffers: it is valid until the next Reset or emit, and a
+// subsequent Build call reuses the same Program value.
 func (b *Builder) Build() (*Program, error) {
-	p := b.prog
-	if err := p.Validate(b.geom); err != nil {
+	b.built = b.prog
+	if err := b.built.Validate(b.geom); err != nil {
 		return nil, err
 	}
-	return &p, nil
+	return &b.built, nil
 }
 
 func (b *Builder) emit(in Instr) *Builder {
@@ -217,14 +259,16 @@ func (b *Builder) Rd(ba addr.BankAddr, col int) *Builder {
 	return b.emit(Instr{Op: OpRd, Ch: ba.Channel, PC: ba.PseudoChannel, Bank: ba.Bank, Col: col})
 }
 
-// Wr emits a column write, interning the payload in the data table.
+// Wr emits a column write, interning the payload in the data table. The
+// map lookup with an inline string conversion is allocation-free on an
+// intern hit, which is every write after a pattern's first use.
 func (b *Builder) Wr(ba addr.BankAddr, col int, payload []byte) *Builder {
-	key := string(payload)
-	idx, ok := b.dataIndex[key]
+	idx, ok := b.dataIndex[string(payload)]
 	if !ok {
 		idx = len(b.prog.Data)
-		b.prog.Data = append(b.prog.Data, append([]byte(nil), payload...))
-		b.dataIndex[key] = idx
+		stored := append([]byte(nil), payload...)
+		b.prog.Data = append(b.prog.Data, stored)
+		b.dataIndex[string(stored)] = idx
 	}
 	return b.emit(Instr{Op: OpWr, Ch: ba.Channel, PC: ba.PseudoChannel, Bank: ba.Bank, Col: col, Data: idx})
 }
@@ -275,7 +319,10 @@ const eccModeRegister = 4
 // WriteRowFill opens a row, fills every column with the byte pattern, and
 // closes the row, with all required waits.
 func (b *Builder) WriteRowFill(ba addr.BankAddr, row int, fill byte) *Builder {
-	payload := make([]byte, b.geom.ColumnBytes)
+	if cap(b.fillBuf) < b.geom.ColumnBytes {
+		b.fillBuf = make([]byte, b.geom.ColumnBytes)
+	}
+	payload := b.fillBuf[:b.geom.ColumnBytes]
 	for i := range payload {
 		payload[i] = fill
 	}

@@ -503,3 +503,80 @@ func TestLoopErrorReportsIteration(t *testing.T) {
 		t.Fatalf("error %q does not name the failing iteration", err)
 	}
 }
+
+func TestRunnerReusesResultAcrossRuns(t *testing.T) {
+	// The Runner owns its Result and read arena: the same pointer comes
+	// back from every Run, with Reads valid until the next Run.
+	d := newDevice(t)
+	b := bender.NewBuilder(d.Config().Timing, d.Geometry())
+	b.WriteRowFill(ba(0, 0, 0), 3, 0x11)
+	b.ReadRowOut(ba(0, 0, 0), 3)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bender.NewRunner(d.Config().Timing)
+	res1, err := r.Run(d, d.Geometry(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Reads) != d.Geometry().Columns {
+		t.Fatalf("%d reads, want %d", len(res1.Reads), d.Geometry().Columns)
+	}
+	for _, col := range res1.Reads {
+		for _, v := range col {
+			if v != 0x11 {
+				t.Fatalf("read byte %#x, want 0x11", v)
+			}
+		}
+	}
+	res2, err := r.Run(d, d.Geometry(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1 != res2 {
+		t.Fatal("Run did not reuse its Result value")
+	}
+}
+
+func TestBuilderResetReusesBuffers(t *testing.T) {
+	d := newDevice(t)
+	b := bender.NewBuilder(d.Config().Timing, d.Geometry())
+	r := bender.NewRunner(d.Config().Timing)
+	// Three programs from one builder, Reset in between: a fresh payload
+	// interned after a Reset (0x55), then a repeat of the first fill to
+	// prove the intern table persisted across both Resets. All must
+	// execute correctly.
+	for round, fill := range []byte{0xAA, 0x55, 0xAA} {
+		b.Reset()
+		b.WriteRowFill(ba(1, 0, 0), 7, fill)
+		b.ReadRowOut(ba(1, 0, 0), 7)
+		prog, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(d, d.Geometry(), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, col := range res.Reads {
+			for _, v := range col {
+				if v != fill {
+					t.Fatalf("round %d: read %#x, want %#x", round, v, fill)
+				}
+			}
+		}
+	}
+}
+
+func TestEndInsideLoopRejected(t *testing.T) {
+	g := config.SmallChip().Geometry
+	p := bender.Program{Instrs: []bender.Instr{
+		{Op: bender.OpLoop, Arg: 2},
+		{Op: bender.OpEnd},
+		{Op: bender.OpEndLoop},
+	}}
+	if err := p.Validate(g); err == nil {
+		t.Fatal("end inside loop accepted")
+	}
+}

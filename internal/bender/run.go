@@ -25,6 +25,13 @@ type Target interface {
 	Now() int64
 }
 
+// ReaderInto is the optional Target extension the interpreter prefers for
+// column reads: the device copies into a runner-owned arena instead of
+// allocating a fresh slice per read. *hbm.Device implements it.
+type ReaderInto interface {
+	ReadInto(b addr.BankAddr, col int, dst []byte) error
+}
+
 // Result carries a program's outputs.
 type Result struct {
 	// Reads holds the data of every OpRd in program order (the read FIFO).
@@ -33,7 +40,11 @@ type Result struct {
 	Elapsed int64
 }
 
-// Runner executes programs against a Target.
+// Runner executes programs against a Target. A Runner owns reusable
+// execution state (the result, the read arena, the loop bookkeeping), so
+// steady-state program execution allocates nothing: the Result returned
+// by Run — including every Reads entry — is valid only until the next Run
+// on the same Runner.
 type Runner struct {
 	// Timing lets the loop fast path prove a hammer loop is
 	// timing-legal and reproduce its exact simulated duration. With a
@@ -48,6 +59,20 @@ type Runner struct {
 	// the simulated clock — the command log a logic analyzer on the
 	// DRAM bus would capture.
 	Trace io.Writer
+
+	// Reusable execution scratch (see the type comment).
+	res     Result
+	readBuf []byte
+	jumps   []int32
+	frames  []loopFrame
+}
+
+// loopFrame tracks one active loop: where its body starts, its total
+// iteration count, and how many iterations remain.
+type loopFrame struct {
+	body  int
+	total int64
+	left  int64
 }
 
 func (r *Runner) trace(t Target, format string, args ...any) {
@@ -61,103 +86,147 @@ func (r *Runner) trace(t Target, format string, args ...any) {
 // timing parameters.
 func NewRunner(t config.Timing) *Runner { return &Runner{Timing: t} }
 
-// Run validates and executes prog against t.
+// Run validates and executes prog against t. The returned Result and its
+// Reads slices are owned by the Runner and valid until the next Run.
 func (r *Runner) Run(t Target, g addr.Geometry, prog *Program) (*Result, error) {
 	if err := prog.Validate(g); err != nil {
 		return nil, err
 	}
-	tree, err := parseBlocks(prog.Instrs)
-	if err != nil {
+	if err := r.buildJumps(prog.Instrs); err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	r.res.Reads = r.res.Reads[:0]
+	r.res.Elapsed = 0
+	r.readBuf = r.readBuf[:0]
+	r.frames = r.frames[:0]
 	start := t.Now()
-	if err := r.execBlock(t, prog, tree, res); err != nil {
+	if err := r.exec(t, g, prog); err != nil {
 		return nil, err
 	}
-	res.Elapsed = t.Now() - start
-	return res, nil
+	r.res.Elapsed = t.Now() - start
+	return &r.res, nil
 }
 
-// node is either a single instruction (body == nil) or a loop block.
-type node struct {
-	in   Instr
-	body []node // loop body when in.Op == OpLoop
-}
-
-func parseBlocks(instrs []Instr) ([]node, error) {
-	nodes, rest, err := parseUntil(instrs, false)
-	if err != nil {
-		return nil, err
+// buildJumps fills r.jumps so that for every OpLoop at index i,
+// r.jumps[i] is the index of its matching OpEndLoop. Validation already
+// guaranteed balanced nesting.
+func (r *Runner) buildJumps(instrs []Instr) error {
+	if cap(r.jumps) < len(instrs) {
+		r.jumps = make([]int32, len(instrs))
 	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("bender: trailing instructions after end")
-	}
-	return nodes, nil
-}
-
-func parseUntil(instrs []Instr, inLoop bool) (nodes []node, rest []Instr, err error) {
-	for len(instrs) > 0 {
-		in := instrs[0]
-		instrs = instrs[1:]
+	r.jumps = r.jumps[:len(instrs)]
+	stack := r.frames[:0] // borrow the frame scratch as a loop-index stack
+	for i, in := range instrs {
 		switch in.Op {
 		case OpLoop:
-			body, r, err := parseUntil(instrs, true)
-			if err != nil {
-				return nil, nil, err
-			}
-			nodes = append(nodes, node{in: in, body: body})
-			instrs = r
+			stack = append(stack, loopFrame{body: i})
 		case OpEndLoop:
-			if !inLoop {
-				return nil, nil, fmt.Errorf("bender: endloop without loop")
+			if len(stack) == 0 {
+				return fmt.Errorf("bender: endloop without loop")
 			}
-			return nodes, instrs, nil
+			r.jumps[stack[len(stack)-1].body] = int32(i)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("bender: unterminated loop")
+	}
+	r.frames = stack[:0] // keep any capacity the stack grew
+	return nil
+}
+
+// wrapLoopErr decorates an execution error with the iteration number of
+// every enclosing loop, innermost first, matching the recursive
+// interpreter's historical error format.
+func (r *Runner) wrapLoopErr(err error) error {
+	for i := len(r.frames) - 1; i >= 0; i-- {
+		f := r.frames[i]
+		err = fmt.Errorf("loop iteration %d: %w", f.total-f.left, err)
+	}
+	return err
+}
+
+// exec runs the whole program with an explicit loop stack — no per-run
+// tree construction, no recursion, no allocation.
+func (r *Runner) exec(t Target, g addr.Geometry, prog *Program) error {
+	instrs := prog.Instrs
+	ri, hasRI := t.(ReaderInto)
+	fastOK := !r.DisableFastPath && r.Timing.TCK > 0
+	ip := 0
+	for ip < len(instrs) {
+		in := instrs[ip]
+		switch in.Op {
+		case OpLoop:
+			end := int(r.jumps[ip])
+			if fastOK {
+				if h, ok := matchHammerLoop(instrs[ip+1 : end]); ok && h.uniform {
+					h.tck = r.Timing.TCK
+					if r.fastPathLegal(h) {
+						if err := r.runHammerFast(t, h, in.Arg); err != nil {
+							return r.wrapLoopErr(err)
+						}
+						ip = end + 1
+						continue
+					}
+				}
+			}
+			r.frames = append(r.frames, loopFrame{body: ip + 1, total: in.Arg, left: in.Arg})
+			ip++
+		case OpEndLoop:
+			f := &r.frames[len(r.frames)-1]
+			f.left--
+			if f.left > 0 {
+				ip = f.body
+			} else {
+				r.frames = r.frames[:len(r.frames)-1]
+				ip++
+			}
 		case OpEnd:
-			if inLoop {
-				return nil, nil, fmt.Errorf("bender: end inside loop")
+			// Execution halts; trailing instructions (if any) are ignored,
+			// matching the original recursive interpreter's semantics.
+			return nil
+		case OpRd:
+			ba := addr.BankAddr{Channel: in.Ch, PseudoChannel: in.PC, Bank: in.Bank}
+			if r.Trace != nil {
+				r.traceInstr(t, in)
 			}
-			return nodes, nil, nil
+			var data []byte
+			var err error
+			if hasRI {
+				data = r.arenaAlloc(g.ColumnBytes)
+				err = ri.ReadInto(ba, in.Col, data)
+			} else {
+				data, err = t.Read(ba, in.Col)
+			}
+			if err != nil {
+				return r.wrapLoopErr(err)
+			}
+			r.res.Reads = append(r.res.Reads, data)
+			ip++
 		default:
-			nodes = append(nodes, node{in: in})
-		}
-	}
-	if inLoop {
-		return nil, nil, fmt.Errorf("bender: unterminated loop")
-	}
-	return nodes, nil, nil
-}
-
-func (r *Runner) execBlock(t Target, prog *Program, nodes []node, res *Result) error {
-	for _, n := range nodes {
-		if n.in.Op == OpLoop {
-			if err := r.execLoop(t, prog, n, res); err != nil {
-				return err
+			if err := r.execInstr(t, prog, in); err != nil {
+				return r.wrapLoopErr(err)
 			}
-			continue
-		}
-		if err := r.execInstr(t, prog, n.in, res); err != nil {
-			return err
+			ip++
 		}
 	}
 	return nil
 }
 
-func (r *Runner) execLoop(t Target, prog *Program, n node, res *Result) error {
-	if !r.DisableFastPath && r.Timing.TCK > 0 {
-		if h, ok := matchHammerLoop(n); ok && h.uniform {
-			h.tck = r.Timing.TCK
-			if r.fastPathLegal(h) {
-				return r.runHammerFast(t, h, n.in.Arg)
-			}
+// arenaAlloc carves n bytes out of the runner's read arena. When a block
+// fills up, a larger one is started; slices handed out earlier keep their
+// old backing block alive, so they stay valid until the next Run.
+func (r *Runner) arenaAlloc(n int) []byte {
+	if len(r.readBuf)+n > cap(r.readBuf) {
+		blockSize := 2 * (len(r.readBuf) + n)
+		if blockSize < 4096 {
+			blockSize = 4096
 		}
+		r.readBuf = make([]byte, 0, blockSize)
 	}
-	for i := int64(0); i < n.in.Arg; i++ {
-		if err := r.execBlock(t, prog, n.body, res); err != nil {
-			return fmt.Errorf("loop iteration %d: %w", i, err)
-		}
-	}
-	return nil
+	off := len(r.readBuf)
+	r.readBuf = r.readBuf[:off+n]
+	return r.readBuf[off : off+n : off+n]
 }
 
 // fastPathLegal checks that the loop body satisfies tRAS and tRP on its
@@ -169,15 +238,15 @@ func (r *Runner) fastPathLegal(h hammerShape) bool {
 	if h.minActHold < tm.TRAS-tm.TCK || h.minPreGap < tm.TRP-tm.TCK {
 		return false
 	}
-	slowPer := h.perIterWaits + int64(len(h.rows))*2*tm.TCK
-	return slowPer >= int64(len(h.rows))*(h.hold()+tm.TRP)
+	slowPer := h.perIterWaits + int64(h.nrows)*2*tm.TCK
+	return slowPer >= int64(h.nrows)*(h.hold()+tm.TRP)
 }
 
 // hold returns the per-activation open time the bulk path should model:
 // the wait between ACT and PRE plus the ACT command cycle itself.
 func (h hammerShape) hold() int64 { return h.minActHold + h.tck }
 
-func (r *Runner) execInstr(t Target, prog *Program, in Instr, res *Result) error {
+func (r *Runner) execInstr(t Target, prog *Program, in Instr) error {
 	ba := addr.BankAddr{Channel: in.Ch, PseudoChannel: in.PC, Bank: in.Bank}
 	if r.Trace != nil {
 		r.traceInstr(t, in)
@@ -189,13 +258,6 @@ func (r *Runner) execInstr(t Target, prog *Program, in Instr, res *Result) error
 		return t.Precharge(ba)
 	case OpPreA:
 		return t.PrechargeAll(in.Ch, in.PC)
-	case OpRd:
-		data, err := t.Read(ba, in.Col)
-		if err != nil {
-			return err
-		}
-		res.Reads = append(res.Reads, data)
-		return nil
 	case OpWr:
 		return t.Write(ba, in.Col, prog.Data[in.Data])
 	case OpRef:
@@ -211,8 +273,9 @@ func (r *Runner) execInstr(t Target, prog *Program, in Instr, res *Result) error
 
 // hammerShape describes a recognized pure hammer loop.
 type hammerShape struct {
-	bank addr.BankAddr
-	rows []int // 1 (single-sided) or 2 (double-sided) aggressors
+	bank  addr.BankAddr
+	rows  [2]int // 1 (single-sided) or 2 (double-sided) aggressors
+	nrows int
 	// perIterWaits is the sum of explicit waits in one iteration.
 	perIterWaits int64
 	// minActHold is the smallest wait between an ACT and its PRE;
@@ -229,44 +292,44 @@ type hammerShape struct {
 // use: per aggressor, ACT row / WAIT / PRE / WAIT, all on one bank, with
 // one or two distinct rows. Anything else falls back to per-iteration
 // execution.
-func matchHammerLoop(n node) (hammerShape, bool) {
+func matchHammerLoop(body []Instr) (hammerShape, bool) {
 	var h hammerShape
-	body := n.body
 	if len(body)%4 != 0 || len(body) == 0 || len(body) > 8 {
 		return h, false
 	}
 	groups := len(body) / 4
 	for gi := 0; gi < groups; gi++ {
 		g := body[gi*4 : gi*4+4]
-		if g[0].in.Op != OpAct || g[1].in.Op != OpWait || g[2].in.Op != OpPre || g[3].in.Op != OpWait {
+		if g[0].Op != OpAct || g[1].Op != OpWait || g[2].Op != OpPre || g[3].Op != OpWait {
 			return h, false
 		}
-		ba := addr.BankAddr{Channel: g[0].in.Ch, PseudoChannel: g[0].in.PC, Bank: g[0].in.Bank}
-		pb := addr.BankAddr{Channel: g[2].in.Ch, PseudoChannel: g[2].in.PC, Bank: g[2].in.Bank}
+		ba := addr.BankAddr{Channel: g[0].Ch, PseudoChannel: g[0].PC, Bank: g[0].Bank}
+		pb := addr.BankAddr{Channel: g[2].Ch, PseudoChannel: g[2].PC, Bank: g[2].Bank}
 		if ba != pb {
 			return h, false
 		}
 		if gi == 0 {
 			h.bank = ba
-			h.minActHold = g[1].in.Arg
-			h.minPreGap = g[3].in.Arg
+			h.minActHold = g[1].Arg
+			h.minPreGap = g[3].Arg
 			h.uniform = true
 		} else if ba != h.bank {
 			return h, false
 		}
-		if g[1].in.Arg != h.minActHold {
+		if g[1].Arg != h.minActHold {
 			h.uniform = false
 		}
-		if g[1].in.Arg < h.minActHold {
-			h.minActHold = g[1].in.Arg
+		if g[1].Arg < h.minActHold {
+			h.minActHold = g[1].Arg
 		}
-		if g[3].in.Arg < h.minPreGap {
-			h.minPreGap = g[3].in.Arg
+		if g[3].Arg < h.minPreGap {
+			h.minPreGap = g[3].Arg
 		}
-		h.rows = append(h.rows, g[0].in.Row)
-		h.perIterWaits += g[1].in.Arg + g[3].in.Arg
+		h.rows[h.nrows] = g[0].Row
+		h.nrows++
+		h.perIterWaits += g[1].Arg + g[3].Arg
 	}
-	switch len(h.rows) {
+	switch h.nrows {
 	case 1:
 	case 2:
 		if h.rows[0] == h.rows[1] {
@@ -306,15 +369,17 @@ func (r *Runner) traceInstr(t Target, in Instr) {
 func (r *Runner) runHammerFast(t Target, h hammerShape, count int64) error {
 	n := int(count)
 	hold := h.hold()
-	if len(h.rows) == 2 {
-		r.trace(t, "loop %dx: double-sided hammer %v rows %d/%d (hold %d ps, bulk)",
-			count, h.bank, h.rows[0], h.rows[1], hold)
-	} else {
-		r.trace(t, "loop %dx: single-sided hammer %v row %d (hold %d ps, bulk)",
-			count, h.bank, h.rows[0], hold)
+	if r.Trace != nil { // guard so the variadic args are not boxed per call
+		if h.nrows == 2 {
+			r.trace(t, "loop %dx: double-sided hammer %v rows %d/%d (hold %d ps, bulk)",
+				count, h.bank, h.rows[0], h.rows[1], hold)
+		} else {
+			r.trace(t, "loop %dx: single-sided hammer %v row %d (hold %d ps, bulk)",
+				count, h.bank, h.rows[0], hold)
+		}
 	}
 	var err error
-	if len(h.rows) == 2 {
+	if h.nrows == 2 {
 		err = t.HammerPairHold(h.bank, h.rows[0], h.rows[1], n, hold)
 	} else {
 		err = t.HammerSingleHold(h.bank, h.rows[0], n, hold)
@@ -323,8 +388,8 @@ func (r *Runner) runHammerFast(t Target, h hammerShape, count int64) error {
 		return err
 	}
 	tm := r.Timing
-	slowPer := h.perIterWaits + int64(len(h.rows))*2*tm.TCK
-	bulkPer := int64(len(h.rows)) * (hold + tm.TRP)
+	slowPer := h.perIterWaits + int64(h.nrows)*2*tm.TCK
+	bulkPer := int64(h.nrows) * (hold + tm.TRP)
 	if pad := count * (slowPer - bulkPer); pad > 0 {
 		return t.AdvanceTime(pad)
 	}

@@ -26,6 +26,10 @@ const RefreshBudget = 27_000_000_000 // 27 ms in picoseconds
 type Harness struct {
 	dev    *hbm.Device
 	runner *bender.Runner
+	// bld is the reusable program builder: each measurement resets it
+	// instead of allocating a fresh instruction stream and payload table,
+	// which keeps the steady-state BER probe allocation-free.
+	bld *bender.Builder
 
 	// ctx, when non-nil, aborts the measurement loops: every BER
 	// measurement (and therefore every HCfirst probe and WCDP candidate)
@@ -53,6 +57,7 @@ func NewHarness(d *hbm.Device) (*Harness, error) {
 	h := &Harness{
 		dev:           d,
 		runner:        bender.NewRunner(d.Config().Timing),
+		bld:           bender.NewBuilder(d.Config().Timing, d.Geometry()),
 		EnforceBudget: true,
 		HCPrecision:   DefaultHCPrecision,
 	}
@@ -110,8 +115,13 @@ func (h *Harness) cancelled() error {
 	return h.ctx.Err()
 }
 
+// builder returns the harness's reusable program builder, cleared for a
+// new program. The previous program (and any Result still referencing the
+// runner's buffers) must no longer be in use — every harness measurement
+// consumes its reads before building the next program.
 func (h *Harness) builder() *bender.Builder {
-	return bender.NewBuilder(h.dev.Config().Timing, h.dev.Geometry())
+	h.bld.Reset()
+	return h.bld
 }
 
 func (h *Harness) run(b *bender.Builder) (*bender.Result, error) {

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+)
+
+// TestBERProbeSteadyStateAllocs pins the whole probe stack — builder
+// reuse, interned payloads, the jump-table interpreter, the read arena,
+// the device's flip scratch and lazily-materialized rows — to zero
+// allocations per BER measurement once warm. Every BER curve, HCfirst
+// search and WCDP sweep bottoms out in this loop, so a regression here is
+// a fleet-wide slowdown.
+func TestBERProbeSteadyStateAllocs(t *testing.T) {
+	h, err := NewHarnessFromConfig(config.SmallChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba := addr.BankAddr{Channel: 7}
+	layout := h.Device().Config().Layout()
+	victim := layout.Start(1) + layout.Size(1)/2
+	p := Table1()[1]
+	probe := func() {
+		if _, err := h.BER(ba, victim, p, 100_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe() // warm: profiles, row states, builder, arena, scratch
+	probe()
+	if avg := testing.AllocsPerRun(30, probe); avg != 0 {
+		t.Fatalf("steady-state BER probe allocates %.2f times per run, want 0", avg)
+	}
+}

@@ -15,12 +15,19 @@
 // with Z_cell truncated from below and the product clamped to an absolute
 // floor. Data-dependent factors (neighbour coupling, intra-row pattern) are
 // applied by the device at sense time, because they depend on stored data.
+//
+// Row profiles additionally carry lazily-built aggregates — per-word
+// minimum thresholds, a threshold-sorted candidate index, and memoized
+// retention times with word/row minima — that let the device's sense fast
+// path skip work without changing a single output bit (see
+// internal/hbm/sense.go and DESIGN.md §8).
 package faultmodel
 
 import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
@@ -37,15 +44,21 @@ const (
 	domRetention uint64 = 0x726574656E740000 // "retent"
 )
 
+// DefaultCacheBytes is the approximate memory budget of a model's profile
+// cache. The entry capacity is derived from it so that small-geometry test
+// chips cache thousands of rows while the paper-geometry chip (whose
+// profiles are ~64x larger) stays within the same footprint.
+const DefaultCacheBytes = 256 << 20
+
 // Model evaluates the fault model for one chip instance.
 type Model struct {
 	cfg    *config.Config
 	layout *addr.SubarrayLayout
 
-	mu    sync.RWMutex
-	cache map[cacheKey]*RowProfile
-	// cacheCap bounds memory: each entry costs ~4 bytes per row bit.
-	cacheCap int
+	cache *profileCache
+	// computes counts full profile computations, for the stampede tests
+	// and cache-behaviour benchmarks.
+	computes atomic.Int64
 }
 
 type cacheKey struct {
@@ -55,13 +68,75 @@ type cacheKey struct {
 
 // RowProfile holds the precomputed per-bit properties of one physical row.
 // Slices are shared with the model's cache: callers must treat them as
-// read-only.
+// read-only. The expensive per-bit aggregates — thresholds and retention
+// times, each a full pass of inverse-CDF and exp work — are built lazily
+// on first need (Model.Thresholds / Model.RetentionPlan): a row that is
+// only ever sensed without meaningful disturbance never pays for its
+// threshold index, and a row always sensed inside the refresh window
+// never pays for its retention times.
 type RowProfile struct {
-	// Threshold[i] is the intrinsic disturbance threshold of bit i, in
-	// double-sided hammer units.
-	Threshold []float32
 	// TrueCell has bit i set when cell i is a true cell (charged at 1).
 	TrueCell []uint64
+
+	thrOnce sync.Once
+	thr     *thrProfile
+	retOnce sync.Once
+	ret     *retProfile
+
+	// key records the row coordinates for the lazy builds.
+	key cacheKey
+}
+
+// thrProfile holds the lazily-built disturbance-threshold aggregates of
+// one row.
+type thrProfile struct {
+	// Thr[i] is the intrinsic disturbance threshold of bit i, in
+	// double-sided hammer units.
+	Thr []float32
+	// WordMin[w] is the minimum Thr within 64-bit word w: a word whose
+	// minimum exceeds the effective disturbance cannot flip, so a dense
+	// sense scan skips it wholesale.
+	WordMin []float32
+	// ByThr lists bit indices in ascending Thr order (ties broken by bit
+	// index), so a sparse sense scan visits only the bits that can
+	// possibly flip and exits early at the first too-strong candidate.
+	ByThr []uint32
+}
+
+// retProfile holds the lazily-built retention state of one row. It has
+// two tiers. The lite tier memoizes individual bits on demand: a row's
+// first long-idle sense only evaluates the (expensive) lognormal for the
+// bits that are actually charged. A row scanned repeatedly is promoted to
+// the full tier, which completes every bit and derives the per-word and
+// per-row minima that let later scans skip work wholesale.
+type retProfile struct {
+	// mu guards every field below: unlike the threshold tier (immutable
+	// after its sync.Once build), the retention tier mutates shared state
+	// incrementally, and profiles are shared between concurrent model
+	// users. The lock is taken once per scan, not per bit.
+	mu sync.Mutex
+	// Sec[i] is bit i's retention time at the reference temperature, equal
+	// to Model.RetentionSec(bank, row, i) bit for bit. Valid only where
+	// done is set (always, once full).
+	Sec []float64
+	// done marks which Sec entries have been computed.
+	done []uint64
+	// WordMin[w] is the minimum Sec within 64-bit word w: when the elapsed
+	// time cannot reach a word's weakest cell, the whole word is skipped.
+	// Built at promotion to full.
+	WordMin []float64
+	// MinSec and MinBit are the row's weakest cell: the first bit holding
+	// the minimum retention time. Valid once full.
+	MinSec float64
+	MinBit int
+	full   bool
+	// scans counts retention scans over this row; the second scan
+	// triggers promotion to full.
+	scans int
+	// prefix is the coordinate hash folded up to (but excluding) the bit
+	// index; logMedian caches log(MedianSec).
+	prefix    uint64
+	logMedian float64
 }
 
 // IsTrue reports whether bit i is a true cell.
@@ -74,12 +149,26 @@ func New(cfg *config.Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("faultmodel: %w", err)
 	}
-	return &Model{
-		cfg:      cfg,
-		layout:   cfg.Layout(),
-		cache:    make(map[cacheKey]*RowProfile),
-		cacheCap: 2048,
-	}, nil
+	m := &Model{
+		cfg:    cfg,
+		layout: cfg.Layout(),
+	}
+	m.cache = newProfileCache(defaultCacheEntries(cfg))
+	return m, nil
+}
+
+// defaultCacheEntries derives the profile-cache entry capacity from the
+// byte budget and the per-row profile footprint (threshold, orientation,
+// candidate index, and retention aggregates).
+func defaultCacheEntries(cfg *config.Config) int {
+	bits := cfg.Geometry.RowBits()
+	words := (bits + 63) / 64
+	perEntry := bits*(4+4+4+8) + words*(8+4) + 256
+	n := DefaultCacheBytes / perEntry
+	if n < 64 {
+		n = 64
+	}
+	return n
 }
 
 // Layout exposes the subarray layout the model was built with.
@@ -121,59 +210,272 @@ func (m *Model) rowScale(b addr.BankAddr, physRow int) float64 {
 }
 
 // Profile returns the cached per-bit profile of a physical row, computing
-// it on first use. The returned profile is shared: treat it as read-only.
+// it on first use. Concurrent first uses of the same row compute it once:
+// latecomers block on the in-flight computation instead of duplicating it.
+// The returned profile is shared: treat it as read-only.
 func (m *Model) Profile(b addr.BankAddr, physRow int) *RowProfile {
 	key := cacheKey{bank: b, row: physRow}
-	m.mu.RLock()
-	p, ok := m.cache[key]
-	m.mu.RUnlock()
-	if ok {
+	p, claim := m.cache.get(key)
+	if p != nil {
 		return p
 	}
 	p = m.computeProfile(b, physRow)
-	m.mu.Lock()
-	if len(m.cache) >= m.cacheCap {
-		// Evict an arbitrary entry; profiles are cheap to recompute and
-		// access patterns are region-local, so simple eviction suffices.
-		for k := range m.cache {
-			delete(m.cache, k)
-			break
-		}
-	}
-	m.cache[key] = p
-	m.mu.Unlock()
+	m.cache.put(m.cache.shardFor(key), claim, p)
 	return p
 }
 
 func (m *Model) computeProfile(b addr.BankAddr, physRow int) *RowProfile {
+	m.computes.Add(1)
 	bits := m.cfg.Geometry.RowBits()
+	words := (bits + 63) / 64
 	prof := &RowProfile{
-		Threshold: make([]float32, bits),
-		TrueCell:  make([]uint64, (bits+63)/64),
+		TrueCell: make([]uint64, words),
+		key:      cacheKey{bank: b, row: physRow},
 	}
 	ch := m.cfg.Fault.Channels[b.Channel]
-	f := m.cfg.Fault
-	seed := m.cfg.Seed
-	scale := ch.MedianHC * m.rowScale(b, physRow)
-	base := rng.Combine(seed, domThreshold,
+	orientBase := rng.Combine(m.cfg.Seed, domOrient,
 		uint64(b.Channel), uint64(b.PseudoChannel), uint64(b.Bank), uint64(physRow))
-	orientBase := rng.Combine(seed, domOrient,
-		uint64(b.Channel), uint64(b.PseudoChannel), uint64(b.Bank), uint64(physRow))
+	trueFrac := ch.TrueCellFrac
 	for i := 0; i < bits; i++ {
-		z := rng.Normal(rng.Mix64(base + uint64(i)))
-		if z < f.ZFloor {
-			z = f.ZFloor
-		}
-		thr := scale * math.Exp(ch.Sigma*z)
-		if thr < f.HCFloor {
-			thr = f.HCFloor
-		}
-		prof.Threshold[i] = float32(thr)
-		if rng.Bool(rng.Mix64(orientBase+uint64(i)), ch.TrueCellFrac) {
-			prof.TrueCell[i/64] |= 1 << (uint(i) % 64)
+		if rng.Bool(rng.Mix64(orientBase+uint64(i)), trueFrac) {
+			prof.TrueCell[i>>6] |= 1 << (uint(i) % 64)
 		}
 	}
 	return prof
+}
+
+// thresholds returns the lazily-built threshold aggregates of a profile.
+// The build — a per-bit pass of inverse-CDF and exp work plus a radix
+// argsort — is only paid for rows that are ever sensed with enough
+// accumulated disturbance to possibly flip; aggressor rows, whose
+// disturbance is cleared by their own activations, never need it.
+func (m *Model) thresholds(p *RowProfile) *thrProfile {
+	p.thrOnce.Do(func() {
+		bits := m.cfg.Geometry.RowBits()
+		words := (bits + 63) / 64
+		b, physRow := p.key.bank, p.key.row
+		tp := &thrProfile{
+			Thr:     make([]float32, bits),
+			WordMin: make([]float32, words),
+			ByThr:   make([]uint32, bits),
+		}
+		for w := range tp.WordMin {
+			tp.WordMin[w] = float32(math.Inf(1))
+		}
+		ch := m.cfg.Fault.Channels[b.Channel]
+		f := m.cfg.Fault
+		scale := ch.MedianHC * m.rowScale(b, physRow)
+		base := rng.Combine(m.cfg.Seed, domThreshold,
+			uint64(b.Channel), uint64(b.PseudoChannel), uint64(b.Bank), uint64(physRow))
+		sigma, zFloor, hcFloor := ch.Sigma, f.ZFloor, f.HCFloor
+		// Sort keys are packed (IEEE bits << 32 | index): thresholds are
+		// strictly positive, so their float32 bit patterns order exactly
+		// like the values and one integer sort yields the candidate index
+		// with deterministic index tie-breaking.
+		keys := make([]uint64, 2*bits)
+		tmp := keys[bits:]
+		keys = keys[:bits]
+		for i := 0; i < bits; i++ {
+			z := rng.Normal(rng.Mix64(base + uint64(i)))
+			if z < zFloor {
+				z = zFloor
+			}
+			thr := scale * math.Exp(sigma*z)
+			if thr < hcFloor {
+				thr = hcFloor
+			}
+			t32 := float32(thr)
+			tp.Thr[i] = t32
+			if w := i >> 6; t32 < tp.WordMin[w] {
+				tp.WordMin[w] = t32
+			}
+			keys[i] = uint64(math.Float32bits(t32))<<32 | uint64(i)
+		}
+		radixSortUint64(keys, tmp)
+		for i, k := range keys {
+			tp.ByThr[i] = uint32(k)
+		}
+		p.thr = tp
+	})
+	return p.thr
+}
+
+// Thresholds exposes a profile's disturbance-threshold aggregates: the
+// per-bit thresholds, the per-word minima, and the ascending-threshold
+// candidate index. Building them on first use is the expensive step; see
+// thresholds.
+func (m *Model) Thresholds(p *RowProfile) (thr, wordMin []float32, byThr []uint32) {
+	tp := m.thresholds(p)
+	return tp.Thr, tp.WordMin, tp.ByThr
+}
+
+// radixSortUint64 sorts keys ascending with an LSD byte radix, using tmp
+// (same length) as the scatter buffer. Passes whose byte is constant
+// across all keys are skipped, so the packed (float32 bits << 32 | index)
+// profile keys cost ~5 effective passes. This runs once per computed
+// profile; a comparison sort here was the single largest cost of profile
+// construction.
+func radixSortUint64(keys, tmp []uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	src, dst := keys, tmp
+	var counts [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, k := range src {
+			counts[byte(k>>shift)]++
+		}
+		if counts[byte(src[0]>>shift)] == len(src) {
+			continue // this byte is constant; the pass is a no-op
+		}
+		sum := 0
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		for _, k := range src {
+			d := byte(k >> shift)
+			dst[counts[d]] = k
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+	// An odd number of executed scatter passes leaves the result in tmp.
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}
+
+// retention returns the lazily-built retention aggregates of a profile,
+// computing them on first use. The build costs one per-bit pass of the
+// exact RetentionSec math plus a sort; it is only paid for rows whose
+// sense actually clears the retention floor gate (or via RowMinRetention).
+func (m *Model) retention(p *RowProfile) *retProfile {
+	p.retOnce.Do(func() {
+		bits := m.cfg.Geometry.RowBits()
+		b, physRow := p.key.bank, p.key.row
+		// Prefix-fold the coordinate hash: Combine is a left fold, so
+		// Mix64(prefix ^ bit) equals Combine(..., bit) exactly.
+		p.ret = &retProfile{
+			Sec:  make([]float64, bits),
+			done: make([]uint64, (bits+63)/64),
+			prefix: rng.Combine(m.cfg.Seed, domRetention,
+				uint64(b.Channel), uint64(b.PseudoChannel), uint64(b.Bank), uint64(physRow)),
+			logMedian: math.Log(m.cfg.Ret.MedianSec),
+		}
+	})
+	return p.ret
+}
+
+// retSecAt returns bit i's retention time, computing and memoizing it on
+// first use — bit-identical to RetentionSec. The caller must hold rp.mu.
+func (m *Model) retSecAt(rp *retProfile, i int) float64 {
+	w, mask := i>>6, uint64(1)<<(uint(i)&63)
+	if rp.done[w]&mask != 0 {
+		return rp.Sec[i]
+	}
+	r := m.cfg.Ret
+	t := math.Exp(rp.logMedian + r.Sigma*rng.Normal(rng.Mix64(rp.prefix^uint64(i))))
+	if t < r.FloorSec {
+		t = r.FloorSec
+	}
+	rp.Sec[i] = t
+	rp.done[w] |= mask
+	return t
+}
+
+// retentionFull promotes a retention profile to the full tier: every bit
+// computed, plus the per-word and per-row minima. The caller must hold
+// rp.mu.
+func (m *Model) retentionFull(rp *retProfile) *retProfile {
+	if rp.full {
+		return rp
+	}
+	bits := m.cfg.Geometry.RowBits()
+	words := (bits + 63) / 64
+	rp.WordMin = make([]float64, words)
+	rp.MinSec = math.Inf(1)
+	for w := range rp.WordMin {
+		rp.WordMin[w] = math.Inf(1)
+	}
+	for i := 0; i < bits; i++ {
+		t := m.retSecAt(rp, i)
+		if w := i >> 6; t < rp.WordMin[w] {
+			rp.WordMin[w] = t
+		}
+		if t < rp.MinSec {
+			rp.MinSec, rp.MinBit = t, i
+		}
+	}
+	rp.full = true
+	return rp
+}
+
+// RetentionPlan tells the sense path how to run a retention scan over
+// this row, and counts the scan. On the full tier it returns the cached
+// per-bit times plus the word/row minima (full=true): the scan can gate
+// on the row minimum and skip whole words (the returned slices are
+// immutable once full, so reading them without the lock is safe). Before
+// that it returns full=false — the scan should run through
+// RetentionLiteFlips, so a row's first long-idle sense (the common case:
+// a freshly-touched row on a long-running device, about to be
+// overwritten anyway) only pays for the bits it actually inspects. The
+// second scan promotes the row to the full tier, so rows that are
+// profiled repeatedly (the U-TRR retention side channel) get the
+// aggregate-gated fast path.
+func (m *Model) RetentionPlan(p *RowProfile) (sec, wordMin []float64, minSec float64, full bool) {
+	rp := m.retention(p)
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if !rp.full {
+		rp.scans++
+		if rp.scans >= 2 {
+			m.retentionFull(rp)
+		}
+	}
+	if rp.full {
+		return rp.Sec, rp.WordMin, rp.MinSec, true
+	}
+	return nil, nil, 0, false
+}
+
+// RetentionLiteFlips runs a lite-tier retention scan: it appends to dst
+// the bits that are charged under the row image data (LSB-first within
+// each byte; nil means the all-zero power-up pattern) and whose retention
+// time, scaled by tscale, is exceeded by elapsedSec — deriving and
+// memoizing the lognormal only for the charged bits it inspects. One
+// lock acquisition covers the whole scan.
+func (m *Model) RetentionLiteFlips(p *RowProfile, elapsedSec, tscale float64, data []byte, dst []int) []int {
+	rp := m.retention(p)
+	bits := m.cfg.Geometry.RowBits()
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	for i := 0; i < bits; i++ {
+		var v byte
+		if data != nil {
+			v = (data[i>>3] >> (uint(i) & 7)) & 1
+		}
+		if !Charged(p.IsTrue(i), v == 1) {
+			continue
+		}
+		if elapsedSec > m.retSecAt(rp, i)*tscale {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// RetentionAt returns bit i's retention time, memoized; bit-identical to
+// RetentionSec.
+func (m *Model) RetentionAt(p *RowProfile, i int) float64 {
+	rp := m.retention(p)
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return m.retSecAt(rp, i)
 }
 
 // RetentionSec returns the retention time of one cell at the reference
@@ -194,15 +496,16 @@ func (m *Model) RetentionSec(b addr.BankAddr, physRow, bit int) float64 {
 // and the bit holding it. The U-TRR methodology profiles exactly this: the
 // row's weakest cell determines when retention errors appear.
 func (m *Model) RowMinRetention(b addr.BankAddr, physRow int) (sec float64, bit int) {
-	bits := m.cfg.Geometry.RowBits()
-	sec = math.Inf(1)
-	for i := 0; i < bits; i++ {
-		if t := m.RetentionSec(b, physRow, i); t < sec {
-			sec, bit = t, i
-		}
-	}
-	return sec, bit
+	rp := m.retention(m.Profile(b, physRow))
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	m.retentionFull(rp)
+	return rp.MinSec, rp.MinBit
 }
+
+// ProfileComputes reports how many full profile computations the model has
+// performed (for the cache-stampede tests and ablation benchmarks).
+func (m *Model) ProfileComputes() int64 { return m.computes.Load() }
 
 // Charged reports whether a cell holding the given bit value stores
 // charge. True cells are charged when storing 1, anti cells when storing
@@ -251,26 +554,10 @@ func (m *Model) BlastRadius() int { return m.cfg.Fault.BlastRadius() }
 
 // CacheLen reports the number of cached row profiles (for tests and
 // ablation benchmarks).
-func (m *Model) CacheLen() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.cache)
-}
+func (m *Model) CacheLen() int { return m.cache.len() }
 
-// SetCacheCap overrides the profile cache capacity. A capacity of zero
-// disables caching benefits (every insert immediately evicts another
-// entry); used by the ablation benchmarks.
-func (m *Model) SetCacheCap(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if n < 1 {
-		n = 1
-	}
-	m.cacheCap = n
-	for len(m.cache) > n {
-		for k := range m.cache {
-			delete(m.cache, k)
-			break
-		}
-	}
-}
+// SetCacheCap overrides the profile cache capacity in entries, dropping
+// all cached profiles. A capacity of one disables caching benefits (every
+// insert immediately evicts the previous entry); used by the ablation
+// benchmarks. The default capacity is derived from DefaultCacheBytes.
+func (m *Model) SetCacheCap(n int) { m.cache.setCap(n) }

@@ -35,8 +35,10 @@ func TestProfileDeterminism(t *testing.T) {
 	a, b := newModel(t, cfg), newModel(t, cfg)
 	pa := a.Profile(bank(3, 1, 2), 100)
 	pb := b.Profile(bank(3, 1, 2), 100)
-	for i := range pa.Threshold {
-		if pa.Threshold[i] != pb.Threshold[i] {
+	ta, _, _ := a.Thresholds(pa)
+	tb, _, _ := b.Thresholds(pb)
+	for i := range ta {
+		if ta[i] != tb[i] {
 			t.Fatalf("bit %d: thresholds differ across identically-seeded models", i)
 		}
 	}
@@ -50,15 +52,16 @@ func TestProfileDeterminism(t *testing.T) {
 func TestDifferentSeedsDiffer(t *testing.T) {
 	ca, cb := config.SmallChip(), config.SmallChip()
 	cb.Seed = ca.Seed + 1
-	pa := newModel(t, ca).Profile(bank(0, 0, 0), 5)
-	pb := newModel(t, cb).Profile(bank(0, 0, 0), 5)
+	ma, mb := newModel(t, ca), newModel(t, cb)
+	ta, _, _ := ma.Thresholds(ma.Profile(bank(0, 0, 0), 5))
+	tb, _, _ := mb.Thresholds(mb.Profile(bank(0, 0, 0), 5))
 	same := 0
-	for i := range pa.Threshold {
-		if pa.Threshold[i] == pb.Threshold[i] {
+	for i := range ta {
+		if ta[i] == tb[i] {
 			same++
 		}
 	}
-	if same == len(pa.Threshold) {
+	if same == len(ta) {
 		t.Fatal("different seeds produced identical thresholds")
 	}
 }
@@ -67,8 +70,8 @@ func TestThresholdFloorHolds(t *testing.T) {
 	cfg := config.SmallChip()
 	m := newModel(t, cfg)
 	f := func(row uint16, bit uint16) bool {
-		p := m.Profile(bank(7, 0, 0), int(row)%cfg.Geometry.Rows)
-		return float64(p.Threshold[int(bit)%len(p.Threshold)]) >= cfg.Fault.HCFloor
+		thr, _, _ := m.Thresholds(m.Profile(bank(7, 0, 0), int(row)%cfg.Geometry.Rows))
+		return float64(thr[int(bit)%len(thr)]) >= cfg.Fault.HCFloor
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -103,9 +106,9 @@ func TestChannel7HasLowerThresholds(t *testing.T) {
 	medianOf := func(ch int) float64 {
 		var vals []float64
 		for row := 10; row < 30; row++ {
-			p := m.Profile(bank(ch, 0, 0), row)
-			for i := 0; i < len(p.Threshold); i += 7 {
-				vals = append(vals, float64(p.Threshold[i]))
+			thr, _, _ := m.Thresholds(m.Profile(bank(ch, 0, 0), row))
+			for i := 0; i < len(thr); i += 7 {
+				vals = append(vals, float64(thr[i]))
 			}
 		}
 		// Crude median: sort-free selection is overkill here.
@@ -261,14 +264,15 @@ func TestCacheEviction(t *testing.T) {
 		t.Fatalf("cache holds %d entries, cap is 4", got)
 	}
 	// Re-reading a row evicted earlier still returns identical data.
-	p1 := m.Profile(bank(0, 0, 0), 0)
+	t1, _, _ := m.Thresholds(m.Profile(bank(0, 0, 0), 0))
+	t1 = append([]float32(nil), t1...)
 	m.SetCacheCap(1)
 	for row := 1; row < 5; row++ {
 		m.Profile(bank(0, 0, 0), row)
 	}
-	p2 := m.Profile(bank(0, 0, 0), 0)
-	for i := range p1.Threshold {
-		if p1.Threshold[i] != p2.Threshold[i] {
+	t2, _, _ := m.Thresholds(m.Profile(bank(0, 0, 0), 0))
+	for i := range t1 {
+		if t1[i] != t2[i] {
 			t.Fatal("profile changed after eviction and recompute")
 		}
 	}
@@ -284,7 +288,8 @@ func TestProfileConcurrentAccess(t *testing.T) {
 			defer func() { done <- struct{}{} }()
 			for row := 0; row < 64; row++ {
 				p := m.Profile(bank(g%8, 0, 0), row)
-				if len(p.Threshold) != cfg.Geometry.RowBits() {
+				thr, _, _ := m.Thresholds(p)
+				if len(thr) != cfg.Geometry.RowBits() {
 					panic("bad profile size")
 				}
 			}

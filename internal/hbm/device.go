@@ -76,6 +76,13 @@ type Device struct {
 	modeRegs [][]uint32         // indexed [channel][register]
 
 	stats Stats
+
+	// senseRef selects the reference sense implementation over the fast
+	// path (testing/ablation only; both are bit-identical).
+	senseRef bool
+	// flipScratch is the reusable flip accumulator of the sense fast
+	// path, so steady-state probing allocates nothing per sense.
+	flipScratch []int
 }
 
 type pseudoChannel struct {
@@ -91,16 +98,41 @@ type bankState struct {
 	open    int // physical row latched in the row buffer, -1 when precharged
 	lastAct int64
 	lastPre int64
-	rows    map[int]*rowState // materialized physical rows
+	// rows holds the materialized physical rows, indexed by physical row
+	// number. The slice itself materializes on the bank's first touched
+	// row; untouched banks cost nothing. Direct indexing replaced a
+	// map[int]*rowState that dominated the disturb/sense hot path.
+	rows []*rowState
+}
+
+// rowAt returns the materialized state of a physical row, or nil when the
+// row (or the whole bank) has never been touched.
+func (bk *bankState) rowAt(phys int) *rowState {
+	if bk.rows == nil {
+		return nil
+	}
+	return bk.rows[phys]
 }
 
 // rowState tracks the mutable physical condition of one row. Rows
 // materialize lazily: an untouched row holds all-zero data, fully charged
-// at power-up (time 0).
+// at power-up (time 0). The data image itself materializes even more
+// lazily: a nil data slice means the power-up pattern (all zeros), so rows
+// that only ever accumulate disturbance — every hammer victim that never
+// flips — never allocate a row-sized backing array.
 type rowState struct {
 	data      []byte
 	lastSense int64   // when charge was last restored
 	disturb   float64 // disturbance units accumulated since lastSense
+}
+
+// bytes returns the row's data image, materializing the backing array on
+// first real need (a write or a committed bitflip).
+func (rs *rowState) bytes(d *Device) []byte {
+	if rs.data == nil {
+		rs.data = make([]byte, d.cfg.Geometry.RowBytes())
+	}
+	return rs.data
 }
 
 // New powers up a device from the given configuration.
@@ -114,11 +146,12 @@ func New(cfg *config.Config) (*Device, error) {
 		return nil, fmt.Errorf("hbm: %w", err)
 	}
 	d := &Device{
-		cfg:    cfg,
-		fm:     fm,
-		mapper: mapper,
-		layout: fm.Layout(),
-		tempC:  cfg.Ret.RefTempC,
+		cfg:      cfg,
+		fm:       fm,
+		mapper:   mapper,
+		layout:   fm.Layout(),
+		tempC:    cfg.Ret.RefTempC,
+		senseRef: forceReferenceSense.Load(),
 	}
 	g := cfg.Geometry
 	d.pcs = make([][]*pseudoChannel, g.Channels)
@@ -136,7 +169,6 @@ func New(cfg *config.Config) (*Device, error) {
 					open:    -1,
 					lastAct: farPast,
 					lastPre: farPast,
-					rows:    make(map[int]*rowState),
 				}
 			}
 			d.pcs[ch][pc] = &pseudoChannel{
@@ -196,9 +228,12 @@ func (d *Device) bankAt(b addr.BankAddr) (*pseudoChannel, *bankState, error) {
 }
 
 func (d *Device) row(bank *bankState, physRow int) *rowState {
-	rs, ok := bank.rows[physRow]
-	if !ok {
-		rs = &rowState{data: make([]byte, d.cfg.Geometry.RowBytes())}
+	if bank.rows == nil {
+		bank.rows = make([]*rowState, d.cfg.Geometry.Rows)
+	}
+	rs := bank.rows[physRow]
+	if rs == nil {
+		rs = &rowState{}
 		bank.rows[physRow] = rs
 	}
 	return rs
@@ -333,17 +368,34 @@ func (d *Device) columnAccess(b addr.BankAddr, col int) (*bankState, error) {
 // Read returns the data of one column of the open row. Bitflips were
 // already materialized when the row was sensed at activation.
 func (d *Device) Read(b addr.BankAddr, col int) ([]byte, error) {
-	bank, err := d.columnAccess(b, col)
-	if err != nil {
+	out := make([]byte, d.cfg.Geometry.ColumnBytes)
+	if err := d.ReadInto(b, col, out); err != nil {
 		return nil, err
 	}
-	rs := d.row(bank, bank.open)
+	return out, nil
+}
+
+// ReadInto reads one column of the open row into a caller-provided buffer
+// of exactly ColumnBytes, avoiding Read's per-call allocation — the hot
+// read-out path (bender.Runner) reuses one arena across a whole program.
+func (d *Device) ReadInto(b addr.BankAddr, col int, dst []byte) error {
+	bank, err := d.columnAccess(b, col)
+	if err != nil {
+		return err
+	}
 	n := d.cfg.Geometry.ColumnBytes
-	out := make([]byte, n)
-	copy(out, rs.data[col*n:(col+1)*n])
+	if len(dst) != n {
+		return fmt.Errorf("hbm: read into %d bytes, column holds %d: %w", len(dst), n, ErrAddress)
+	}
+	rs := d.row(bank, bank.open)
+	if rs.data == nil {
+		clear(dst) // unmaterialized row: power-up pattern
+	} else {
+		copy(dst, rs.data[col*n:(col+1)*n])
+	}
 	d.stats.Reads++
 	d.now += d.cfg.Timing.TCK
-	return out, nil
+	return nil
 }
 
 // Write stores data into one column of the open row, fully recharging the
@@ -358,7 +410,7 @@ func (d *Device) Write(b addr.BankAddr, col int, data []byte) error {
 		return fmt.Errorf("hbm: write of %d bytes, column holds %d: %w", len(data), n, ErrAddress)
 	}
 	rs := d.row(bank, bank.open)
-	copy(rs.data[col*n:(col+1)*n], data)
+	copy(rs.bytes(d)[col*n:(col+1)*n], data)
 	d.stats.Writes++
 	d.now += d.cfg.Timing.TCK
 	return nil
@@ -387,7 +439,7 @@ func (d *Device) Refresh(ch, pc int) error {
 		b := addr.BankAddr{Channel: ch, PseudoChannel: pc, Bank: bi}
 		for k := 0; k < rowsPerRef; k++ {
 			phys := (p.refPtr + k) % g.Rows
-			if _, ok := bank.rows[phys]; ok {
+			if bank.rowAt(phys) != nil {
 				d.senseAndRestore(b, bank, phys, d.now)
 			}
 		}
@@ -489,21 +541,19 @@ func (d *Device) eccEnabled(ch int) bool {
 func (d *Device) applyDisturb(b addr.BankAddr, physRow int, scale float64) {
 	bank := d.pcs[b.Channel][b.PseudoChannel].banks[b.Bank]
 	radius := d.fm.BlastRadius()
+	rows := d.cfg.Geometry.Rows
 	for dist := 1; dist <= radius; dist++ {
 		w := d.fm.DistanceWeight(dist) * scale
-		for _, victim := range []int{physRow - dist, physRow + dist} {
-			if victim < 0 || victim >= d.cfg.Geometry.Rows {
-				continue
-			}
-			if !d.layout.SameSubarray(physRow, victim) {
-				continue
-			}
+		if victim := physRow - dist; victim >= 0 && d.layout.SameSubarray(physRow, victim) {
+			d.row(bank, victim).disturb += w
+		}
+		if victim := physRow + dist; victim < rows && d.layout.SameSubarray(physRow, victim) {
 			d.row(bank, victim).disturb += w
 		}
 	}
 	if vc := d.cfg.Fault.VerticalCoupling; vc > 0 {
 		w := vc * d.fm.DistanceWeight(1) * scale
-		for _, vch := range []int{b.Channel - 2, b.Channel + 2} {
+		for vch := b.Channel - 2; vch <= b.Channel+2; vch += 4 {
 			if vch < 0 || vch >= d.cfg.Geometry.Channels {
 				continue
 			}
@@ -519,28 +569,31 @@ func (d *Device) applyDisturb(b addr.BankAddr, physRow int, scale float64) {
 // would run, applied in one step for simulation speed; timing-wise it
 // occupies n*2*tRC.
 func (d *Device) HammerPair(b addr.BankAddr, rowA, rowB, n int) error {
-	return d.hammer(b, []int{rowA, rowB}, n, d.cfg.Timing.TRAS)
+	return d.hammer(b, [2]int{rowA, rowB}, 2, n, d.cfg.Timing.TRAS)
 }
 
 // HammerSingle performs n single-sided hammers (n activations) of one
 // logical aggressor row at minimum timing, occupying n*tRC.
 func (d *Device) HammerSingle(b addr.BankAddr, row, n int) error {
-	return d.hammer(b, []int{row}, n, d.cfg.Timing.TRAS)
+	return d.hammer(b, [2]int{row}, 1, n, d.cfg.Timing.TRAS)
 }
 
 // HammerPairHold is HammerPair with each activation held open for holdPS
 // (>= tRAS) before its precharge, accumulating RowPress amplification.
 // Each activation occupies holdPS+tRP.
 func (d *Device) HammerPairHold(b addr.BankAddr, rowA, rowB, n int, holdPS int64) error {
-	return d.hammer(b, []int{rowA, rowB}, n, holdPS)
+	return d.hammer(b, [2]int{rowA, rowB}, 2, n, holdPS)
 }
 
 // HammerSingleHold is HammerSingle with a per-activation hold time.
 func (d *Device) HammerSingleHold(b addr.BankAddr, row, n int, holdPS int64) error {
-	return d.hammer(b, []int{row}, n, holdPS)
+	return d.hammer(b, [2]int{row}, 1, n, holdPS)
 }
 
-func (d *Device) hammer(b addr.BankAddr, logicalRows []int, n int, holdPS int64) error {
+// hammer applies a one- or two-aggressor hammer burst. Aggressors arrive
+// in a fixed-size array (never more than two) so the hot probe loop stays
+// allocation-free.
+func (d *Device) hammer(b addr.BankAddr, logicalRows [2]int, nrows, n int, holdPS int64) error {
 	pc, bank, err := d.bankAt(b)
 	if err != nil {
 		return err
@@ -563,14 +616,18 @@ func (d *Device) hammer(b addr.BankAddr, logicalRows []int, n int, holdPS int64)
 	case d.now-pc.lastRef < t.TRFC:
 		return fmt.Errorf("hbm: hammer %v violates tRFC: %w", b, ErrTiming)
 	}
-	phys := make([]int, len(logicalRows))
-	for i, r := range logicalRows {
+	var physArr [2]int
+	phys := physArr[:nrows]
+	for i, r := range logicalRows[:nrows] {
 		if r < 0 || r >= d.cfg.Geometry.Rows {
 			return fmt.Errorf("hbm: hammer row %d: %w", r, ErrAddress)
 		}
 		phys[i] = d.mapper.ToPhysical(r)
 		for j := 0; j < i; j++ {
 			if phys[j] == phys[i] {
+				// Boxing the array (not a slice of the parameter) keeps the
+				// aggressor array off the heap on the no-error path; only
+				// nrows==2 can reach here, so it renders identically.
 				return fmt.Errorf("hbm: hammer rows %v map to the same physical row: %w", logicalRows, ErrAddress)
 			}
 		}
@@ -594,7 +651,7 @@ func (d *Device) hammer(b addr.BankAddr, logicalRows []int, n int, holdPS int64)
 	// of the burst. The only residue is from the final round: aggressors
 	// activated after row i's last activation each disturb it once more.
 	actPeriod := holdPS + t.TRP
-	end := d.now + int64(n)*int64(len(phys))*actPeriod
+	end := d.now + int64(n)*int64(nrows)*actPeriod
 	for _, p := range phys {
 		rs := d.row(bank, p)
 		rs.disturb = 0
@@ -611,8 +668,8 @@ func (d *Device) hammer(b addr.BankAddr, logicalRows []int, n int, holdPS int64)
 			}
 		}
 	}
-	d.stats.Acts += int64(n * len(phys))
-	d.stats.Precharges += int64(n * len(phys))
+	d.stats.Acts += int64(n * nrows)
+	d.stats.Precharges += int64(n * nrows)
 	// Match the explicit loop's bookkeeping: its final iteration issues
 	// the last ACT at end-actPeriod and the last PRE at end-tRP (the
 	// trailing tRP wait is part of the loop body).

@@ -266,12 +266,12 @@ func TestDisturbanceDoesNotCrossSubarrayBoundary(t *testing.T) {
 	}
 	// The row across the boundary must have accumulated no disturbance.
 	bank := d.pcs[b.Channel][b.PseudoChannel].banks[b.Bank]
-	if rs, ok := bank.rows[edge+1]; ok && rs.disturb != 0 {
+	if rs := bank.rowAt(edge + 1); rs != nil && rs.disturb != 0 {
 		t.Fatalf("row %d across the subarray boundary accumulated %v disturbance", edge+1, rs.disturb)
 	}
 	// The in-subarray neighbour must have.
-	rs, ok := bank.rows[edge-1]
-	if !ok || rs.disturb == 0 {
+	rs := bank.rowAt(edge - 1)
+	if rs == nil || rs.disturb == 0 {
 		t.Fatal("in-subarray neighbour accumulated no disturbance")
 	}
 }
@@ -314,8 +314,11 @@ func TestHammerPairMatchesExplicitActPreLoop(t *testing.T) {
 	bb := bulk.pcs[b.Channel][b.PseudoChannel].banks[b.Bank]
 	lb2 := loop.pcs[b.Channel][b.PseudoChannel].banks[b.Bank]
 	for phys, rsLoop := range lb2.rows {
+		if rsLoop == nil {
+			continue
+		}
 		var bulkDisturb float64
-		if rsBulk, ok := bb.rows[phys]; ok {
+		if rsBulk := bb.rowAt(phys); rsBulk != nil {
 			bulkDisturb = rsBulk.disturb
 		}
 		if diff := rsLoop.disturb - bulkDisturb; diff > 1e-9 || diff < -1e-9 {

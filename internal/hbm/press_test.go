@@ -143,8 +143,11 @@ func TestExplicitLongHoldMatchesBulkPress(t *testing.T) {
 	bb := bulk.pcs[b.Channel][b.PseudoChannel].banks[b.Bank]
 	lb2 := loop.pcs[b.Channel][b.PseudoChannel].banks[b.Bank]
 	for phys, rsLoop := range lb2.rows {
+		if rsLoop == nil {
+			continue
+		}
 		var bulkDisturb float64
-		if rsBulk, ok := bb.rows[phys]; ok {
+		if rsBulk := bb.rowAt(phys); rsBulk != nil {
 			bulkDisturb = rsBulk.disturb
 		}
 		if diff := rsLoop.disturb - bulkDisturb; diff > 1e-9 || diff < -1e-9 {
@@ -196,7 +199,7 @@ func TestVerticalCouplingOffByDefault(t *testing.T) {
 	// The same row of the vertically adjacent channels must be untouched.
 	for _, vch := range []int{2, 6} {
 		vbank := d.pcs[vch][0].banks[0]
-		if rs, ok := vbank.rows[phys]; ok && rs.disturb != 0 {
+		if rs := vbank.rowAt(phys); rs != nil && rs.disturb != 0 {
 			t.Fatalf("channel %d row %d disturbed %v with coupling disabled", vch, phys, rs.disturb)
 		}
 	}
@@ -214,8 +217,8 @@ func TestVerticalCouplingDisturbsAdjacentDies(t *testing.T) {
 	}
 	for _, vch := range []int{2, 6} {
 		vbank := d.pcs[vch][0].banks[0]
-		rs, ok := vbank.rows[phys]
-		if !ok || rs.disturb == 0 {
+		rs := vbank.rowAt(phys)
+		if rs == nil || rs.disturb == 0 {
 			t.Fatalf("channel %d row %d not disturbed despite vertical coupling", vch, phys)
 		}
 		// 100K activations x 0.5 x 0.2 = 10K units.
@@ -226,7 +229,7 @@ func TestVerticalCouplingDisturbsAdjacentDies(t *testing.T) {
 	// Channels on the same die (+/-1) must be untouched.
 	for _, sch := range []int{3, 5} {
 		sbank := d.pcs[sch][0].banks[0]
-		if rs, ok := sbank.rows[phys]; ok && rs.disturb != 0 {
+		if rs := sbank.rowAt(phys); rs != nil && rs.disturb != 0 {
 			t.Fatalf("same-die channel %d disturbed; coupling is vertical only", sch)
 		}
 	}

@@ -1,9 +1,29 @@
 package hbm
 
 import (
+	"slices"
+	"sync/atomic"
+
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/faultmodel"
 )
+
+// forceReferenceSense, when set, makes newly-powered devices use the
+// straightforward reference sense implementation instead of the fast path.
+// It exists for the differential equivalence tests and ablation
+// benchmarks; production code never sets it. Devices read it once at New,
+// so pooled devices keep the path they were built with (drain the engine
+// pool when toggling it in tests).
+var forceReferenceSense atomic.Bool
+
+// ForceReferenceSense selects the sense implementation for devices powered
+// up after the call: the reference path when on, the fast path otherwise.
+// Testing/ablation hook only — both paths are bit-identical by contract
+// (see FuzzSenseEquivalence and DESIGN.md §8).
+func ForceReferenceSense(on bool) { forceReferenceSense.Store(on) }
+
+// SetSenseReference selects this device's sense implementation directly.
+func (d *Device) SetSenseReference(on bool) { d.senseRef = on }
 
 // senseAndRestore models what the sense amplifiers do when a row is
 // activated or refreshed at time at: they latch whatever charge remains in
@@ -16,6 +36,12 @@ import (
 // exactly one flipped bit at sense-out, as the HBM2 single-error-correcting
 // code does. Multi-bit words pass through uncorrected (miscorrection is not
 // modelled).
+//
+// Two implementations exist. senseReference is the straightforward
+// per-bit scan that defines the semantics. The default fast path uses the
+// profile's precomputed aggregates to touch only the bits that can
+// possibly flip; it is bit-for-bit identical (pinned by differential fuzz
+// and golden tests) and allocation-free in steady state.
 func (d *Device) senseAndRestore(b addr.BankAddr, bank *bankState, physRow int, at int64) {
 	rs := d.row(bank, physRow)
 	disturb := rs.disturb
@@ -38,59 +64,220 @@ func (d *Device) senseAndRestore(b addr.BankAddr, bank *bankState, physRow int, 
 	if !retPass && !distPass {
 		return
 	}
+	if d.senseRef {
+		d.senseReference(b, bank, rs, physRow, disturb, elapsedSec, tscale, thrTemp, retPass, distPass)
+		return
+	}
+	d.senseFast(b, bank, rs, physRow, disturb, elapsedSec, tscale, thrTemp, retPass, distPass)
+}
 
-	prof := d.fm.Profile(b, physRow)
-	bits := d.cfg.Geometry.RowBits()
-	data := rs.data
+// rowBit returns bit i of a row image; a nil image is the power-up pattern
+// (all zeros).
+func rowBit(buf []byte, i int) byte {
+	if buf == nil {
+		return 0
+	}
+	return (buf[i>>3] >> (uint(i) & 7)) & 1
+}
 
-	// Neighbour data for coupling evaluation. A neighbour beyond the
-	// subarray boundary does not exist electrically; an unmaterialized
-	// neighbour holds the power-up pattern (all zeros).
-	var upData, downData []byte
-	hasUp := physRow > 0 && d.layout.SameSubarray(physRow, physRow-1)
-	hasDown := physRow < d.cfg.Geometry.Rows-1 && d.layout.SameSubarray(physRow, physRow+1)
+// neighbourData resolves the row images of the two physically adjacent
+// rows for coupling evaluation. A neighbour beyond the subarray boundary
+// does not exist electrically; an unmaterialized neighbour holds the
+// power-up pattern (all zeros, a nil image).
+func (d *Device) neighbourData(bank *bankState, physRow int) (upData, downData []byte, hasUp, hasDown bool) {
+	hasUp = physRow > 0 && d.layout.SameSubarray(physRow, physRow-1)
+	hasDown = physRow < d.cfg.Geometry.Rows-1 && d.layout.SameSubarray(physRow, physRow+1)
 	if hasUp {
-		if nb, ok := bank.rows[physRow-1]; ok {
+		if nb := bank.rowAt(physRow - 1); nb != nil {
 			upData = nb.data
 		}
 	}
 	if hasDown {
-		if nb, ok := bank.rows[physRow+1]; ok {
+		if nb := bank.rowAt(physRow + 1); nb != nil {
 			downData = nb.data
 		}
 	}
+	return upData, downData, hasUp, hasDown
+}
 
-	bitOf := func(buf []byte, i int) byte {
-		if buf == nil {
-			return 0
+// disturbFlip evaluates the full data-dependent disturbance criterion for
+// one bit that already passed the threshold screen: the bit flips when the
+// accumulated disturbance reaches its threshold scaled by neighbour
+// coupling, intra-row pattern, and temperature. Shared verbatim by both
+// sense paths.
+func (d *Device) disturbFlip(thr []float32, data, upData, downData []byte,
+	hasUp, hasDown bool, i, bits int, v byte, disturb, thrTemp float64) bool {
+	opposite := 0
+	if hasUp && rowBit(upData, i) != v {
+		opposite++
+	}
+	if hasDown && rowBit(downData, i) != v {
+		opposite++
+	}
+	alternating := i > 0 && i < bits-1 &&
+		rowBit(data, i-1) != v && rowBit(data, i+1) != v
+	eff := float64(thr[i]) * d.fm.CouplingFactor(opposite) *
+		d.fm.IntraRowFactor(alternating) * thrTemp
+	return disturb >= eff
+}
+
+// senseFast is the production sense path. It exploits three profile
+// aggregates, none of which change the flip criterion:
+//
+//   - ByThr, the ascending-threshold candidate index: the disturbance pass
+//     visits only bits whose threshold passes the quickThr screen, exiting
+//     at the first too-strong candidate. When the screen admits most of the
+//     row (extreme disturbance), it falls back to a word-ordered scan that
+//     skips whole 64-bit words via WordMinThr, preserving memory locality.
+//   - Cached retention times with per-word and per-row minima: when elapsed
+//     time cannot reach even the row's weakest cell, the retention pass
+//     vanishes; otherwise it skips whole words via their minima and
+//     compares cached floats instead of re-deriving lognormal variates.
+//   - Scratch reuse: candidate bits accumulate into a device-owned buffer,
+//     and ECC filtering runs on the sorted buffer without a map.
+func (d *Device) senseFast(b addr.BankAddr, bank *bankState, rs *rowState, physRow int,
+	disturb, elapsedSec, tscale, thrTemp float64, retPass, distPass bool) {
+	prof := d.fm.Profile(b, physRow)
+	bits := d.cfg.Geometry.RowBits()
+	data := rs.data
+	flips := d.flipScratch[:0]
+
+	if distPass {
+		quickThr := disturb / (d.cfg.Fault.CouplingBoth * thrTemp)
+		thr, wordMin, byThr := d.fm.Thresholds(prof)
+		if n := len(byThr); n > 0 && float64(thr[byThr[0]]) <= quickThr {
+			upData, downData, hasUp, hasDown := d.neighbourData(bank, physRow)
+			if float64(thr[byThr[n/2]]) <= quickThr {
+				// Dense: at least half the row passes the screen. A
+				// word-ordered scan touches memory sequentially and skips
+				// words whose minimum threshold exceeds the screen.
+				for w := range wordMin {
+					if float64(wordMin[w]) > quickThr {
+						continue
+					}
+					hi := (w + 1) << 6
+					if hi > bits {
+						hi = bits
+					}
+					for i := w << 6; i < hi; i++ {
+						if float64(thr[i]) > quickThr {
+							continue
+						}
+						v := rowBit(data, i)
+						if !faultmodel.Charged(prof.IsTrue(i), v == 1) {
+							continue
+						}
+						if d.disturbFlip(thr, data, upData, downData, hasUp, hasDown, i, bits, v, disturb, thrTemp) {
+							flips = append(flips, i)
+						}
+					}
+				}
+			} else {
+				// Sparse: visit candidates in ascending-threshold order and
+				// stop at the first one the screen rejects.
+				for _, ci := range byThr {
+					i := int(ci)
+					if float64(thr[i]) > quickThr {
+						break
+					}
+					v := rowBit(data, i)
+					if !faultmodel.Charged(prof.IsTrue(i), v == 1) {
+						continue
+					}
+					if d.disturbFlip(thr, data, upData, downData, hasUp, hasDown, i, bits, v, disturb, thrTemp) {
+						flips = append(flips, i)
+					}
+				}
+			}
 		}
-		return (buf[i>>3] >> (uint(i) & 7)) & 1
 	}
 
+	if retPass {
+		retSec, wordMin, minSec, full := d.fm.RetentionPlan(prof)
+		switch {
+		case full && elapsedSec > minSec*tscale:
+			for w := range wordMin {
+				if !(elapsedSec > wordMin[w]*tscale) {
+					continue // even the word's weakest cell survives
+				}
+				hi := (w + 1) << 6
+				if hi > bits {
+					hi = bits
+				}
+				for i := w << 6; i < hi; i++ {
+					if !(elapsedSec > retSec[i]*tscale) {
+						continue
+					}
+					v := rowBit(data, i)
+					if !faultmodel.Charged(prof.IsTrue(i), v == 1) {
+						continue
+					}
+					flips = append(flips, i)
+				}
+			}
+		case !full:
+			// Lite tier: the model scans charge-first under one lock, so
+			// the lognormal retention time is only derived for charged
+			// bits (and memoized for later scans).
+			flips = d.fm.RetentionLiteFlips(prof, elapsedSec, tscale, data, flips)
+		}
+	}
+
+	d.flipScratch = flips
+	if len(flips) == 0 {
+		return
+	}
+	// The passes emit bits in threshold / retention order and may both
+	// claim the same bit; sort and deduplicate to recover the reference
+	// path's ascending unique flip set.
+	slices.Sort(flips)
+	uniq := flips[:1]
+	for _, i := range flips[1:] {
+		if i != uniq[len(uniq)-1] {
+			uniq = append(uniq, i)
+		}
+	}
+	flips = uniq
+
+	if d.eccEnabled(b.Channel) {
+		flips = d.eccFilterSorted(flips)
+	}
+	if len(flips) == 0 {
+		return
+	}
+	data = rs.bytes(d)
+	for _, i := range flips {
+		data[i>>3] ^= 1 << (uint(i) & 7)
+	}
+	d.stats.BitflipsCommitted += int64(len(flips))
+}
+
+// senseReference is the straightforward per-bit implementation that
+// defines sense semantics; the fast path must match it bit for bit. It is
+// retained as the oracle for the differential fuzz and golden tests and
+// for ablation benchmarks.
+func (d *Device) senseReference(b addr.BankAddr, bank *bankState, rs *rowState, physRow int,
+	disturb, elapsedSec, tscale, thrTemp float64, retPass, distPass bool) {
+	prof := d.fm.Profile(b, physRow)
+	bits := d.cfg.Geometry.RowBits()
+	data := rs.data
+
+	upData, downData, hasUp, hasDown := d.neighbourData(bank, physRow)
+
+	var thr []float32
+	if distPass {
+		thr, _, _ = d.fm.Thresholds(prof)
+	}
 	var flips []int
 	quickThr := disturb / (d.cfg.Fault.CouplingBoth * thrTemp)
 	for i := 0; i < bits; i++ {
-		v := (data[i>>3] >> (uint(i) & 7)) & 1
+		v := rowBit(data, i)
 		if !faultmodel.Charged(prof.IsTrue(i), v == 1) {
 			continue // discharged cells have no charge to lose
 		}
 		flipped := false
-		if distPass && float64(prof.Threshold[i]) <= quickThr {
-			opposite := 0
-			if hasUp && bitOf(upData, i) != v {
-				opposite++
-			}
-			if hasDown && bitOf(downData, i) != v {
-				opposite++
-			}
-			alternating := i > 0 && i < bits-1 &&
-				(data[(i-1)>>3]>>(uint(i-1)&7))&1 != v &&
-				(data[(i+1)>>3]>>(uint(i+1)&7))&1 != v
-			eff := float64(prof.Threshold[i]) * d.fm.CouplingFactor(opposite) *
-				d.fm.IntraRowFactor(alternating) * thrTemp
-			if disturb >= eff {
-				flipped = true
-			}
+		if distPass && float64(thr[i]) <= quickThr {
+			flipped = d.disturbFlip(thr, data, upData, downData, hasUp, hasDown, i, bits, v, disturb, thrTemp)
 		}
 		if !flipped && retPass {
 			if elapsedSec > d.fm.RetentionSec(b, physRow, i)*tscale {
@@ -108,10 +295,34 @@ func (d *Device) senseAndRestore(b addr.BankAddr, bank *bankState, physRow int, 
 	if d.eccEnabled(b.Channel) {
 		flips = d.eccFilter(flips)
 	}
+	data = rs.bytes(d)
 	for _, i := range flips {
 		data[i>>3] ^= 1 << (uint(i) & 7)
 	}
 	d.stats.BitflipsCommitted += int64(len(flips))
+}
+
+// eccFilterSorted drops single-bit-per-word flips (the SEC code corrects
+// them) and counts the corrections, like eccFilter, but exploits that
+// flips arrive sorted: same-word flips are adjacent, so one run-length
+// pass suffices — no per-sense map.
+func (d *Device) eccFilterSorted(flips []int) []int {
+	word := d.cfg.ECC.WordBits
+	kept := flips[:0]
+	for s := 0; s < len(flips); {
+		e := s + 1
+		w := flips[s] / word
+		for e < len(flips) && flips[e]/word == w {
+			e++
+		}
+		if e-s == 1 {
+			d.stats.ECCCorrections++
+		} else {
+			kept = append(kept, flips[s:e]...)
+		}
+		s = e
+	}
+	return kept
 }
 
 // eccFilter drops single-bit-per-word flips (the SEC code corrects them)

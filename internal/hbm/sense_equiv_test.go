@@ -1,0 +1,291 @@
+package hbm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/rng"
+)
+
+// The sense fast path must be bit-for-bit identical to the reference
+// implementation across every observable: row data, disturbance state,
+// charge clocks, and device statistics. These tests drive a fast-path and
+// a reference-path device with identical command scripts — hammers of
+// varying intensity and hold times, writes, reads, long idles (retention
+// decay), temperature changes, ECC toggling, refreshes — and compare the
+// complete device state after every script.
+
+// equivConfig is a deliberately small geometry so scripts touch a large
+// fraction of the chip (dense interactions between neighbouring rows) at
+// fuzz-friendly speed.
+func equivConfig() *config.Config {
+	cfg := config.SmallChip()
+	cfg.Geometry.Banks = 2
+	cfg.Geometry.Rows = 128
+	cfg.Geometry.Columns = 4
+	cfg.Geometry.ColumnBytes = 8
+	cfg.SubarraySizes = []int{48, 48, 32}
+	return cfg
+}
+
+func newEquivPair(t testing.TB) (fast, ref *Device) {
+	t.Helper()
+	cfg := equivConfig()
+	fast, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetSenseReference(true)
+	return fast, ref
+}
+
+// applyOp decodes one scripted operation and applies it to a device.
+// Returns the operation's error (compared across devices, never fatal)
+// and any read-out data.
+func applyOp(d *Device, op, a, b byte) (readout []byte, err error) {
+	g := d.Geometry()
+	m := d.Mapper()
+	ba := addr.BankAddr{
+		Channel:       int(a) % g.Channels,
+		PseudoChannel: int(a>>3) % g.PseudoChannels,
+		Bank:          int(a>>4) % g.Banks,
+	}
+	physVictim := 1 + int(b)%(g.Rows-2)
+	lrow := m.ToLogical(int(b) % g.Rows)
+	hammers := 20_000 + int(b)*2_000
+	switch op % 9 {
+	case 0:
+		return nil, d.HammerPair(ba, m.ToLogical(physVictim-1), m.ToLogical(physVictim+1), hammers)
+	case 1:
+		return nil, d.HammerSingle(ba, m.ToLogical(physVictim), hammers)
+	case 2:
+		pattern := bytes.Repeat([]byte{a ^ b}, g.RowBytes())
+		return nil, WriteRow(d, ba, lrow, pattern)
+	case 3:
+		return ReadRow(d, ba, lrow)
+	case 4:
+		// Idle up to ~25 s of simulated time: retention decay territory.
+		return nil, d.AdvanceTime(int64(b+1) * 100_000_000_000)
+	case 5:
+		d.SetTemperature(40 + float64(b%60))
+		return nil, nil
+	case 6:
+		return nil, d.WriteModeRegister(ba.Channel, MRECC, uint32(b&1))
+	case 7:
+		return nil, d.Refresh(ba.Channel, ba.PseudoChannel)
+	default:
+		hold := d.cfg.Timing.TRAS * int64(1+b%20)
+		return nil, d.HammerPairHold(ba, m.ToLogical(physVictim-1), m.ToLogical(physVictim+1), hammers/4, hold)
+	}
+}
+
+// rowImagesEqual compares two row images where nil means the all-zero
+// power-up pattern.
+func rowImagesEqual(x, y []byte) bool {
+	if x == nil {
+		x, y = y, x
+	}
+	if y != nil {
+		return bytes.Equal(x, y)
+	}
+	for _, v := range x {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// compareDevices fails the test unless both devices are observably
+// identical: clocks, statistics, and the full per-row physical state.
+func compareDevices(t *testing.T, fast, ref *Device) {
+	t.Helper()
+	if fast.Now() != ref.Now() {
+		t.Fatalf("clocks diverge: fast %d, ref %d", fast.Now(), ref.Now())
+	}
+	if fast.Stats() != ref.Stats() {
+		t.Fatalf("stats diverge:\nfast %+v\nref  %+v", fast.Stats(), ref.Stats())
+	}
+	g := fast.Geometry()
+	for ch := 0; ch < g.Channels; ch++ {
+		for pc := 0; pc < g.PseudoChannels; pc++ {
+			for bk := 0; bk < g.Banks; bk++ {
+				fb := fast.pcs[ch][pc].banks[bk]
+				rb := ref.pcs[ch][pc].banks[bk]
+				for phys := 0; phys < g.Rows; phys++ {
+					fr, rr := fb.rowAt(phys), rb.rowAt(phys)
+					var fd, rd []byte
+					var fdist, rdist float64
+					var fsense, rsense int64
+					if fr != nil {
+						fd, fdist, fsense = fr.data, fr.disturb, fr.lastSense
+					}
+					if rr != nil {
+						rd, rdist, rsense = rr.data, rr.disturb, rr.lastSense
+					}
+					if fdist != rdist || fsense != rsense {
+						t.Fatalf("ch%d.pc%d.ba%d row %d: disturb/lastSense diverge: fast (%v, %d), ref (%v, %d)",
+							ch, pc, bk, phys, fdist, fsense, rdist, rsense)
+					}
+					if !rowImagesEqual(fd, rd) {
+						t.Fatalf("ch%d.pc%d.ba%d row %d: data diverges", ch, pc, bk, phys)
+					}
+				}
+			}
+		}
+	}
+}
+
+// runScript drives both devices through a script of 3-byte operations,
+// checking operation-level agreement as it goes and full state equality
+// at the end.
+func runScript(t *testing.T, script []byte) {
+	t.Helper()
+	fast, ref := newEquivPair(t)
+	for i := 0; i+2 < len(script); i += 3 {
+		op, a, b := script[i], script[i+1], script[i+2]
+		fOut, fErr := applyOp(fast, op, a, b)
+		rOut, rErr := applyOp(ref, op, a, b)
+		if (fErr == nil) != (rErr == nil) || (fErr != nil && fErr.Error() != rErr.Error()) {
+			t.Fatalf("op %d (%d %d %d): errors diverge: fast %v, ref %v", i/3, op, a, b, fErr, rErr)
+		}
+		if !bytes.Equal(fOut, rOut) {
+			t.Fatalf("op %d (%d %d %d): read-out diverges", i/3, op, a, b)
+		}
+	}
+	compareDevices(t, fast, ref)
+}
+
+// FuzzSenseEquivalence is the differential fuzz target pinning the fast
+// sense path to the reference implementation. `go test` exercises the
+// seed corpus; `go test -fuzz=FuzzSenseEquivalence ./internal/hbm` digs.
+func FuzzSenseEquivalence(f *testing.F) {
+	f.Add([]byte{0, 7<<4 | 7, 40, 3, 7<<4 | 7, 40})                  // hammer ch7, read victim
+	f.Add([]byte{4, 0, 255, 3, 0, 10, 0, 0, 10, 3, 0, 10})           // long idle, read, hammer, read
+	f.Add([]byte{2, 9, 0xA5, 0, 9, 60, 6, 9, 1, 0, 9, 60, 3, 9, 60}) // write, hammer, ECC on, hammer, read
+	f.Add([]byte{5, 0, 55, 8, 3, 200, 4, 3, 120, 3, 3, 77})          // cool, pressed hammer, idle, read
+	f.Add([]byte{7, 1, 1, 7, 1, 2, 0, 1, 90, 7, 1, 3})               // refreshes interleaved with hammering
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 60 {
+			script = script[:60] // bound per-input work
+		}
+		runScript(t, script)
+	})
+}
+
+// TestSenseEquivalenceRandomScripts complements the fuzz corpus with a
+// broader deterministic randomized sweep that always runs under `go test`.
+func TestSenseEquivalenceRandomScripts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized differential sweep")
+	}
+	s := rng.NewStream(0xE0_1D)
+	for round := 0; round < 12; round++ {
+		script := make([]byte, 3*10)
+		for i := range script {
+			script[i] = byte(s.Next())
+		}
+		t.Run(fmt.Sprintf("round%02d", round), func(t *testing.T) {
+			runScript(t, script)
+		})
+	}
+}
+
+// TestSenseSteadyStateAllocs pins the sense fast path's allocation-free
+// steady state: once a row's profile aggregates and scratch buffers are
+// warm, a hammer-then-sense probe cycle allocates nothing.
+func TestSenseSteadyStateAllocs(t *testing.T) {
+	cfg := equivConfig()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Mapper()
+	ba := addr.BankAddr{Channel: 7}
+	layout := d.Config().Layout()
+	phys := layout.Start(1) + layout.Size(1)/2
+	la, lb, lv := m.ToLogical(phys-1), m.ToLogical(phys+1), m.ToLogical(phys)
+	tm := d.Config().Timing
+	cycle := func() {
+		if err := d.HammerPair(ba, la, lb, 150_000); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AdvanceTime(tm.TRP); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Activate(ba, lv); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AdvanceTime(tm.TRAS); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Precharge(ba); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AdvanceTime(tm.TRP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // warm profiles, row states, scratch
+	cycle()
+	if avg := testing.AllocsPerRun(50, cycle); avg != 0 {
+		t.Fatalf("steady-state hammer+sense cycle allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestReadIntoMatchesRead pins the caller-provided-buffer read variant to
+// the allocating one.
+func TestReadIntoMatchesRead(t *testing.T) {
+	cfg := equivConfig()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba := addr.BankAddr{Channel: 2}
+	pattern := bytes.Repeat([]byte{0x5A}, d.Geometry().RowBytes())
+	if err := WriteRow(d, ba, 5, pattern); err != nil {
+		t.Fatal(err)
+	}
+	if err := openRow(d, ba, 5); err != nil {
+		t.Fatal(err)
+	}
+	defer closeRow(d, ba)
+	want, err := d.Read(ba, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, d.Geometry().ColumnBytes)
+	if err := d.ReadInto(ba, 1, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, dst) {
+		t.Fatalf("ReadInto = %x, Read = %x", dst, want)
+	}
+	if err := d.ReadInto(ba, 1, dst[:2]); err == nil {
+		t.Fatal("short destination buffer accepted")
+	}
+	// An unmaterialized row reads as the power-up pattern.
+	unb := addr.BankAddr{Channel: 3}
+	if err := openRow(d, unb, 9); err != nil {
+		t.Fatal(err)
+	}
+	defer closeRow(d, unb)
+	for i := range dst {
+		dst[i] = 0xFF
+	}
+	if err := d.ReadInto(unb, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("byte %d of pristine row = %#x, want 0", i, v)
+		}
+	}
+}
