@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-engine lint smoke ci
+.PHONY: build test bench bench-engine lint smoke paper-smoke ci
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,17 @@ bench:
 bench-engine:
 	sh scripts/bench_engine.sh
 
-# Fleet chipscan smoke: a 32-seed scan, 4 chips at a time, run once in a
-# single process and once as four serialized seed-range shards plus a
-# merge — the merged CSV/JSON must be byte-identical to the
-# single-process exports (the distributable-fleet contract).
+# Sharded-fleet smoke, byte-comparing sharded-vs-single-process output
+# for two registry experiments (the distributable-fleet contract):
+#
+#   1. chipscan (the multichip registry entry): a 32-seed scan, 4 chips
+#      at a time, once in a single process and once as four serialized
+#      seed-range shards plus a merge.
+#   2. rowpress (a newly lifted point-axis driver): once in a single
+#      process under the default queue planner and once as two job-slice
+#      shards under the weighted planner, merged through the generic
+#      `characterize merge` with a shard glob — pinning that neither
+#      sharding nor planner choice changes the artifacts.
 SMOKE_DIR := .smoke
 
 smoke:
@@ -41,7 +48,28 @@ smoke:
 		-json $(SMOKE_DIR)/merged.json $(SMOKE_DIR)/shard*.json
 	cmp $(SMOKE_DIR)/single.csv $(SMOKE_DIR)/merged.csv
 	cmp $(SMOKE_DIR)/single.json $(SMOKE_DIR)/merged.json
+	$(GO) run ./cmd/characterize -experiment rowpress -rows 2 -hammers 60000 \
+		-csv $(SMOKE_DIR)/press.csv -json $(SMOKE_DIR)/press.json \
+		-artifact $(SMOKE_DIR)/press.bin
+	for i in 0 1; do \
+		$(GO) run ./cmd/characterize -experiment rowpress -rows 2 -hammers 60000 \
+			-planner weighted -shard $$i/2 \
+			-artifact $(SMOKE_DIR)/press-shard$$i.json >/dev/null || exit 1; \
+	done
+	$(GO) run ./cmd/characterize merge -csv $(SMOKE_DIR)/press-merged.csv \
+		-json $(SMOKE_DIR)/press-merged.json \
+		-artifact $(SMOKE_DIR)/press-merged.bin \
+		'$(SMOKE_DIR)/press-shard*.json'
+	cmp $(SMOKE_DIR)/press.csv $(SMOKE_DIR)/press-merged.csv
+	cmp $(SMOKE_DIR)/press.json $(SMOKE_DIR)/press-merged.json
+	cmp $(SMOKE_DIR)/press.bin $(SMOKE_DIR)/press-merged.bin
 	rm -rf $(SMOKE_DIR)
+
+# Reduced-budget paper suite on the paper-geometry chip: the nightly CI
+# smoke (sweep + fig6 + trrstudy through the registry; ~5 s).
+paper-smoke:
+	$(GO) run ./cmd/characterize -chip paper -experiment paper \
+		-rows 2 -bankrows 2 -hammers 30000 -iterations 60 -parallel 2
 
 lint:
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \

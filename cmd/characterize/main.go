@@ -1,21 +1,36 @@
-// characterize regenerates the paper's evaluation figures (Figs. 3-6) on
-// the simulated HBM2 chip, printing ASCII renders plus the headline
-// numbers the paper reports, and optionally exporting raw CSV data.
+// characterize is the front end of the experiment registry: every study
+// in the repo — the paper's figures and the extension studies — runs
+// through one pipeline that plans jobs, shards them, streams aggregates,
+// and serializes mergeable artifacts.
 //
-// Usage:
+// Registry mode (the primary interface):
+//
+//	characterize -experiment NAME [-chip paper|small] [-rows N]
+//	             [-hammers N] [-seeds N] [-iterations N] [-workers N]
+//	             [-parallel N] [-planner P] [-shard I/N] [-progress]
+//	             [-artifact FILE] [-csv FILE] [-json FILE] [-group-by AXIS]
+//	characterize -experiment list
+//	characterize -experiment paper        # the paper suite: sweep+fig6+trrstudy
+//	characterize merge [-artifact FILE] [-csv FILE] [-json FILE]
+//	             [-group-by AXIS] shard.json|glob|dir...
+//
+// Every registered experiment gains -shard i/N + artifact merge for
+// free: N shard processes produce artifacts that `characterize merge`
+// recombines into output byte-identical to a single-process run. merge
+// arguments may be files, globs or directories; failures name the
+// offending shard. The experiment is inferred from the artifacts and the
+// merged result renders with the experiment's own report.
+//
+// Figure mode (the original interface) renders the paper's evaluation
+// figures with ASCII plots and headline numbers:
 //
 //	characterize [-chip paper|small] [-fig all|3|4|5|6|press|temp|cross]
 //	             [-rows N] [-bankrows N] [-hammers N] [-workers N]
 //	             [-progress] [-csv DIR]
 //
-// With -rows 0 every row of the test regions is measured, as in the
-// paper; the default samples for a quick run. The press/temp/cross
-// figures are the paper's Section 6 future-work studies, implemented as
-// extensions.
-//
-// Long runs are interruptible: Ctrl-C cancels the execution engine
-// between measurement jobs, and -progress reports live job completion on
-// stderr.
+// Long runs are interruptible: Ctrl-C cancels the execution engine down
+// to per-measurement granularity, and -progress reports live job
+// completion on stderr.
 package main
 
 import (
@@ -35,20 +50,208 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("characterize: ")
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		runMerge(os.Args[2:])
+		return
+	}
 	var (
-		chip     = flag.String("chip", "small", "chip preset: paper or small")
-		fig      = flag.String("fig", "all", "figure to regenerate: all, 3, 4, 5, 6, press, temp or cross")
-		rows     = flag.Int("rows", 24, "victim rows sampled per region for figs 3-5 (0 = all rows)")
-		bankRows = flag.Int("bankrows", 16, "rows per bank region for fig 6 (paper: 100)")
-		hammers  = flag.Int("hammers", hbmrh.DefaultHammers, "hammer count / HCfirst ceiling")
-		workers  = flag.Int("workers", 0, "parallel measurement devices (0 = auto)")
-		progress = flag.Bool("progress", false, "report engine job completion on stderr")
-		csvDir   = flag.String("csv", "", "directory for raw CSV exports (empty = none)")
+		experiment = flag.String("experiment", "", "registry experiment to run (see -experiment list), or: list, paper")
+		chip       = flag.String("chip", "small", "chip preset: paper or small")
+		fig        = flag.String("fig", "all", "figure mode: figure to regenerate (all, 3, 4, 5, 6, press, temp, cross or bypass)")
+		rows       = flag.Int("rows", 24, "sampling density: victim rows per region (figs 3-5) or per point")
+		bankRows   = flag.Int("bankrows", 16, "rows per bank region for fig 6 (paper: 100)")
+		hammers    = flag.Int("hammers", hbmrh.DefaultHammers, "hammer count / HCfirst ceiling")
+		seeds      = flag.Int("seeds", 0, "chip instances for fleet experiments (0 = experiment default)")
+		iterations = flag.Int("iterations", 0, "U-TRR iterations for the TRR studies (0 = default)")
+		workers    = flag.Int("workers", 0, "parallel measurement devices per job (0 = auto)")
+		parallel   = flag.Int("parallel", 0, "concurrent plan jobs in registry mode (0 = one per CPU)")
+		planner    = flag.String("planner", "queue", "job planner: queue, contiguous, weighted or stealing (never changes output)")
+		shard      = flag.String("shard", "", "run one plan shard, as I/N (registry mode)")
+		progress   = flag.Bool("progress", false, "report engine job completion on stderr")
+		csvOut     = flag.String("csv", "", "figure mode: directory for raw CSV exports; registry mode: summary CSV file (\"-\" = stdout)")
+		jsonOut    = flag.String("json", "", "registry mode: summary JSON file (\"-\" = stdout)")
+		artifact   = flag.String("artifact", "", "registry mode: serialized artifact file, the merge input (\"-\" = stdout)")
+		groupBy    = flag.String("group-by", "", "registry mode: export axis (default: the artifact's stored axis)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	cfg := hbmrh.SmallChip()
+	if *chip == "paper" {
+		cfg = hbmrh.PaperChip()
+	} else if *chip != "small" {
+		log.Fatalf("unknown -chip %q", *chip)
+	}
+
+	switch *experiment {
+	case "":
+		runFigures(ctx, cfg, *fig, *rows, *bankRows, *hammers, *workers, *progress, *csvOut)
+	case "list":
+		listExperiments()
+	case "paper":
+		if *shard != "" || *artifact != "" || *csvOut != "" || *jsonOut != "" || *groupBy != "" {
+			log.Fatal("the paper suite runs several experiments; shard or export them individually (-shard/-artifact/-csv/-json/-group-by apply to single experiments)")
+		}
+		opts := registryOptions(ctx, cfg, *rows, *hammers, *seeds, *iterations, *workers, *parallel, *planner, *progress)
+		opts.Rows = *rows
+		for _, name := range []string{"sweep", "fig6", "trrstudy"} {
+			if name == "fig6" {
+				opts.Rows = *bankRows
+			} else {
+				opts.Rows = *rows
+			}
+			a, err := hbmrh.RunExperiment(name, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(hbmrh.RenderExperimentArtifact(a))
+			fmt.Println()
+		}
+	default:
+		opts := registryOptions(ctx, cfg, *rows, *hammers, *seeds, *iterations, *workers, *parallel, *planner, *progress)
+		var err error
+		if opts.Shard, opts.ShardCount, err = hbmrh.ParseShardFlag(*shard); err != nil {
+			log.Fatal(err)
+		}
+		a, err := hbmrh.RunExperiment(*experiment, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exportArtifact(a, *groupBy, *csvOut, *jsonOut, *artifact)
+	}
+}
+
+// registryOptions maps the CLI flags onto the registry's uniform knobs.
+func registryOptions(ctx context.Context, cfg *hbmrh.Config, rows, hammers, seeds, iterations, workers, parallel int, planner string, progress bool) hbmrh.ExperimentOptions {
+	plan, err := hbmrh.ParsePlanner(planner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := hbmrh.ExperimentOptions{
+		Cfg:        cfg,
+		Rows:       rows,
+		Hammers:    hammers,
+		Seeds:      seeds,
+		Iterations: iterations,
+		Workers:    workers,
+		Parallel:   parallel,
+		Planner:    plan,
+		Ctx:        ctx,
+	}
+	if progress {
+		o.Progress = func(p hbmrh.EngineProgress) {
+			fmt.Fprintf(os.Stderr, "\rjobs: %d/%d", p.Done, p.Total)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	return o
+}
+
+func listExperiments() {
+	fmt.Println("registered experiments (run with -experiment NAME):")
+	for _, e := range hbmrh.Experiments() {
+		fmt.Printf("  %-13s %s\n", e.Name, e.Title)
+	}
+	fmt.Println("  paper         suite: sweep + fig6 + trrstudy at the given budget")
+}
+
+// exportArtifact renders and exports one artifact: the experiment's
+// report on stdout (unless an export claims it) plus the requested
+// summary/artifact files.
+func exportArtifact(a *hbmrh.ResultsArtifact, groupBy, csvOut, jsonOut, artifact string) {
+	gb, err := hbmrh.ParseGroupBy(a.Meta.GroupBy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if groupBy != "" {
+		if gb, err = hbmrh.ParseGroupBy(groupBy); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stdout := 0
+	for _, p := range []string{csvOut, jsonOut, artifact} {
+		if p == "-" {
+			stdout++
+		}
+	}
+	if stdout > 1 {
+		log.Fatal("only one of -csv, -json, -artifact may claim stdout")
+	}
+	if stdout == 0 {
+		fmt.Print(hbmrh.RenderExperimentArtifact(a))
+	}
+	if csvOut != "" {
+		if err := writeSummaryCSV(a, gb, csvOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if jsonOut != "" {
+		js, err := a.SummaryJSON(gb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeOut(jsonOut, js); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if artifact != "" {
+		if err := a.WriteFile(artifact); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func runMerge(args []string) {
+	fs := flag.NewFlagSet("characterize merge", flag.ExitOnError)
+	var (
+		csvOut   = fs.String("csv", "", "summary CSV file (\"-\" = stdout)")
+		jsonOut  = fs.String("json", "", "summary JSON file (\"-\" = stdout)")
+		artifact = fs.String("artifact", "", "merged artifact file (\"-\" = stdout)")
+		groupBy  = fs.String("group-by", "", "export axis (default: the artifact's stored axis)")
+	)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		log.Fatal("merge needs at least one shard artifact file, glob or directory")
+	}
+	merged, err := hbmrh.MergeShardFiles(fs.Args())
+	if err != nil {
+		log.Fatal(err)
+	}
+	exportArtifact(merged, *groupBy, *csvOut, *jsonOut, *artifact)
+}
+
+func writeSummaryCSV(a *hbmrh.ResultsArtifact, gb hbmrh.ResultsGroupBy, path string) error {
+	headers, rows, err := a.SummaryCSV(gb)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return report.WriteCSV(os.Stdout, headers, rows)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.WriteCSV(f, headers, rows)
+}
+
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runFigures is the original figure-rendering mode, kept verbatim: the
+// registry's artifact pipeline carries distributions, while this mode
+// renders the paper's ASCII figures and headline comparisons.
+func runFigures(ctx context.Context, cfg *hbmrh.Config, fig string, rows, bankRows, hammers, workers int, progress bool, csvDir string) {
 	// Progress rewrites one stderr line per stage; midLine tracks whether
 	// that line is unterminated so a fatal exit (Ctrl-C mid-stage) starts
 	// on a fresh line instead of overwriting the counter. The engine
@@ -56,7 +259,7 @@ func main() {
 	// never races a progress write.
 	midLine := false
 	track := func(stage string) hbmrh.EngineProgressFunc {
-		if !*progress {
+		if !progress {
 			return nil
 		}
 		return func(p hbmrh.EngineProgress) {
@@ -74,21 +277,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := hbmrh.SmallChip()
-	if *chip == "paper" {
-		cfg = hbmrh.PaperChip()
-	} else if *chip != "small" {
-		log.Fatalf("unknown -chip %q", *chip)
-	}
-
-	want := func(f string) bool { return *fig == "all" || *fig == f }
+	want := func(f string) bool { return fig == "all" || fig == f }
 
 	if want("3") || want("4") || want("5") {
 		sweep, err := hbmrh.RunSweep(hbmrh.SweepOptions{
 			Cfg:           cfg,
-			Hammers:       *hammers,
-			RowsPerRegion: *rows,
-			Workers:       *workers,
+			Hammers:       hammers,
+			RowsPerRegion: rows,
+			Workers:       workers,
 			Ctx:           ctx,
 			Progress:      track("figs 3-5 sweep"),
 		})
@@ -118,9 +314,9 @@ func main() {
 			fmt.Printf("headlines: last-subarray BER ratio %.2fx; mid/edge ratio %.2fx\n\n",
 				h.LastSubarrayRatio, h.MidOverEdge)
 		}
-		if *csvDir != "" {
+		if csvDir != "" {
 			hd, data := sweep.CSV()
-			if err := writeCSV(filepath.Join(*csvDir, "sweep.csv"), hd, data); err != nil {
+			if err := writeCSVFile(filepath.Join(csvDir, "sweep.csv"), hd, data); err != nil {
 				die(err)
 			}
 		}
@@ -129,9 +325,9 @@ func main() {
 	if want("6") {
 		f6, err := hbmrh.RunFig6(hbmrh.Fig6Options{
 			Cfg:               cfg,
-			Hammers:           *hammers,
-			RowsPerBankRegion: *bankRows,
-			Workers:           *workers,
+			Hammers:           hammers,
+			RowsPerBankRegion: bankRows,
+			Workers:           workers,
 			Ctx:               ctx,
 			Progress:          track("fig 6 banks"),
 		})
@@ -143,9 +339,9 @@ func main() {
 		fmt.Printf("headlines: bank mean BER %.2f-%.2f%% (paper 0.8-1.6%%); CV %.2f-%.2f (paper 0.22-0.34); "+
 			"cross/intra channel spread %.1fx\n",
 			h.MeanLo, h.MeanHi, h.CVLo, h.CVHi, h.CrossOverIntra)
-		if *csvDir != "" {
+		if csvDir != "" {
 			hd, data := f6.CSV()
-			if err := writeCSV(filepath.Join(*csvDir, "fig6.csv"), hd, data); err != nil {
+			if err := writeCSVFile(filepath.Join(csvDir, "fig6.csv"), hd, data); err != nil {
 				die(err)
 			}
 		}
@@ -153,12 +349,12 @@ func main() {
 
 	// The extension studies run only when asked for explicitly ("all"
 	// covers the paper's own artifacts).
-	switch *fig {
+	switch fig {
 	case "press":
 		s, err := hbmrh.RunRowPress(hbmrh.RowPressOptions{
 			Cfg:      cfg,
 			Bank:     hbmrh.BankAddr{Channel: 7},
-			Workers:  *workers,
+			Workers:  workers,
 			Ctx:      ctx,
 			Progress: track("rowpress points"),
 		})
@@ -170,7 +366,7 @@ func main() {
 		s, err := hbmrh.RunTempSweep(hbmrh.TempSweepOptions{
 			Cfg:      cfg,
 			Bank:     hbmrh.BankAddr{Channel: 7},
-			Workers:  *workers,
+			Workers:  workers,
 			Ctx:      ctx,
 			Progress: track("temperature setpoints"),
 		})
@@ -193,7 +389,7 @@ func main() {
 		// Nominal-refresh pointer cadence matters: force paper geometry.
 		s, err := hbmrh.RunTRRBypass(hbmrh.TRRBypassOptions{
 			Bank:    hbmrh.BankAddr{Channel: 7},
-			Hammers: *hammers,
+			Hammers: hammers,
 			Ctx:     ctx,
 		})
 		if err != nil {
@@ -202,11 +398,11 @@ func main() {
 		fmt.Print(s.Render())
 	case "all", "3", "4", "5", "6":
 	default:
-		log.Fatalf("unknown -fig %q", *fig)
+		log.Fatalf("unknown -fig %q", fig)
 	}
 }
 
-func writeCSV(path string, headers []string, rows [][]string) error {
+func writeCSVFile(path string, headers []string, rows [][]string) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}

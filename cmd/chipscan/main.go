@@ -3,27 +3,30 @@
 // future work 1: which observations are stable chip-to-chip and which are
 // per-chip accidents.
 //
-// It scales to fleet-style scans: hundreds of seeds stream into
-// region×channel aggregates in O(groups) resident sample memory, with
-// byte-identical output at any -parallel count, and a Ctrl-C aborts
-// mid-measurement rather than waiting out the current chip. A scan also
-// distributes across machines: -shard i/N measures one contiguous
-// seed-range slice and -artifact serializes its accumulators; the merge
-// subcommand recombines the shards — after verifying config-hash, code
-// and format compatibility — into output byte-identical to a
-// single-process run.
+// chipscan is an alias for the "multichip" entry of the experiment
+// registry (see cmd/characterize): the scan plans one job per seed,
+// streams region×channel aggregates in O(groups) resident sample memory,
+// and produces byte-identical output at any -parallel count and under
+// any -planner. A scan also distributes across machines: -shard i/N
+// measures one contiguous seed-range slice and -artifact serializes its
+// accumulators; the merge subcommand recombines the shards — after
+// verifying config-hash, code and format compatibility — into output
+// byte-identical to a single-process run.
 //
 // Usage:
 //
 //	chipscan [-chip paper|small] [-chips N] [-rows N] [-parallel N]
-//	         [-sweep-workers N] [-shard I/N] [-group-by AXIS]
+//	         [-sweep-workers N] [-planner P] [-shard I/N] [-group-by AXIS]
 //	         [-artifact FILE] [-csv FILE] [-json FILE]
 //	chipscan merge [-group-by AXIS] [-artifact FILE] [-csv FILE]
-//	         [-json FILE] shard.json...
+//	         [-json FILE] shard.json|glob|dir...
 //
 // -group-by selects the aggregation axis of the rendered and exported
 // distributions: region (default), channel (the paper's first-order
 // axis), or region-channel.
+//
+// merge arguments may be artifact files, globs, or directories (every
+// *.json directly inside); failures name the offending shard file.
 //
 // -csv and -json write the aggregated distribution summaries; -artifact
 // writes the full serialized accumulator state (the input of merge).
@@ -39,7 +42,6 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"sort"
 	"syscall"
 
 	hbmrh "github.com/safari-repro/hbmrh"
@@ -120,6 +122,7 @@ func runScan(args []string) {
 		rows     = fs.Int("rows", 8, "victim rows sampled per region per chip")
 		parallel = fs.Int("parallel", 1, "chip instances measured at once")
 		sweepW   = fs.Int("sweep-workers", 0, "parallel devices per chip sweep (0 = one per CPU)")
+		planner  = fs.String("planner", "queue", "job planner: queue, contiguous, weighted or stealing (never changes output)")
 		shard    = fs.String("shard", "", "measure one shard of the seed range, as I/N (e.g. 0/4); all N shards together cover every seed exactly once")
 	)
 	exports := addExportFlags(fs)
@@ -128,6 +131,10 @@ func runScan(args []string) {
 		log.Fatalf("unexpected arguments %q (the merge subcommand goes first: chipscan merge ...)", fs.Args())
 	}
 	gb := exports.validate()
+	plan, err := hbmrh.ParsePlanner(*planner)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -138,28 +145,27 @@ func runScan(args []string) {
 	} else if *chip != "small" {
 		log.Fatalf("unknown -chip %q", *chip)
 	}
-
-	seeds := make([]uint64, *chips)
-	for i := range seeds {
-		seeds[i] = cfg.Seed + uint64(i)
+	if *chips < 1 {
+		log.Fatalf("-chips %d: need at least one chip instance", *chips)
 	}
-	shardIdx, shardCount := parseShard(*shard, *chips)
-	lo, hi := hbmrh.ShardRange(*chips, shardIdx, shardCount)
-	seeds = seeds[lo:hi]
-	if len(seeds) == 0 {
-		log.Fatalf("-shard %s leaves no seeds for this shard (only %d chips)", *shard, *chips)
+	shardIdx, shardCount, err := hbmrh.ParseShardFlag(*shard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if shardCount > *chips {
+		log.Fatalf("-shard %s: cannot split %d chips into %d shards", *shard, *chips, shardCount)
 	}
 
-	s, err := hbmrh.RunMultiChip(hbmrh.MultiChipOptions{
-		Base:          cfg,
-		Seeds:         seeds,
-		RowsPerRegion: *rows,
-		Workers:       *sweepW,
-		ChipWorkers:   *parallel,
-		GroupBy:       gb,
-		Shard:         shardIdx,
-		ShardCount:    shardCount,
-		Ctx:           ctx,
+	a, err := hbmrh.RunExperiment("multichip", hbmrh.ExperimentOptions{
+		Cfg:        cfg,
+		Seeds:      *chips,
+		Rows:       *rows,
+		Workers:    *sweepW,
+		Parallel:   *parallel,
+		Planner:    plan,
+		Shard:      shardIdx,
+		ShardCount: shardCount,
+		Ctx:        ctx,
 		Progress: func(p hbmrh.EngineProgress) {
 			fmt.Fprintf(os.Stderr, "chip %d/%d done\n", p.Done, p.Total)
 		},
@@ -168,37 +174,11 @@ func runScan(args []string) {
 		log.Fatal(err)
 	}
 
+	s := hbmrh.StudyFromArtifact(a, gb)
 	if !exports.toStdout() {
-		printReport(s)
+		fmt.Print(s.Report())
 	}
 	exports.write(s)
-}
-
-// printReport renders the study plus the stability epilogue; scan and
-// merge share it so their stdout reports cannot diverge (the CI smoke
-// byte-compares the two paths' exports).
-func printReport(s *hbmrh.MultiChipStudy) {
-	fmt.Print(s.Render())
-	worstStable, trrStable := s.StableObservations()
-	fmt.Printf("\nstable across chips: worst channel = %v, TRR period = %v\n", worstStable, trrStable)
-	fmt.Println("(design-level structure persists; exact cell-level numbers are per-chip)")
-}
-
-// parseShard parses I/N and validates it against the chip count.
-func parseShard(s string, chips int) (shard, of int) {
-	if s == "" {
-		return 0, 1
-	}
-	if _, err := fmt.Sscanf(s, "%d/%d", &shard, &of); err != nil || fmt.Sprintf("%d/%d", shard, of) != s {
-		log.Fatalf("-shard %q: want I/N, e.g. 0/4", s)
-	}
-	if of < 1 || shard < 0 || shard >= of {
-		log.Fatalf("-shard %q: shard index must be in [0, N)", s)
-	}
-	if of > chips {
-		log.Fatalf("-shard %q: cannot split %d chips into %d shards", s, chips, of)
-	}
-	return shard, of
 }
 
 func runMerge(args []string) {
@@ -207,27 +187,12 @@ func runMerge(args []string) {
 	fs.Parse(args)
 	gb := exports.validate()
 	if fs.NArg() == 0 {
-		log.Fatal("merge needs at least one shard artifact file")
+		log.Fatal("merge needs at least one shard artifact file, glob or directory")
 	}
 
-	shards := make([]*hbmrh.ResultsArtifact, 0, fs.NArg())
-	for _, path := range fs.Args() {
-		a, err := hbmrh.ReadArtifact(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		shards = append(shards, a)
-	}
-	// Merge in ascending seed order, so the merged output is independent
-	// of argument order (shell glob order included).
-	sort.SliceStable(shards, func(i, j int) bool {
-		return shards[i].Meta.SeedFirst < shards[j].Meta.SeedFirst
-	})
-	merged := shards[0]
-	for _, next := range shards[1:] {
-		if err := hbmrh.MergeArtifacts(merged, next); err != nil {
-			log.Fatal(err)
-		}
+	merged, err := hbmrh.MergeShardFiles(fs.Args())
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	s := hbmrh.StudyFromArtifact(merged, gb)
@@ -239,7 +204,7 @@ func runMerge(args []string) {
 			err, merged.Meta.GroupBy, merged.Meta.GroupBy)
 	}
 	if !exports.toStdout() {
-		printReport(s)
+		fmt.Print(s.Report())
 	}
 	exports.write(s)
 }

@@ -1,10 +1,14 @@
 // utrr-discover reproduces Section 5 of the paper: it profiles a
 // retention-weak row and runs the U-TRR methodology to uncover the
 // proprietary in-DRAM Target Row Refresh mechanism and its period.
+// With -probe it runs the deeper follow-up probes instead (victim-refresh
+// neighbor radius and sampler depth), the registry's "utrrprobe"
+// experiment — `characterize -experiment utrrprobe` runs the same study
+// with sharding and artifact export.
 //
 // Usage:
 //
-//	utrr-discover [-chip paper|small] [-iterations N]
+//	utrr-discover [-chip paper|small] [-iterations N] [-probe]
 //	              [-channel N] [-pc N] [-bank N] [-csv FILE]
 package main
 
@@ -27,6 +31,7 @@ func main() {
 		channel    = flag.Int("channel", 0, "channel of the profiled row")
 		pc         = flag.Int("pc", 0, "pseudo channel of the profiled row")
 		bank       = flag.Int("bank", 0, "bank of the profiled row")
+		probe      = flag.Bool("probe", false, "run the deeper probes (neighbor radius + sampler depth) instead of the period study")
 		csvPath    = flag.String("csv", "", "write per-iteration observations to this CSV file")
 	)
 	flag.Parse()
@@ -36,6 +41,18 @@ func main() {
 		cfg = hbmrh.PaperChip()
 	} else if *chip != "small" {
 		log.Fatalf("unknown -chip %q", *chip)
+	}
+
+	if *probe {
+		s, err := hbmrh.RunUTRRProbe(hbmrh.UTRRProbeOptions{
+			Cfg:  cfg,
+			Bank: hbmrh.BankAddr{Channel: *channel, PseudoChannel: *pc, Bank: *bank},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(s.Render())
+		return
 	}
 
 	study, err := hbmrh.RunTRRStudy(hbmrh.TRRStudyOptions{

@@ -138,6 +138,26 @@ type (
 // EngineStats snapshots the shared device pool's reuse counters.
 func EngineStats() EnginePoolStats { return engine.SharedPool.Stats() }
 
+// EnginePlanner selects how a run's jobs are assigned to workers;
+// planner choice never changes outputs, only schedules.
+type EnginePlanner = engine.Planner
+
+// The engine's job planners.
+const (
+	// PlanQueue pulls jobs from one shared counter (the default).
+	PlanQueue = engine.PlanQueue
+	// PlanContiguous splits jobs into one contiguous block per worker.
+	PlanContiguous = engine.PlanContiguous
+	// PlanWeighted balances contiguous blocks by per-job cost estimates.
+	PlanWeighted = engine.PlanWeighted
+	// PlanStealing is the in-process work-stealing queue.
+	PlanStealing = engine.PlanStealing
+)
+
+// ParsePlanner parses a planner flag value ("queue", "contiguous",
+// "weighted", "stealing").
+func ParsePlanner(s string) (EnginePlanner, error) { return engine.ParsePlanner(s) }
+
 // DrainEnginePool releases every warmed device cached by the shared
 // pool, e.g. between studies of unrelated chip designs.
 func DrainEnginePool() { engine.SharedPool.Drain() }
@@ -145,7 +165,7 @@ func DrainEnginePool() { engine.SharedPool.Drain() }
 // Figure-level studies (Section 4) and the TRR study (Section 5).
 type (
 	// SweepOptions configures the shared spatial sweep behind Figs. 3-5.
-	SweepOptions = experiments.Options
+	SweepOptions = experiments.SweepOptions
 	// Sweep is the spatial dataset.
 	Sweep = experiments.Sweep
 	// RowResult is one victim row's measurements.
@@ -217,6 +237,21 @@ func RunTRRBypass(o TRRBypassOptions) (*TRRBypassStudy, error) {
 	return experiments.RunTRRBypass(o)
 }
 
+// U-TRR probe study (the Section 5 follow-up: how far the victim refresh
+// reaches and how deep the sampler is).
+type (
+	// UTRRProbeOptions configures the probe study.
+	UTRRProbeOptions = experiments.UTRRProbeOptions
+	// UTRRProbeStudy reports the TRR neighbor radius and sampler depth.
+	UTRRProbeStudy = experiments.UTRRProbeStudy
+)
+
+// RunUTRRProbe measures the uncovered TRR mechanism's victim-refresh
+// radius and sampler depth on fresh devices.
+func RunUTRRProbe(o UTRRProbeOptions) (*UTRRProbeStudy, error) {
+	return experiments.RunUTRRProbe(o)
+}
+
 // Multi-chip study (future work 1: more chips, statistical significance),
 // built for fleet scale: per-chip row samples stream into region×channel
 // accumulators as chips complete, so a 200-seed scan aggregates in
@@ -245,6 +280,39 @@ func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
 func StudyFromArtifact(a *ResultsArtifact, gb ResultsGroupBy) *MultiChipStudy {
 	return experiments.StudyFromArtifact(a, gb)
 }
+
+// The experiment registry: every study in the repo registers as a named
+// experiment that decomposes into a plan of indexed jobs plus a
+// deterministic fold into a results artifact, so every study — not just
+// the fleet scan — shards with -shard i/N, serializes artifacts, merges
+// with conflict checking, and exports through the shared CSV/JSON path.
+type (
+	// Experiment is one registered study.
+	Experiment = experiments.Experiment
+	// ExperimentOptions is the uniform knob set of a registry run.
+	ExperimentOptions = experiments.Options
+	// ExperimentJob is one schedulable unit of an experiment plan.
+	ExperimentJob = experiments.Job
+	// ExperimentPlan is an experiment decomposed into jobs plus its fold.
+	ExperimentPlan = experiments.Plan
+)
+
+// Experiments returns every registered experiment, sorted by name.
+func Experiments() []*Experiment { return experiments.All() }
+
+// LookupExperiment resolves a registry name.
+func LookupExperiment(name string) (*Experiment, error) { return experiments.Lookup(name) }
+
+// RunExperiment plans, shards and executes a registered experiment; the
+// artifact is byte-identical for any parallelism and planner, and all
+// shards of one option set merge back into the unsharded artifact.
+func RunExperiment(name string, o ExperimentOptions) (*ResultsArtifact, error) {
+	return experiments.Run(name, o)
+}
+
+// RenderExperimentArtifact renders an artifact with its experiment's
+// registered renderer (generic distribution render for unknown tools).
+func RenderExperimentArtifact(a *ResultsArtifact) string { return experiments.Render(a) }
 
 // Unified results layer: every driver that produces distributions emits
 // this serializable artifact schema — provenance metadata (config hash,
@@ -287,14 +355,29 @@ func ParseGroupBy(s string) (ResultsGroupBy, error) { return results.ParseGroupB
 func ReadArtifact(path string) (*ResultsArtifact, error) { return results.ReadFile(path) }
 
 // MergeArtifacts folds shard b into a after verifying format, tool,
-// code-version, config-hash and axis compatibility plus seed-range
-// contiguity; on success a covers both shards' seed ranges.
+// code-version, config-hash and axis compatibility plus seed-range (or
+// job-slice) contiguity; on success a covers both shards' ranges.
 func MergeArtifacts(a, b *ResultsArtifact) error { return results.Merge(a, b) }
+
+// MergeShardFiles expands merge arguments (artifact files, globs, and
+// directories holding *.json shards), loads every shard, and merges them
+// in canonical range order; failures name the offending shard file.
+func MergeShardFiles(args []string) (*ResultsArtifact, error) {
+	shards, paths, err := results.ReadShards(args)
+	if err != nil {
+		return nil, err
+	}
+	return results.MergeShards(shards, paths)
+}
 
 // ShardRange partitions n seeds into `of` contiguous shards and returns
 // the half-open index range of one shard; independently launched shard
 // processes agree on the partition.
 func ShardRange(n, shard, of int) (lo, hi int) { return results.ShardRange(n, shard, of) }
+
+// ParseShardFlag parses a CLI -shard value of the form I/N ("" means
+// unsharded and returns 0, 0).
+func ParseShardFlag(s string) (shard, of int, err error) { return results.ParseShardFlag(s) }
 
 // Streaming statistics (the memory backbone of fleet-scale scans).
 type (

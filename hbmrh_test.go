@@ -1,6 +1,9 @@
 package hbmrh_test
 
 import (
+	"bytes"
+	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -124,5 +127,52 @@ func TestPublicRetentionProfiler(t *testing.T) {
 	}
 	if T <= 0 {
 		t.Fatal("non-positive retention time")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	if len(hbmrh.Experiments()) != 9 {
+		t.Fatalf("registry has %d experiments", len(hbmrh.Experiments()))
+	}
+	if _, err := hbmrh.LookupExperiment("multichip"); err != nil {
+		t.Fatal(err)
+	}
+	// Run a two-shard rowpress through the facade, serialize the shards,
+	// and merge them back through the file-level API (glob expansion and
+	// canonical ordering included).
+	dir := t.TempDir()
+	opts := hbmrh.ExperimentOptions{Cfg: hbmrh.SmallChip(), Rows: 2, Hammers: 30000}
+	single, err := hbmrh.RunExperiment("rowpress", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		o := opts
+		o.Shard, o.ShardCount = s, 2
+		a, err := hbmrh.RunExperiment("rowpress", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.WriteFile(filepath.Join(dir, fmt.Sprintf("shard%d.json", s))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := hbmrh.MergeShardFiles([]string{filepath.Join(dir, "shard*.json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := merged.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("merged shard files differ from the single-process artifact")
+	}
+	if out := hbmrh.RenderExperimentArtifact(merged); !strings.Contains(out, "hold_x") {
+		t.Fatalf("render missing hold points:\n%s", out)
 	}
 }

@@ -16,6 +16,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,14 @@ type Options struct {
 	OnProgress ProgressFunc
 	// Pool supplies warmed devices to MapHarness; nil means SharedPool.
 	Pool *DevicePool
+	// Planner selects how job indexes are assigned to workers. The zero
+	// value is PlanQueue. Planner choice never changes a run's output,
+	// only its schedule (see Planner).
+	Planner Planner
+	// Weights, when non-nil, are per-job relative cost estimates for
+	// PlanWeighted (other planners ignore them). Length must equal the
+	// run's job count.
+	Weights []float64
 }
 
 func (o Options) context() context.Context {
@@ -93,6 +102,24 @@ func Map[T any](o Options, n int, fn func(ctx context.Context, i int) (T, error)
 	return results, nil
 }
 
+// harnessSetup builds the per-worker setup hook MapHarness and
+// ReduceHarness share: lease a warmed device from the pool and arm it
+// with the run's context so a cancellation aborts mid-measurement.
+func harnessSetup(o Options, cfg *config.Config) func() (*core.Harness, func(), error) {
+	pool := o.pool()
+	ctx := o.context()
+	return func() (*core.Harness, func(), error) {
+		h, err := pool.Get(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Thread the run's context into the harness measurement loops;
+		// Put resets it with the other tunables.
+		h.SetContext(ctx)
+		return h, func() { pool.Put(cfg, h) }, nil
+	}
+}
+
 // MapHarness is Map with a warmed characterization harness per worker,
 // leased from the device pool for the duration of the run and armed with
 // the run's context so a cancellation aborts the harness mid-measurement,
@@ -105,21 +132,8 @@ func MapHarness[T any](o Options, cfg *config.Config, n int,
 	if n <= 0 {
 		return nil, o.context().Err()
 	}
-	pool := o.pool()
-	ctx := o.context()
 	results := make([]T, n)
-	err := mapWorkers(o, n,
-		func() (*core.Harness, func(), error) {
-			h, err := pool.Get(cfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			// Thread the run's context into the harness measurement
-			// loops; Put resets it with the other tunables.
-			h.SetContext(ctx)
-			return h, func() { pool.Put(cfg, h) }, nil
-		},
-		fn,
+	err := mapWorkers(o, n, harnessSetup(o, cfg), fn,
 		func(i int, v T) error { results[i] = v; return nil },
 		nil)
 	if err != nil {
@@ -142,7 +156,38 @@ func MapHarness[T any](o Options, cfg *config.Config, n int,
 // completion order, so a deterministic fold (e.g. merging streaming
 // accumulators) yields byte-identical aggregates at any parallelism. A
 // fold error aborts the run like a job error.
+//
+// Every planner works with Reduce and yields the same output; block
+// planners (contiguous, weighted, stealing) assign far-from-frontier
+// indexes whose workers park against the window, so the queue planner is
+// the right choice when fold overlap matters. The ordered fold can never
+// deadlock: planners hand each worker one contiguous remaining block
+// consumed from its low end, so the worker owning the frontier's block is
+// always computing exactly the frontier index, which the window (>= 1)
+// always admits.
 func Reduce[T any](o Options, n int, fn func(ctx context.Context, i int) (T, error),
+	fold func(i int, v T) error) error {
+	return reduceWorkers(o, n, noSetup,
+		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) },
+		fold)
+}
+
+// ReduceHarness is Reduce with a warmed harness per worker, leased like
+// MapHarness: the streaming entry point for harness-backed studies whose
+// per-job results are folded away as they complete. The same MapHarness
+// caveat applies: jobs must not depend on device history.
+func ReduceHarness[T any](o Options, cfg *config.Config, n int,
+	fn func(ctx context.Context, h *core.Harness, i int) (T, error),
+	fold func(i int, v T) error) error {
+	return reduceWorkers(o, n, harnessSetup(o, cfg), fn, fold)
+}
+
+// reduceWorkers is the shared ordered-fold core of Reduce and
+// ReduceHarness; see Reduce for the backpressure and determinism
+// contract.
+func reduceWorkers[S, T any](o Options, n int,
+	setup func() (S, func(), error),
+	fn func(ctx context.Context, s S, i int) (T, error),
 	fold func(i int, v T) error) error {
 	var mu sync.Mutex
 	cond := sync.NewCond(&mu)
@@ -150,8 +195,7 @@ func Reduce[T any](o Options, n int, fn func(ctx context.Context, i int) (T, err
 	pending := make(map[int]T)
 	next := 0
 	window := o.workers(n)
-	return mapWorkers(o, n, noSetup,
-		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) },
+	return mapWorkers(o, n, setup, fn,
 		func(i int, v T) error {
 			mu.Lock()
 			defer mu.Unlock()
@@ -206,7 +250,11 @@ func mapWorkers[S, T any](o Options, n int,
 	if n <= 0 {
 		return ctx.Err()
 	}
+	if o.Weights != nil && len(o.Weights) != n {
+		return fmt.Errorf("engine: %d job weights for %d jobs", len(o.Weights), n)
+	}
 	workers := o.workers(n)
+	assign := o.Planner.plan(n, workers, o.Weights)
 
 	var abortOnce sync.Once
 	abort := func() {
@@ -230,7 +278,7 @@ func mapWorkers[S, T any](o Options, n int,
 
 	jobErrs := make([]error, n)
 	setupErrs := make([]error, workers)
-	var next, done atomic.Int64
+	var done atomic.Int64
 	var failed atomic.Bool
 	var progressMu sync.Mutex
 	reported := 0
@@ -257,8 +305,8 @@ func mapWorkers[S, T any](o Options, n int,
 				if failed.Load() || ctx.Err() != nil {
 					return
 				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				i, ok := assign.next(w)
+				if !ok {
 					return
 				}
 				r, err := fn(ctx, s, i)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strconv"
 
+	"github.com/safari-repro/hbmrh/internal/config"
 	"github.com/safari-repro/hbmrh/internal/results"
 	"github.com/safari-repro/hbmrh/internal/stats"
 )
@@ -20,8 +21,15 @@ import (
 // Artifact condenses the sweep's per-row WCDP metrics into a
 // region×channel results artifact for the sweep's single chip instance.
 // The groups match the multi-chip study's schema, so a sweep artifact is
-// the single-chip degenerate case of a fleet artifact.
+// the single-chip degenerate case of a fleet artifact; the job
+// provenance matches an unsharded "sweep" registry run (one job per
+// channel).
 func (s *Sweep) Artifact() *results.Artifact {
+	channels := s.Opts.Cfg.Geometry.Channels
+	keys := make([]string, channels)
+	for ch := range keys {
+		keys[ch] = fmt.Sprintf("ch%d", ch)
+	}
 	a := &results.Artifact{
 		Meta: results.Meta{
 			Format:      results.FormatVersion,
@@ -32,6 +40,9 @@ func (s *Sweep) Artifact() *results.Artifact {
 			SeedFirst:   s.Opts.Cfg.Seed,
 			SeedCount:   1,
 			ShardCount:  1,
+			JobAxis:     "channel",
+			JobCount:    channels,
+			JobKeys:     keys,
 			Params: map[string]string{
 				"rows_per_region": strconv.Itoa(s.Opts.RowsPerRegion),
 				"hammers":         strconv.Itoa(s.Opts.Hammers),
@@ -49,12 +60,51 @@ const (
 	metricBankCV      = "bank_cv"
 )
 
-// Artifact condenses the Fig. 6 scatter into a per-channel results
+// newFig6Groups allocates the per-channel accumulators of the Fig. 6
 // artifact: each channel's distribution of per-bank mean BER (percent)
-// and coefficient of variation across the channel's banks — the figure's
-// "channel variation dominates bank variation" observation as data.
+// and coefficient of variation.
+func newFig6Groups(cfg *config.Config) []results.Group {
+	g := cfg.Geometry
+	out := make([]results.Group, 0, g.Channels)
+	for ch := 0; ch < g.Channels; ch++ {
+		out = append(out, results.Group{
+			Key: results.Key{Channel: ch},
+			Metrics: []results.Metric{
+				// Mean BER is already in percent; CV is dimensionless and
+				// in practice well under 10.
+				{Name: metricBankMeanBER, Stream: stats.NewStream(0, 100)},
+				{Name: metricBankCV, Stream: stats.NewStream(0, 10)},
+			},
+		})
+	}
+	return out
+}
+
+// addFig6Point streams one bank's scatter point into its channel group.
+func addFig6Point(groups []results.Group, p BankPoint) {
+	grp := &groups[p.Bank.Channel]
+	grp.Metrics[0].Stream.Add(p.MeanBER)
+	// CV is NaN for an all-zero bank (zero mean); streams hold finite
+	// samples only, so such banks are excluded from the CV distribution
+	// the way never-flipping rows are from HCfirst.
+	if !math.IsNaN(p.CV) {
+		grp.Metrics[1].Stream.Add(p.CV)
+	}
+}
+
+// Artifact condenses the Fig. 6 scatter into a per-channel results
+// artifact — the figure's "channel variation dominates bank variation"
+// observation as data.
 func (f *Fig6) Artifact() *results.Artifact {
 	g := f.Opts.Cfg.Geometry
+	keys := make([]string, 0, g.Channels*g.PseudoChannels*g.Banks)
+	for ch := 0; ch < g.Channels; ch++ {
+		for pc := 0; pc < g.PseudoChannels; pc++ {
+			for ba := 0; ba < g.Banks; ba++ {
+				keys = append(keys, fmt.Sprintf("ch%d.pc%d.ba%d", ch, pc, ba))
+			}
+		}
+	}
 	a := &results.Artifact{
 		Meta: results.Meta{
 			Format:      results.FormatVersion,
@@ -65,32 +115,18 @@ func (f *Fig6) Artifact() *results.Artifact {
 			SeedFirst:   f.Opts.Cfg.Seed,
 			SeedCount:   1,
 			ShardCount:  1,
+			JobAxis:     "bank",
+			JobCount:    len(keys),
+			JobKeys:     keys,
 			Params: map[string]string{
 				"rows_per_bank_region": strconv.Itoa(f.Opts.RowsPerBankRegion),
 				"hammers":              strconv.Itoa(f.Opts.Hammers),
 			},
 		},
-	}
-	for ch := 0; ch < g.Channels; ch++ {
-		a.Groups = append(a.Groups, results.Group{
-			Key: results.Key{Channel: ch},
-			Metrics: []results.Metric{
-				// Mean BER is already in percent; CV is dimensionless and
-				// in practice well under 10.
-				{Name: metricBankMeanBER, Stream: stats.NewStream(0, 100)},
-				{Name: metricBankCV, Stream: stats.NewStream(0, 10)},
-			},
-		})
+		Groups: newFig6Groups(f.Opts.Cfg),
 	}
 	for _, p := range f.Points {
-		grp := &a.Groups[p.Bank.Channel]
-		grp.Metrics[0].Stream.Add(p.MeanBER)
-		// CV is NaN for an all-zero bank (zero mean); streams hold finite
-		// samples only, so such banks are excluded from the CV
-		// distribution the way never-flipping rows are from HCfirst.
-		if !math.IsNaN(p.CV) {
-			grp.Metrics[1].Stream.Add(p.CV)
-		}
+		addFig6Point(a.Groups, p)
 	}
 	return a
 }

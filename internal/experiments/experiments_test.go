@@ -16,7 +16,7 @@ import (
 
 func smallSweep(t testing.TB, rowsPerRegion int) *Sweep {
 	t.Helper()
-	s, err := RunSweep(Options{
+	s, err := RunSweep(SweepOptions{
 		Cfg:           config.SmallChip(),
 		RowsPerRegion: rowsPerRegion,
 	})
@@ -56,7 +56,7 @@ func TestSweepStructure(t *testing.T) {
 }
 
 func TestSweepIndependentOfWorkerCount(t *testing.T) {
-	opts := Options{Cfg: config.SmallChip(), RowsPerRegion: 3}
+	opts := SweepOptions{Cfg: config.SmallChip(), RowsPerRegion: 3}
 	opts.Workers = 1
 	a, err := RunSweep(opts)
 	if err != nil {
@@ -113,7 +113,7 @@ func TestFig6IndependentOfWorkerCount(t *testing.T) {
 func TestSweepCancelledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := RunSweep(Options{Cfg: config.SmallChip(), RowsPerRegion: 2, Ctx: ctx})
+	_, err := RunSweep(SweepOptions{Cfg: config.SmallChip(), RowsPerRegion: 2, Ctx: ctx})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -123,7 +123,7 @@ func TestSweepCancelMidRun(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var updates []int
-	_, err := RunSweep(Options{
+	_, err := RunSweep(SweepOptions{
 		Cfg:           config.SmallChip(),
 		RowsPerRegion: 2,
 		Workers:       2,
@@ -160,7 +160,7 @@ func TestSweepCancelMidMeasurementPaperGeometry(t *testing.T) {
 	}()
 	var completed []int
 	start := time.Now()
-	_, err := RunSweep(Options{
+	_, err := RunSweep(SweepOptions{
 		Cfg:           config.PaperChip(),
 		RowsPerRegion: 0, // every row: the paper's full resolution
 		Workers:       1,
@@ -362,7 +362,7 @@ func TestTRRStudyReproducesSection5(t *testing.T) {
 }
 
 func TestSweepRejectsBadBank(t *testing.T) {
-	if _, err := RunSweep(Options{Cfg: config.SmallChip(), Bank: 99, RowsPerRegion: 1}); err == nil {
+	if _, err := RunSweep(SweepOptions{Cfg: config.SmallChip(), Bank: 99, RowsPerRegion: 1}); err == nil {
 		t.Fatal("bad bank accepted")
 	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
@@ -54,10 +55,9 @@ type RowPressStudy struct {
 	Points []RowPressPoint
 }
 
-// RunRowPress sweeps the aggressor hold time and measures how many
-// hammers the first bitflip needs: keeping aggressor rows open longer
-// amplifies read disturbance, so HCfirst falls as the hold grows.
-func RunRowPress(o RowPressOptions) (*RowPressStudy, error) {
+// setDefaults resolves the option defaults shared by RunRowPress and the
+// registry entry.
+func (o *RowPressOptions) setDefaults() {
 	if o.Cfg == nil {
 		o.Cfg = config.PaperChip()
 	}
@@ -70,32 +70,47 @@ func RunRowPress(o RowPressOptions) (*RowPressStudy, error) {
 	if o.MaxHammers <= 0 {
 		o.MaxHammers = core.DefaultHammers
 	}
+}
+
+// rowPressPoint measures one hold multiplier: the HCfirst samples of the
+// sampled victim rows (rows that never flip are excluded, with foundAll
+// cleared). Each sample is a pure function of (seed, bank, row, hold), so
+// pooled devices reproduce the sequential results exactly.
+func rowPressPoint(h *core.Harness, o RowPressOptions, mult int) (hcs []float64, foundAll bool, err error) {
 	layout := o.Cfg.Layout()
 	sa := layout.Count() / 2
 	start := layout.Start(sa) + layout.Size(sa)/4
 	tras := o.Cfg.Timing.TRAS
 	pattern := core.Table1()[1] // Rowstripe1
+	foundAll = true
+	for i := 0; i < o.Rows; i++ {
+		phys := start + i*3
+		hc, found, err := h.HCFirstHold(o.Bank, phys, pattern, o.MaxHammers, tras*int64(mult))
+		if err != nil {
+			return nil, false, err
+		}
+		if !found {
+			foundAll = false
+			continue
+		}
+		hcs = append(hcs, float64(hc))
+	}
+	return hcs, foundAll, nil
+}
 
-	// One engine job per hold multiplier; each point's HCfirst searches
-	// are pure functions of (seed, bank, row, hold), so pooled devices
-	// reproduce the sequential results exactly.
+// RunRowPress sweeps the aggressor hold time and measures how many
+// hammers the first bitflip needs: keeping aggressor rows open longer
+// amplifies read disturbance, so HCfirst falls as the hold grows.
+func RunRowPress(o RowPressOptions) (*RowPressStudy, error) {
+	o.setDefaults()
+	// One engine job per hold multiplier.
 	eo := engine.Options{Ctx: o.Ctx, Workers: o.Workers, OnProgress: o.Progress}
 	points, err := engine.MapHarness(eo, o.Cfg, len(o.HoldMultipliers),
 		func(_ context.Context, h *core.Harness, pi int) (RowPressPoint, error) {
 			mult := o.HoldMultipliers[pi]
-			var hcs []float64
-			foundAll := true
-			for i := 0; i < o.Rows; i++ {
-				phys := start + i*3
-				hc, found, err := h.HCFirstHold(o.Bank, phys, pattern, o.MaxHammers, tras*int64(mult))
-				if err != nil {
-					return RowPressPoint{}, err
-				}
-				if !found {
-					foundAll = false
-					continue
-				}
-				hcs = append(hcs, float64(hc))
+			hcs, foundAll, err := rowPressPoint(h, o, mult)
+			if err != nil {
+				return RowPressPoint{}, err
 			}
 			p := RowPressPoint{HoldMultiplier: mult, FoundAll: foundAll}
 			if len(hcs) > 0 {
@@ -107,6 +122,47 @@ func RunRowPress(o RowPressOptions) (*RowPressStudy, error) {
 		return nil, err
 	}
 	return &RowPressStudy{Opts: o, Points: points}, nil
+}
+
+// rowPressExperiment lifts the RowPress sweep onto the registry: one
+// harness job per hold multiplier, weighted by the multiplier (longer
+// holds simulate more wall time), folding raw per-row HCfirst samples
+// into a point-axis artifact.
+func rowPressExperiment() *Experiment {
+	return &Experiment{
+		Name:  "rowpress",
+		Title: "RowPress extension: HCfirst distribution vs aggressor-on time",
+		Plan: func(o Options) (*Plan, error) {
+			ro := RowPressOptions{Cfg: o.Cfg, Rows: o.Rows, MaxHammers: o.Hammers}
+			ro.setDefaults()
+			if err := ro.Cfg.Validate(); err != nil {
+				return nil, err
+			}
+			jobs := make([]Job, len(ro.HoldMultipliers))
+			for i, mult := range ro.HoldMultipliers {
+				mult := mult
+				jobs[i] = Job{
+					Key:    fmt.Sprintf("hold_x%d", mult),
+					Weight: float64(mult),
+					Run: func(_ context.Context, h *core.Harness) (any, error) {
+						hcs, _, err := rowPressPoint(h, ro, mult)
+						return hcs, err
+					},
+				}
+			}
+			return &Plan{
+				Axis:    "point",
+				Cfg:     ro.Cfg,
+				Harness: true,
+				Jobs:    jobs,
+				Params: map[string]string{
+					"rows":    strconv.Itoa(ro.Rows),
+					"hammers": strconv.Itoa(ro.MaxHammers),
+				},
+				NewFold: pointFold(jobs, "hc_first", 0, float64(ro.MaxHammers)),
+			}, nil
+		},
+	}
 }
 
 // Render prints the sweep as a table.
@@ -154,10 +210,9 @@ type TempSweepStudy struct {
 	Points []TempPoint
 }
 
-// RunTempSweep drives the simulated heating-pad/fan rig to each setpoint
-// with its PID controller (as the paper's Arduino-based rig does), then
-// measures RowHammer BER: hotter chips flip more.
-func RunTempSweep(o TempSweepOptions) (*TempSweepStudy, error) {
+// setDefaults resolves the option defaults shared by RunTempSweep and
+// the registry entry.
+func (o *TempSweepOptions) setDefaults() {
 	if o.Cfg == nil {
 		o.Cfg = config.PaperChip()
 	}
@@ -170,38 +225,53 @@ func RunTempSweep(o TempSweepOptions) (*TempSweepStudy, error) {
 	if o.Hammers <= 0 {
 		o.Hammers = core.DefaultHammers
 	}
+}
+
+// tempSweepPoint measures one setpoint: build a fresh device (temperature
+// changes persistent device state, so the warm pool is bypassed), settle
+// it with the PID rig as on the real bench, and return the sampled rows'
+// BER in percent.
+func tempSweepPoint(o TempSweepOptions, target float64) ([]float64, error) {
 	layout := o.Cfg.Layout()
 	sa := layout.Count() / 2
 	start := layout.Start(sa) + layout.Size(sa)/4
 	pattern := core.Table1()[1]
+	d, err := hbm.New(o.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctl := thermal.NewController(d, thermal.NewPlant(25))
+	if err := ctl.SettleTo(target, 0.5, 5, 1800); err != nil {
+		return nil, fmt.Errorf("experiments: settling to %.0f C: %w", target, err)
+	}
+	h, err := core.NewHarness(d)
+	if err != nil {
+		return nil, err
+	}
+	bers := make([]float64, 0, o.Rows)
+	for i := 0; i < o.Rows; i++ {
+		phys := start + i*3
+		r, err := h.BER(o.Bank, phys, pattern, o.Hammers)
+		if err != nil {
+			return nil, err
+		}
+		bers = append(bers, r.BER()*100)
+	}
+	return bers, nil
+}
 
-	// Temperature changes persistent device state, so this study bypasses
-	// the warm pool: each engine job builds a fresh device and settles it
-	// with the PID rig, as on the real bench.
+// RunTempSweep drives the simulated heating-pad/fan rig to each setpoint
+// with its PID controller (as the paper's Arduino-based rig does), then
+// measures RowHammer BER: hotter chips flip more.
+func RunTempSweep(o TempSweepOptions) (*TempSweepStudy, error) {
+	o.setDefaults()
 	eo := engine.Options{Ctx: o.Ctx, Workers: o.Workers, OnProgress: o.Progress}
 	points, err := engine.Map(eo, len(o.TemperaturesC),
 		func(_ context.Context, i int) (TempPoint, error) {
 			target := o.TemperaturesC[i]
-			d, err := hbm.New(o.Cfg)
+			bers, err := tempSweepPoint(o, target)
 			if err != nil {
 				return TempPoint{}, err
-			}
-			ctl := thermal.NewController(d, thermal.NewPlant(25))
-			if err := ctl.SettleTo(target, 0.5, 5, 1800); err != nil {
-				return TempPoint{}, fmt.Errorf("experiments: settling to %.0f C: %w", target, err)
-			}
-			h, err := core.NewHarness(d)
-			if err != nil {
-				return TempPoint{}, err
-			}
-			var bers []float64
-			for i := 0; i < o.Rows; i++ {
-				phys := start + i*3
-				r, err := h.BER(o.Bank, phys, pattern, o.Hammers)
-				if err != nil {
-					return TempPoint{}, err
-				}
-				bers = append(bers, r.BER()*100)
 			}
 			return TempPoint{TempC: target, MeanBER: stats.Mean(bers)}, nil
 		})
@@ -209,6 +279,43 @@ func RunTempSweep(o TempSweepOptions) (*TempSweepStudy, error) {
 		return nil, err
 	}
 	return &TempSweepStudy{Opts: o, Points: points}, nil
+}
+
+// tempSweepExperiment lifts the temperature study onto the registry: one
+// point job per PID-settled setpoint, folding raw per-row BER samples
+// into a point-axis artifact.
+func tempSweepExperiment() *Experiment {
+	return &Experiment{
+		Name:  "tempsweep",
+		Title: "temperature extension: RowHammer BER distribution across PID-settled setpoints",
+		Plan: func(o Options) (*Plan, error) {
+			to := TempSweepOptions{Cfg: o.Cfg, Rows: o.Rows, Hammers: o.Hammers}
+			to.setDefaults()
+			if err := to.Cfg.Validate(); err != nil {
+				return nil, err
+			}
+			jobs := make([]Job, len(to.TemperaturesC))
+			for i, target := range to.TemperaturesC {
+				target := target
+				jobs[i] = Job{
+					Key: fmt.Sprintf("t=%gC", target),
+					Run: func(_ context.Context, _ *core.Harness) (any, error) {
+						return tempSweepPoint(to, target)
+					},
+				}
+			}
+			return &Plan{
+				Axis: "point",
+				Cfg:  to.Cfg,
+				Jobs: jobs,
+				Params: map[string]string{
+					"rows":    strconv.Itoa(to.Rows),
+					"hammers": strconv.Itoa(to.Hammers),
+				},
+				NewFold: pointFold(jobs, "ber_pct", 0, 100),
+			}, nil
+		},
+	}
 }
 
 // Render prints the sweep as a table.
@@ -259,6 +366,24 @@ type CrossChannelStudy struct {
 // crosses; the synthetic arm shows what the methodology would detect if
 // the dies did couple.
 func RunCrossChannel(o CrossChannelOptions) (*CrossChannelStudy, error) {
+	o.setDefaults()
+	s := &CrossChannelStudy{Opts: o}
+	// The two arms (as-is and synthetically coupled) are independent
+	// devices, so they run as parallel engine jobs.
+	arms := []float64{o.Cfg.Fault.VerticalCoupling, o.SyntheticCoupling}
+	eo := engine.Options{Ctx: o.Ctx, OnProgress: o.Progress}
+	flips, err := engine.Map(eo, len(arms),
+		func(_ context.Context, i int) (int, error) { return crossChannelArm(o, arms[i]) })
+	if err != nil {
+		return nil, err
+	}
+	s.BaselineFlips, s.CoupledFlips = flips[0], flips[1]
+	return s, nil
+}
+
+// setDefaults resolves the option defaults shared by RunCrossChannel and
+// the registry entry.
+func (o *CrossChannelOptions) setDefaults() {
 	if o.Cfg == nil {
 		o.Cfg = config.PaperChip()
 	}
@@ -271,72 +396,115 @@ func RunCrossChannel(o CrossChannelOptions) (*CrossChannelStudy, error) {
 	if o.Rows <= 0 {
 		o.Rows = 4
 	}
-	s := &CrossChannelStudy{Opts: o}
-	run := func(coupling float64) (int, error) {
-		cfg := *o.Cfg
-		cfg.Fault.VerticalCoupling = coupling
-		d, err := hbm.New(&cfg)
-		if err != nil {
-			return 0, err
-		}
-		if _, err := core.NewHarness(d); err != nil { // ECC off
-			return 0, err
-		}
-		layout := cfg.Layout()
-		sa := layout.Count() / 2
-		start := layout.Start(sa) + layout.Size(sa)/4
-		g := cfg.Geometry
-		m := d.Mapper()
-		victimChannels := []int{o.AggressorChannel - 2, o.AggressorChannel + 2}
-		pattern := make([]byte, g.RowBytes())
-		for i := range pattern {
-			pattern[i] = 0xFF
-		}
-		flips := 0
-		for i := 0; i < o.Rows; i++ {
-			phys := start + i*5
-			logical := m.ToLogical(phys)
-			for _, vch := range victimChannels {
-				if vch < 0 || vch >= g.Channels {
-					continue
-				}
-				vb := addr.BankAddr{Channel: vch, PseudoChannel: 0, Bank: 0}
-				if err := hbm.WriteRow(d, vb, logical, pattern); err != nil {
-					return 0, err
-				}
-			}
-			ab := addr.BankAddr{Channel: o.AggressorChannel, PseudoChannel: 0, Bank: 0}
-			if err := d.HammerSingle(ab, logical, o.Activations); err != nil {
-				return 0, err
-			}
-			if err := d.AdvanceTime(cfg.Timing.TRP); err != nil {
-				return 0, err
-			}
-			for _, vch := range victimChannels {
-				if vch < 0 || vch >= g.Channels {
-					continue
-				}
-				vb := addr.BankAddr{Channel: vch, PseudoChannel: 0, Bank: 0}
-				got, err := hbm.ReadRow(d, vb, logical)
-				if err != nil {
-					return 0, err
-				}
-				flips += hbm.CountMismatches(got, pattern)
-			}
-		}
-		return flips, nil
-	}
-	// The two arms (as-is and synthetically coupled) are independent
-	// devices, so they run as parallel engine jobs.
-	arms := []float64{o.Cfg.Fault.VerticalCoupling, o.SyntheticCoupling}
-	eo := engine.Options{Ctx: o.Ctx, OnProgress: o.Progress}
-	flips, err := engine.Map(eo, len(arms),
-		func(_ context.Context, i int) (int, error) { return run(arms[i]) })
+}
+
+// crossChannelArm measures one arm of the probe: hammer rows in the
+// aggressor channel of a fresh device with the given vertical coupling
+// and count bitflips in the same physical rows of channels +/- 2.
+func crossChannelArm(o CrossChannelOptions, coupling float64) (int, error) {
+	cfg := *o.Cfg
+	cfg.Fault.VerticalCoupling = coupling
+	d, err := hbm.New(&cfg)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	s.BaselineFlips, s.CoupledFlips = flips[0], flips[1]
-	return s, nil
+	if _, err := core.NewHarness(d); err != nil { // ECC off
+		return 0, err
+	}
+	layout := cfg.Layout()
+	sa := layout.Count() / 2
+	start := layout.Start(sa) + layout.Size(sa)/4
+	g := cfg.Geometry
+	m := d.Mapper()
+	victimChannels := []int{o.AggressorChannel - 2, o.AggressorChannel + 2}
+	pattern := make([]byte, g.RowBytes())
+	for i := range pattern {
+		pattern[i] = 0xFF
+	}
+	flips := 0
+	for i := 0; i < o.Rows; i++ {
+		phys := start + i*5
+		logical := m.ToLogical(phys)
+		for _, vch := range victimChannels {
+			if vch < 0 || vch >= g.Channels {
+				continue
+			}
+			vb := addr.BankAddr{Channel: vch, PseudoChannel: 0, Bank: 0}
+			if err := hbm.WriteRow(d, vb, logical, pattern); err != nil {
+				return 0, err
+			}
+		}
+		ab := addr.BankAddr{Channel: o.AggressorChannel, PseudoChannel: 0, Bank: 0}
+		if err := d.HammerSingle(ab, logical, o.Activations); err != nil {
+			return 0, err
+		}
+		if err := d.AdvanceTime(cfg.Timing.TRP); err != nil {
+			return 0, err
+		}
+		for _, vch := range victimChannels {
+			if vch < 0 || vch >= g.Channels {
+				continue
+			}
+			vb := addr.BankAddr{Channel: vch, PseudoChannel: 0, Bank: 0}
+			got, err := hbm.ReadRow(d, vb, logical)
+			if err != nil {
+				return 0, err
+			}
+			flips += hbm.CountMismatches(got, pattern)
+		}
+	}
+	return flips, nil
+}
+
+// crossChannelExperiment lifts the interference probe onto the registry:
+// two point jobs — the chip as designed and the synthetically coupled
+// what-if — each counting cross-channel bitflips.
+func crossChannelExperiment() *Experiment {
+	return &Experiment{
+		Name:  "crosschannel",
+		Title: "cross-channel extension: vertical die-to-die interference probe",
+		Plan: func(o Options) (*Plan, error) {
+			co := CrossChannelOptions{Cfg: o.Cfg, Rows: o.Rows, AggressorChannel: 4}
+			co.setDefaults()
+			if err := co.Cfg.Validate(); err != nil {
+				return nil, err
+			}
+			if co.AggressorChannel >= co.Cfg.Geometry.Channels {
+				co.AggressorChannel = co.Cfg.Geometry.Channels / 2
+			}
+			arms := []struct {
+				key      string
+				coupling float64
+			}{
+				{"baseline", co.Cfg.Fault.VerticalCoupling},
+				{"coupled", co.SyntheticCoupling},
+			}
+			jobs := make([]Job, len(arms))
+			for i, arm := range arms {
+				coupling := arm.coupling
+				jobs[i] = Job{
+					Key: arm.key,
+					Run: func(_ context.Context, _ *core.Harness) (any, error) {
+						return crossChannelArm(co, coupling)
+					},
+				}
+			}
+			// Flip ceiling: every probed row of both victim channels fully
+			// inverted.
+			maxFlips := float64(co.Rows*co.Cfg.Geometry.RowBytes()*8*2) + 1
+			return &Plan{
+				Axis: "point",
+				Cfg:  co.Cfg,
+				Jobs: jobs,
+				Params: map[string]string{
+					"rows":        strconv.Itoa(co.Rows),
+					"activations": strconv.Itoa(co.Activations),
+					"coupling":    fmt.Sprintf("%g", co.SyntheticCoupling),
+				},
+				NewFold: pointFold(jobs, "cross_flips", 0, maxFlips),
+			}, nil
+		},
+	}
 }
 
 // Render summarizes the probe.

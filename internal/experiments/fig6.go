@@ -10,6 +10,7 @@ import (
 	"github.com/safari-repro/hbmrh/internal/core"
 	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/report"
+	"github.com/safari-repro/hbmrh/internal/results"
 	"github.com/safari-repro/hbmrh/internal/stats"
 )
 
@@ -125,6 +126,72 @@ func fig6Bank(h *core.Harness, o Fig6Options, ba addr.BankAddr) (BankPoint, erro
 	}
 	sum := stats.Summarize(bers)
 	return BankPoint{Bank: ba, MeanBER: sum.Mean, CV: sum.CV()}, nil
+}
+
+// fig6Experiment lifts the per-bank variation study onto the registry:
+// one harness job per bank across the whole stack, folded into the
+// per-channel artifact Fig6.Artifact emits (bank mean BER and CV
+// distributions per channel), so the 256-bank scan shards by bank range.
+func fig6Experiment() *Experiment {
+	return &Experiment{
+		Name:  "fig6",
+		Title: "Fig. 6 bank scatter: per-bank BER mean/CV distributions per channel",
+		Plan: func(o Options) (*Plan, error) {
+			fo := Fig6Options{
+				Cfg:               o.Cfg,
+				Hammers:           o.Hammers,
+				RowsPerBankRegion: o.Rows,
+				Workers:           o.Workers,
+			}
+			fo.setDefaults()
+			if err := fo.Cfg.Validate(); err != nil {
+				return nil, err
+			}
+			g := fo.Cfg.Geometry
+			n := g.Channels * g.PseudoChannels * g.Banks
+			jobs := make([]Job, n)
+			for i := 0; i < n; i++ {
+				ba := addr.BankAddr{
+					Channel:       i / (g.PseudoChannels * g.Banks),
+					PseudoChannel: (i / g.Banks) % g.PseudoChannels,
+					Bank:          i % g.Banks,
+				}
+				jobs[i] = Job{
+					Key: fmt.Sprintf("ch%d.pc%d.ba%d", ba.Channel, ba.PseudoChannel, ba.Bank),
+					Run: func(_ context.Context, h *core.Harness) (any, error) {
+						pt, err := fig6Bank(h, fo, ba)
+						if err != nil {
+							return nil, fmt.Errorf("bank %v: %w", ba, err)
+						}
+						return pt, nil
+					},
+				}
+			}
+			return &Plan{
+				Axis:    "bank",
+				Cfg:     fo.Cfg,
+				Harness: true,
+				Jobs:    jobs,
+				Params: map[string]string{
+					"rows_per_bank_region": strconv.Itoa(fo.RowsPerBankRegion),
+					"hammers":              strconv.Itoa(fo.Hammers),
+				},
+				NewFold: func(lo, hi int) *Fold {
+					a := &results.Artifact{
+						Meta:   results.Meta{GroupBy: results.ByChannel.String()},
+						Groups: newFig6Groups(fo.Cfg),
+					}
+					return &Fold{
+						Add: func(_ int, payload any) error {
+							addFig6Point(a.Groups, payload.(BankPoint))
+							return nil
+						},
+						Finish: func() (*results.Artifact, error) { return a, nil },
+					}
+				},
+			}, nil
+		},
+	}
 }
 
 // Render draws the scatter plot; each point's glyph is its channel digit,

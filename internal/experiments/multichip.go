@@ -47,6 +47,9 @@ type MultiChipOptions struct {
 	// <= 0 means one at a time (each chip already parallelizes its sweep
 	// across Workers devices).
 	ChipWorkers int
+	// Planner selects how chip jobs are assigned to workers; planner
+	// choice never changes the study's output (engine.Planner).
+	Planner engine.Planner
 	// GroupBy selects the axis of rendered and exported aggregates:
 	// region (default), channel, or region-channel. The study always
 	// folds the finest axis; this only picks the view.
@@ -136,37 +139,83 @@ type chipResult struct {
 	groups []results.Group
 }
 
-// multiChipMeta builds the artifact provenance for one (possibly sharded)
-// study run.
-func multiChipMeta(o *MultiChipOptions) results.Meta {
-	shard, shardCount := o.Shard, o.ShardCount
-	if shardCount <= 0 {
-		shard, shardCount = 0, 1
+// multiChipPlan decomposes a fleet scan over an explicit seed list: one
+// job per chip instance, folded in seed-index order into the
+// region×channel artifact. It is the shared core of RunMultiChip (which
+// takes a pre-sliced seed range) and the "multichip" registry entry
+// (which slices the full range itself via -shard).
+func multiChipPlan(o MultiChipOptions) *Plan {
+	jobs := make([]Job, len(o.Seeds))
+	for i, seed := range o.Seeds {
+		seed := seed
+		jobs[i] = Job{
+			Key: fmt.Sprintf("seed:%#x", seed),
+			Run: func(ctx context.Context, _ *core.Harness) (any, error) {
+				return measureChip(ctx, o, seed)
+			},
+		}
 	}
-	return results.Meta{
-		Format:      results.FormatVersion,
-		Tool:        "chipscan",
-		CodeVersion: results.CodeVersion(),
-		ConfigHash:  fmt.Sprintf("%016x", o.Base.Hash()),
-		GroupBy:     results.ByRegionChannel.String(),
-		SeedFirst:   o.Seeds[0],
-		SeedCount:   len(o.Seeds),
-		Shard:       shard,
-		ShardCount:  shardCount,
+	return &Plan{
+		Axis: results.AxisSeed,
+		Cfg:  o.Base,
+		Jobs: jobs,
 		Params: map[string]string{
 			"rows_per_region": strconv.Itoa(o.RowsPerRegion),
+		},
+		NewFold: func(lo, hi int) *Fold {
+			a := &results.Artifact{
+				Meta: results.Meta{
+					GroupBy:   results.ByRegionChannel.String(),
+					SeedFirst: o.Seeds[lo],
+					SeedCount: hi - lo,
+				},
+				Groups: newFineGroups(o.Base),
+			}
+			return &Fold{
+				Add: func(_ int, payload any) error {
+					r := payload.(chipResult)
+					a.Chips = append(a.Chips, r.sum)
+					results.MergeGroups(a.Groups, r.groups)
+					return nil
+				},
+				Finish: func() (*results.Artifact, error) { return a, nil },
+			}
 		},
 	}
 }
 
-// RunMultiChip measures every seed's headline numbers and streams the
-// row-level distributions into the study's region×channel aggregates as
-// chips complete. The fold runs in strict seed-index order, so the
-// aggregated output is byte-identical for ChipWorkers=1 and ChipWorkers=N
-// — and, because the accumulators merge exactly, also byte-identical
-// between a single run over all seeds and a merge of contiguous seed-range
-// shards.
-func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
+// multiChipExperiment registers the fleet scan: the seed axis, sliced by
+// -shard into contiguous seed ranges exactly as cmd/chipscan always did
+// (chipscan is an alias for this entry).
+func multiChipExperiment() *Experiment {
+	return &Experiment{
+		Name:  "multichip",
+		Title: "fleet chip-to-chip scan: headline numbers + region×channel aggregates per seed",
+		Plan: func(o Options) (*Plan, error) {
+			mo := MultiChipOptions{
+				Base:          o.Cfg,
+				RowsPerRegion: o.Rows,
+				Workers:       o.Workers,
+			}
+			mo.setDefaults()
+			count := o.Seeds
+			if count > 0 {
+				mo.Seeds = make([]uint64, count)
+				for i := range mo.Seeds {
+					mo.Seeds[i] = mo.Base.Seed + uint64(i)
+				}
+			}
+			return multiChipPlan(mo), nil
+		},
+		Render: func(a *results.Artifact) string {
+			return StudyFromArtifact(a, results.ByRegion).Report()
+		},
+	}
+}
+
+// setDefaults resolves the option defaults shared by RunMultiChip and
+// the registry entry.
+func (o *MultiChipOptions) setDefaults() {
 	if o.Base == nil {
 		o.Base = config.PaperChip()
 	}
@@ -176,34 +225,37 @@ func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
 	if o.RowsPerRegion <= 0 {
 		o.RowsPerRegion = 8
 	}
+}
+
+// RunMultiChip measures every seed's headline numbers and streams the
+// row-level distributions into the study's region×channel aggregates as
+// chips complete. The fold runs in strict seed-index order, so the
+// aggregated output is byte-identical for ChipWorkers=1 and ChipWorkers=N
+// — and, because the accumulators merge exactly, also byte-identical
+// between a single run over all seeds and a merge of contiguous seed-range
+// shards. It executes the same plan as the "multichip" registry entry.
+func RunMultiChip(o MultiChipOptions) (*MultiChipStudy, error) {
+	o.setDefaults()
 	chipWorkers := o.ChipWorkers
 	if chipWorkers <= 0 {
 		chipWorkers = 1
 	}
-	study := &MultiChipStudy{
-		Opts:  o,
-		Chips: make([]ChipSummary, 0, len(o.Seeds)),
-		Artifact: &results.Artifact{
-			Meta:   multiChipMeta(&o),
-			Groups: newFineGroups(o.Base),
-		},
-	}
-
-	eo := engine.Options{Ctx: o.Ctx, Workers: chipWorkers, OnProgress: o.Progress}
-	err := engine.Reduce(eo, len(o.Seeds),
-		func(ctx context.Context, i int) (chipResult, error) {
-			return measureChip(ctx, o, o.Seeds[i])
-		},
-		func(_ int, r chipResult) error {
-			study.Chips = append(study.Chips, r.sum)
-			results.MergeGroups(study.Artifact.Groups, r.groups)
-			return nil
-		})
+	p := multiChipPlan(o)
+	a, err := executePlan(p, Options{
+		Ctx:      o.Ctx,
+		Parallel: chipWorkers,
+		Planner:  o.Planner,
+		Progress: o.Progress,
+	}, 0, len(p.Jobs))
 	if err != nil {
 		return nil, err
 	}
-	study.Artifact.Chips = study.Chips
-	return study, nil
+	shard, shardCount := o.Shard, o.ShardCount
+	if shardCount <= 0 {
+		shard, shardCount = 0, 1
+	}
+	stampMeta(a, "multichip", p, 0, len(p.Jobs), shard, shardCount)
+	return &MultiChipStudy{Opts: o, Chips: a.Chips, Artifact: a}, nil
 }
 
 // StudyFromArtifact reconstructs a renderable study from a loaded (e.g.
@@ -228,7 +280,7 @@ func measureChip(ctx context.Context, o MultiChipOptions, seed uint64) (chipResu
 	// chip is summarized, or a long seed scan keeps every instance's
 	// devices resident.
 	defer engine.SharedPool.DrainConfig(&cfg)
-	sweep, err := RunSweep(Options{
+	sweep, err := RunSweep(SweepOptions{
 		Cfg:           &cfg,
 		RowsPerRegion: o.RowsPerRegion,
 		Workers:       o.Workers,
@@ -359,6 +411,19 @@ func (s *MultiChipStudy) AggregateJSON() ([]byte, error) {
 		return nil, err
 	}
 	return s.Artifact.SummaryJSONGroups(groups)
+}
+
+// Report renders the full study report: the chip-to-chip comparison, the
+// fleet aggregates, and the stability epilogue. cmd/chipscan and the
+// registry's merge render share it, so their stdout reports cannot
+// diverge.
+func (s *MultiChipStudy) Report() string {
+	var sb strings.Builder
+	sb.WriteString(s.Render())
+	worstStable, trrStable := s.StableObservations()
+	fmt.Fprintf(&sb, "\nstable across chips: worst channel = %v, TRR period = %v\n", worstStable, trrStable)
+	sb.WriteString("(design-level structure persists; exact cell-level numbers are per-chip)\n")
+	return sb.String()
 }
 
 // StableObservations reports which of the paper's key observations hold

@@ -62,7 +62,7 @@ func TestMultiChipStreamingMatchesBatch(t *testing.T) {
 	for _, seed := range seeds {
 		cfg := *config.SmallChip()
 		cfg.Seed = seed
-		sweep, err := RunSweep(Options{Cfg: &cfg, RowsPerRegion: 3})
+		sweep, err := RunSweep(SweepOptions{Cfg: &cfg, RowsPerRegion: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -321,7 +321,7 @@ func TestMultiChipAggregateExports(t *testing.T) {
 // the figure drivers that produce distributions emit the same artifact
 // shape the fleet study does, renderable by the same exporters.
 func TestSweepAndFig6ArtifactsShareTheSchema(t *testing.T) {
-	sweep, err := RunSweep(Options{Cfg: config.SmallChip(), RowsPerRegion: 2})
+	sweep, err := RunSweep(SweepOptions{Cfg: config.SmallChip(), RowsPerRegion: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

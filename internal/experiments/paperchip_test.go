@@ -16,7 +16,7 @@ func TestPaperChipCalibrationSpotCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-geometry sweep is the heavyweight calibration check")
 	}
-	sweep, err := RunSweep(Options{
+	sweep, err := RunSweep(SweepOptions{
 		Cfg:           config.PaperChip(),
 		RowsPerRegion: 12,
 	})

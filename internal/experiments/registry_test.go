@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/engine"
+	"github.com/safari-repro/hbmrh/internal/results"
+)
+
+// registryNames are the studies the registry must cover: every driver in
+// the repo.
+var registryNames = []string{
+	"crosschannel", "fig6", "multichip", "rowpress", "sweep",
+	"tempsweep", "trrbypass", "trrstudy", "utrrprobe",
+}
+
+func TestRegistryCoversEveryDriver(t *testing.T) {
+	all := All()
+	var got []string
+	for _, e := range all {
+		got = append(got, e.Name)
+		if e.Title == "" || e.Plan == nil {
+			t.Errorf("experiment %q missing title or plan", e.Name)
+		}
+	}
+	if strings.Join(got, ",") != strings.Join(registryNames, ",") {
+		t.Fatalf("registry = %v, want %v", got, registryNames)
+	}
+	for _, name := range registryNames {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil || !strings.Contains(err.Error(), "multichip") {
+		t.Errorf("unknown lookup should list valid names, got %v", err)
+	}
+}
+
+// TestEveryExperimentPlansDeterministically pins the plan contract for
+// every registry entry: planning is pure (same options, same job list),
+// keys are unique, and the declared axis is consistent.
+func TestEveryExperimentPlansDeterministically(t *testing.T) {
+	o := Options{Cfg: config.SmallChip(), Rows: 2, Hammers: 2000, Seeds: 3, Iterations: 4}
+	for _, e := range All() {
+		p1, err := e.Plan(o)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		p2, err := e.Plan(o)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if len(p1.Jobs) == 0 || len(p1.Jobs) != len(p2.Jobs) {
+			t.Fatalf("%s: plan sizes %d vs %d", e.Name, len(p1.Jobs), len(p2.Jobs))
+		}
+		if p1.Axis == "" || p1.Cfg == nil {
+			t.Fatalf("%s: plan missing axis or config", e.Name)
+		}
+		seen := map[string]bool{}
+		for i, j := range p1.Jobs {
+			if j.Key == "" || seen[j.Key] {
+				t.Fatalf("%s: job %d key %q empty or duplicate", e.Name, i, j.Key)
+			}
+			seen[j.Key] = true
+			if j.Key != p2.Jobs[i].Key {
+				t.Fatalf("%s: plan not deterministic: job %d %q vs %q", e.Name, i, j.Key, p2.Jobs[i].Key)
+			}
+		}
+	}
+}
+
+// marshal renders an artifact for byte comparison.
+func marshal(t *testing.T, a *results.Artifact) []byte {
+	t.Helper()
+	buf, err := a.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestPlannerEquivalenceMultiChipScan is the planner-determinism pin the
+// refactor promises: a 32-seed fleet scan produces byte-identical
+// artifacts under every planner at -parallel 1 and -parallel 8.
+func TestPlannerEquivalenceMultiChipScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-seed scan x 7 planner/parallel combinations")
+	}
+	o := Options{Cfg: config.SmallChip(), Rows: 1, Seeds: 32, Parallel: 1, Planner: engine.PlanQueue}
+	base, err := Run("multichip", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(t, base)
+	for _, planner := range []engine.Planner{engine.PlanContiguous, engine.PlanWeighted, engine.PlanStealing} {
+		for _, parallel := range []int{1, 8} {
+			o := o
+			o.Planner, o.Parallel = planner, parallel
+			a, err := Run("multichip", o)
+			if err != nil {
+				t.Fatalf("%v/parallel=%d: %v", planner, parallel, err)
+			}
+			if got := marshal(t, a); !bytes.Equal(got, want) {
+				t.Fatalf("planner %v at parallel %d changed the artifact", planner, parallel)
+			}
+		}
+	}
+}
+
+// TestRunMultiChipMatchesRegistryEntry pins that the facade-level
+// RunMultiChip and the registry's multichip entry execute the same plan:
+// identical artifacts for identical option sets.
+func TestRunMultiChipMatchesRegistryEntry(t *testing.T) {
+	cfg := config.SmallChip()
+	seeds := []uint64{cfg.Seed, cfg.Seed + 1, cfg.Seed + 2}
+	study, err := RunMultiChip(MultiChipOptions{Base: cfg, Seeds: seeds, RowsPerRegion: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run("multichip", Options{Cfg: cfg, Seeds: 3, Rows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, study.Artifact), marshal(t, a)) {
+		t.Fatal("RunMultiChip artifact differs from registry run")
+	}
+}
+
+// TestLiftedExperimentsShardMergeMatchesSingleProcess is the refactor's
+// acceptance pin: for each newly lifted driver shape (spatial axis with
+// shared groups, point axis with per-job groups, single-job plans), a
+// 2-way shard split plus merge reproduces the single-process artifact
+// byte for byte.
+func TestLiftedExperimentsShardMergeMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full studies")
+	}
+	cases := []struct {
+		name   string
+		shards int
+		opts   Options
+	}{
+		{"sweep", 2, Options{Cfg: config.SmallChip(), Rows: 1, Hammers: 2000}},
+		{"fig6", 2, Options{Cfg: config.SmallChip(), Rows: 1, Hammers: 2000}},
+		{"tempsweep", 2, Options{Cfg: config.SmallChip(), Rows: 2, Hammers: 2000}},
+		{"rowpress", 2, Options{Cfg: config.SmallChip(), Rows: 2, Hammers: 4000}},
+		{"crosschannel", 2, Options{Cfg: config.SmallChip(), Rows: 2}},
+		{"trrbypass", 2, Options{Cfg: config.SmallChip(), Hammers: 2000}},
+		{"utrrprobe", 2, Options{Cfg: config.SmallChip()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			single, err := Run(tc.name, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var merged *results.Artifact
+			for s := 0; s < tc.shards; s++ {
+				o := tc.opts
+				o.Shard, o.ShardCount = s, tc.shards
+				shard, err := Run(tc.name, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s == 0 {
+					merged = shard
+					continue
+				}
+				if err := results.Merge(merged, shard); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(marshal(t, single), marshal(t, merged)) {
+				t.Fatalf("%s: merged shards differ from single process:\n%s\nvs\n%s",
+					tc.name, marshal(t, single), marshal(t, merged))
+			}
+		})
+	}
+}
+
+// TestRunShardValidation pins the run-level shard errors.
+func TestRunShardValidation(t *testing.T) {
+	o := Options{Cfg: config.SmallChip(), Rows: 1}
+	if _, err := Run("nope", o); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	bad := o
+	bad.Shard, bad.ShardCount = 2, 2
+	if _, err := Run("crosschannel", bad); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range shard: %v", err)
+	}
+	// An empty shard slice is an explicit error, not an empty artifact
+	// (crosschannel plans 2 jobs; 3 shards leave shard 0 empty).
+	empty := o
+	empty.Shard, empty.ShardCount = 0, 3
+	if _, err := Run("crosschannel", empty); err == nil || !strings.Contains(err.Error(), "covers no jobs") {
+		t.Errorf("empty shard: %v", err)
+	}
+}
+
+// TestRenderedArtifactsMentionTheirAxis smoke-checks the generic render
+// path for a point-axis artifact.
+func TestRenderedArtifactsMentionTheirAxis(t *testing.T) {
+	a, err := Run("crosschannel", Options{Cfg: config.SmallChip(), Rows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(a)
+	for _, want := range []string{"crosschannel", "baseline", "coupled"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if a.Meta.JobAxis != "point" || a.Meta.JobCount != 2 {
+		t.Errorf("crosschannel provenance: %+v", a.Meta)
+	}
+	if fmt.Sprintf("%v", a.Meta.JobKeys) != "[baseline coupled]" {
+		t.Errorf("job keys %v", a.Meta.JobKeys)
+	}
+}

@@ -8,15 +8,18 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
 	"github.com/safari-repro/hbmrh/internal/core"
 	"github.com/safari-repro/hbmrh/internal/engine"
+	"github.com/safari-repro/hbmrh/internal/results"
 )
 
-// Options configures the shared spatial sweep behind Figs. 3, 4 and 5.
-type Options struct {
+// SweepOptions configures the shared spatial sweep behind Figs. 3, 4
+// and 5.
+type SweepOptions struct {
 	// Cfg is the device configuration; nil means config.PaperChip().
 	Cfg *config.Config
 	// Hammers is the BER hammer count and the HCfirst search ceiling
@@ -39,7 +42,7 @@ type Options struct {
 	Progress engine.ProgressFunc
 }
 
-func (o *Options) setDefaults() {
+func (o *SweepOptions) setDefaults() {
 	if o.Cfg == nil {
 		o.Cfg = config.PaperChip()
 	}
@@ -48,7 +51,7 @@ func (o *Options) setDefaults() {
 	}
 }
 
-func (o *Options) engine() engine.Options {
+func (o *SweepOptions) engine() engine.Options {
 	return engine.Options{Ctx: o.Ctx, Workers: o.Workers, OnProgress: o.Progress}
 }
 
@@ -77,14 +80,14 @@ func (r *RowResult) WCDPHCFirst() (int, bool) { return r.HCFirst[r.WCDP], r.Foun
 
 // Sweep is the complete spatial dataset for one bank across all channels.
 type Sweep struct {
-	Opts Options
+	Opts SweepOptions
 	Rows []RowResult
 }
 
 // RunSweep measures every sampled victim row in the paper's three regions
 // of one bank in every channel: per Table 1 pattern, the BER at the full
 // hammer count and the HCfirst search, then the WCDP choice.
-func RunSweep(o Options) (*Sweep, error) {
+func RunSweep(o SweepOptions) (*Sweep, error) {
 	o.setDefaults()
 	if err := o.Cfg.Validate(); err != nil {
 		return nil, err
@@ -108,7 +111,7 @@ func RunSweep(o Options) (*Sweep, error) {
 	return &Sweep{Opts: o, Rows: engine.Flatten(perChannel)}, nil
 }
 
-func sweepChannel(h *core.Harness, o Options, ch int) ([]RowResult, error) {
+func sweepChannel(h *core.Harness, o SweepOptions, ch int) ([]RowResult, error) {
 	g := o.Cfg.Geometry
 	ba := addr.BankAddr{Channel: ch, PseudoChannel: o.PC, Bank: o.Bank}
 	patterns := core.Table1()
@@ -167,6 +170,67 @@ func chooseWCDP(r RowResult) int {
 		}
 	}
 	return best
+}
+
+// sweepExperiment lifts the Figs. 3-5 spatial sweep onto the registry:
+// one harness job per channel, folded into the region×channel artifact
+// Sweep.Artifact emits, so the sweep shards across machines like the
+// fleet scan (a -shard slice measures a contiguous channel range).
+func sweepExperiment() *Experiment {
+	return &Experiment{
+		Name:  "sweep",
+		Title: "Figs. 3-5 spatial sweep: per-row BER/HCfirst/WCDP across every channel",
+		Plan: func(o Options) (*Plan, error) {
+			so := SweepOptions{
+				Cfg:           o.Cfg,
+				Hammers:       o.Hammers,
+				RowsPerRegion: o.Rows,
+				Workers:       o.Workers,
+			}
+			so.setDefaults()
+			if err := so.Cfg.Validate(); err != nil {
+				return nil, err
+			}
+			g := so.Cfg.Geometry
+			jobs := make([]Job, g.Channels)
+			for ch := 0; ch < g.Channels; ch++ {
+				ch := ch
+				jobs[ch] = Job{
+					Key: fmt.Sprintf("ch%d", ch),
+					Run: func(_ context.Context, h *core.Harness) (any, error) {
+						rows, err := sweepChannel(h, so, ch)
+						if err != nil {
+							return nil, fmt.Errorf("channel %d: %w", ch, err)
+						}
+						return rows, nil
+					},
+				}
+			}
+			return &Plan{
+				Axis:    "channel",
+				Cfg:     so.Cfg,
+				Harness: true,
+				Jobs:    jobs,
+				Params: map[string]string{
+					"rows_per_region": strconv.Itoa(so.RowsPerRegion),
+					"hammers":         strconv.Itoa(so.Hammers),
+				},
+				NewFold: func(lo, hi int) *Fold {
+					a := &results.Artifact{
+						Meta:   results.Meta{GroupBy: results.ByRegionChannel.String()},
+						Groups: newFineGroups(so.Cfg),
+					}
+					return &Fold{
+						Add: func(_ int, payload any) error {
+							foldSweepRows(so.Cfg, a.Groups, payload.([]RowResult))
+							return nil
+						},
+						Finish: func() (*results.Artifact, error) { return a, nil },
+					}
+				},
+			}, nil
+		},
+	}
 }
 
 // ByChannel groups the sweep's rows per channel, in channel order.

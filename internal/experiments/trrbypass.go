@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"github.com/safari-repro/hbmrh/internal/addr"
@@ -10,6 +11,8 @@ import (
 	"github.com/safari-repro/hbmrh/internal/core"
 	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/hbm"
+	"github.com/safari-repro/hbmrh/internal/results"
+	"github.com/safari-repro/hbmrh/internal/stats"
 )
 
 // TRR bypass: the attack-side consequence of Section 5. Once the
@@ -147,6 +150,72 @@ func runBypassArm(o TRRBypassOptions, decoy bool) (flips, refs int, err error) {
 		return 0, 0, err
 	}
 	return hbm.CountMismatches(got, pattern), refs, nil
+}
+
+// trrBypassExperiment lifts the sampler-blinding attack comparison onto
+// the registry: two point jobs (naive, decoy), each a fresh device under
+// nominal refresh.
+func trrBypassExperiment() *Experiment {
+	return &Experiment{
+		Name:  "trrbypass",
+		Title: "TRR bypass: naive vs decoy-assisted hammering under nominal refresh",
+		Plan: func(o Options) (*Plan, error) {
+			bo := TRRBypassOptions{Cfg: o.Cfg, Hammers: o.Hammers}
+			if bo.Cfg == nil {
+				bo.Cfg = config.PaperChip()
+			}
+			if err := bo.Cfg.Validate(); err != nil {
+				return nil, err
+			}
+			if bo.Hammers <= 0 {
+				bo.Hammers = core.DefaultHammers
+			}
+			arms := []string{"naive", "decoy"}
+			jobs := make([]Job, len(arms))
+			for i, name := range arms {
+				decoy := i == 1
+				jobs[i] = Job{
+					Key: name,
+					Run: func(_ context.Context, _ *core.Harness) (any, error) {
+						flips, refs, err := runBypassArm(bo, decoy)
+						if err != nil {
+							return nil, err
+						}
+						return [2]int{flips, refs}, nil
+					},
+				}
+			}
+			rowBits := float64(bo.Cfg.Geometry.RowBytes() * 8)
+			return &Plan{
+				Axis:   "point",
+				Cfg:    bo.Cfg,
+				Jobs:   jobs,
+				Params: map[string]string{"hammers": strconv.Itoa(bo.Hammers)},
+				NewFold: func(lo, hi int) *Fold {
+					a := &results.Artifact{Meta: results.Meta{GroupBy: results.ByPoint.String()}}
+					for _, name := range arms {
+						a.Groups = append(a.Groups, results.Group{
+							Key: results.Key{Channel: results.NoChannel, Point: name},
+							Metrics: []results.Metric{
+								{Name: "victim_flips", Stream: stats.NewStream(0, rowBits)},
+								{Name: "refreshes", Stream: stats.NewStream(0, float64(bo.Hammers+1))},
+							},
+						})
+					}
+					return &Fold{
+						Add: func(i int, payload any) error {
+							arm := payload.([2]int)
+							ms := a.Groups[i].Metrics
+							ms[0].Stream.Add(float64(arm[0]))
+							ms[1].Stream.Add(float64(arm[1]))
+							return nil
+						},
+						Finish: func() (*results.Artifact, error) { return a, nil },
+					}
+				},
+			}, nil
+		},
+	}
 }
 
 // Render summarizes the two arms.

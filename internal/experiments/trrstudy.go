@@ -8,8 +8,11 @@ import (
 
 	"github.com/safari-repro/hbmrh/internal/addr"
 	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
 	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/hbm"
+	"github.com/safari-repro/hbmrh/internal/results"
+	"github.com/safari-repro/hbmrh/internal/stats"
 	"github.com/safari-repro/hbmrh/internal/utrr"
 )
 
@@ -85,6 +88,72 @@ func runUTRR(o TRRStudyOptions, ctx context.Context) (*utrr.Result, error) {
 		start = o.Cfg.Geometry.Rows / 4
 	}
 	return e.Run(o.Bank, start)
+}
+
+// trrStudyExperiment lifts the Section 5 U-TRR discovery onto the
+// registry. The study is one engine job on a fresh device (U-TRR leans
+// on accumulated retention state), so its plan has a single point job;
+// the artifact pipeline still buys it sharded merges (a one-job slice),
+// serialized artifacts and the shared exports.
+func trrStudyExperiment() *Experiment {
+	return &Experiment{
+		Name:  "trrstudy",
+		Title: "Section 5 U-TRR: uncover the in-DRAM TRR mechanism and its period",
+		Plan: func(o Options) (*Plan, error) {
+			to := TRRStudyOptions{Cfg: o.Cfg, Iterations: o.Iterations}
+			if to.Cfg == nil {
+				to.Cfg = config.PaperChip()
+			}
+			if err := to.Cfg.Validate(); err != nil {
+				return nil, err
+			}
+			iterations := to.Iterations
+			if iterations <= 0 {
+				iterations = 100 // utrr.New default, pinned for params
+			}
+			job := Job{
+				Key: "utrr",
+				Run: func(ctx context.Context, _ *core.Harness) (any, error) {
+					return runUTRR(to, ctx)
+				},
+			}
+			return &Plan{
+				Axis:   "point",
+				Cfg:    to.Cfg,
+				Jobs:   []Job{job},
+				Params: map[string]string{"iterations": strconv.Itoa(iterations)},
+				NewFold: func(lo, hi int) *Fold {
+					a := &results.Artifact{
+						Meta: results.Meta{GroupBy: results.ByPoint.String()},
+						Groups: []results.Group{{
+							Key: results.Key{Channel: results.NoChannel, Point: "utrr"},
+							Metrics: []results.Metric{
+								{Name: "trr_period", Stream: stats.NewStream(0, 256)},
+								{Name: "periodic", Stream: stats.NewStream(0, 2)},
+								{Name: "victim_refreshes", Stream: stats.NewStream(0, float64(iterations+1))},
+							},
+						}},
+					}
+					return &Fold{
+						Add: func(_ int, payload any) error {
+							r := payload.(*utrr.Result)
+							period, periodic := r.InferPeriod()
+							ms := a.Groups[0].Metrics
+							ms[0].Stream.Add(float64(period))
+							if periodic {
+								ms[1].Stream.Add(1)
+							} else {
+								ms[1].Stream.Add(0)
+							}
+							ms[2].Stream.Add(float64(len(r.Fires())))
+							return nil
+						},
+						Finish: func() (*results.Artifact, error) { return a, nil },
+					}
+				},
+			}, nil
+		},
+	}
 }
 
 // Render summarizes the study the way Section 5 reports it.

@@ -39,6 +39,8 @@ func SummaryCSVGroups(gb GroupBy, groups []Group) (headers []string, rows [][]st
 		keyCols = []string{"channel"}
 	case ByRegionChannel:
 		keyCols = []string{"region", "channel"}
+	case ByPoint:
+		keyCols = []string{"point"}
 	}
 	headers = append(append([]string{}, keyCols...),
 		"metric", "n", "min", "q1", "median", "q3", "max", "mean", "stddev")
@@ -49,6 +51,9 @@ func SummaryCSVGroups(gb GroupBy, groups []Group) (headers []string, rows [][]st
 		}
 		if gb == ByChannel || gb == ByRegionChannel {
 			key = append(key, strconv.Itoa(g.Key.Channel))
+		}
+		if gb == ByPoint {
+			key = append(key, g.Key.Point)
 		}
 		for _, m := range g.Metrics {
 			if m.Stream.N() == 0 {
@@ -108,6 +113,7 @@ func (a *Artifact) SummaryJSONGroups(groups []Group) ([]byte, error) {
 	type groupJSON struct {
 		Region  string                  `json:"region,omitempty"`
 		Channel *int                    `json:"channel,omitempty"`
+		Point   string                  `json:"point,omitempty"`
 		Metrics map[string]*summaryJSON `json:"metrics"`
 	}
 	out := struct {
@@ -120,7 +126,7 @@ func (a *Artifact) SummaryJSONGroups(groups []Group) ([]byte, error) {
 		Groups: make([]groupJSON, 0, len(groups)),
 	}
 	for _, g := range groups {
-		gj := groupJSON{Region: g.Key.Region, Metrics: map[string]*summaryJSON{}}
+		gj := groupJSON{Region: g.Key.Region, Point: g.Key.Point, Metrics: map[string]*summaryJSON{}}
 		if g.Key.Channel != NoChannel {
 			ch := g.Key.Channel
 			gj.Channel = &ch

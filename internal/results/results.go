@@ -28,7 +28,14 @@ import (
 
 // FormatVersion is the artifact schema version. Merge refuses artifacts
 // of a different version; bump it on any incompatible schema change.
-const FormatVersion = 1
+// Version 2 added the planning-axis provenance (Meta.JobAxis/JobFirst/
+// JobCount/JobKeys, Key.Point) and its merge conflict checks.
+const FormatVersion = 2
+
+// AxisSeed is the Meta.JobAxis value of fleet scans sharded by chip
+// seed, where SeedFirst/SeedCount carry the provenance and merges check
+// seed-range contiguity instead of job slices.
+const AxisSeed = "seed"
 
 // GroupBy selects an aggregation axis.
 type GroupBy int
@@ -43,6 +50,10 @@ const (
 	// ByRegionChannel is the finest axis: one group per region×channel
 	// cell. Artifacts store this axis; coarser views derive from it.
 	ByRegionChannel
+	// ByPoint groups by sweep point: the axis of experiments whose unit
+	// is not a spatial cell — a temperature setpoint, a hold-time
+	// multiplier, a TRR probe arm. Point artifacts support no other view.
+	ByPoint
 )
 
 // String returns the canonical flag spelling of the axis.
@@ -54,6 +65,8 @@ func (g GroupBy) String() string {
 		return "channel"
 	case ByRegionChannel:
 		return "region-channel"
+	case ByPoint:
+		return "point"
 	}
 	return fmt.Sprintf("groupby(%d)", int(g))
 }
@@ -67,15 +80,20 @@ func ParseGroupBy(s string) (GroupBy, error) {
 		return ByChannel, nil
 	case "region-channel":
 		return ByRegionChannel, nil
+	case "point":
+		return ByPoint, nil
 	}
-	return 0, fmt.Errorf("results: unknown group-by axis %q (want region, channel or region-channel)", s)
+	return 0, fmt.Errorf("results: unknown group-by axis %q (want region, channel, region-channel or point)", s)
 }
 
 // Key identifies one aggregation group. Region is "" when the axis has no
-// region component; Channel is -1 when it has no channel component.
+// region component; Channel is -1 when it has no channel component; Point
+// is "" except on the point axis, where it names the sweep point and the
+// other components are empty.
 type Key struct {
 	Region  string `json:"region,omitempty"`
 	Channel int    `json:"channel"`
+	Point   string `json:"point,omitempty"`
 }
 
 // NoChannel is the Key.Channel sentinel for axes without a channel
@@ -83,9 +101,11 @@ type Key struct {
 const NoChannel = -1
 
 // Label renders the key for reports ("region first", "channel 3",
-// "region first ch3").
+// "region first ch3", or the point name verbatim).
 func (k Key) Label() string {
 	switch {
+	case k.Point != "":
+		return k.Point
 	case k.Region != "" && k.Channel != NoChannel:
 		return fmt.Sprintf("region %s ch%d", k.Region, k.Channel)
 	case k.Region != "":
@@ -151,6 +171,23 @@ type Meta struct {
 	// is (0/1 for unsharded and merged artifacts).
 	Shard      int `json:"shard"`
 	ShardCount int `json:"shard_count"`
+	// JobAxis names the experiment's planning axis — the unit a shard
+	// slices: "seed" for fleet scans, "channel"/"bank" for spatial
+	// studies, "point" for setpoint sweeps. On the seed axis the
+	// SeedFirst/SeedCount range above is the whole provenance and the
+	// job fields below stay zero; every other axis shards a study of ONE
+	// chip, so merging requires identical seed ranges and contiguous,
+	// non-overlapping job slices instead.
+	JobAxis string `json:"job_axis,omitempty"`
+	// JobFirst/JobCount describe the contiguous job-index slice of the
+	// experiment plan this artifact covers (zero on the seed axis).
+	JobFirst int `json:"job_first,omitempty"`
+	JobCount int `json:"job_count,omitempty"`
+	// JobKeys names the covered jobs in index order (the temperature
+	// points, hold multipliers, channels...). Merge refuses artifacts
+	// whose key sets overlap, which is what catches merging the same
+	// shard twice — streams would otherwise double-count silently.
+	JobKeys []string `json:"job_keys,omitempty"`
 	// Params pins the remaining knobs that must match for a merge to be
 	// meaningful (sampling density, hammer count, ...). Keys marshal
 	// sorted, so the JSON form is deterministic.
@@ -206,6 +243,8 @@ func (a *Artifact) CompatibleWith(b *Artifact) error {
 		return fmt.Errorf("results: artifacts of different chip configs: %s vs %s", am.ConfigHash, bm.ConfigHash)
 	case am.GroupBy != bm.GroupBy:
 		return fmt.Errorf("results: artifacts on different axes: %q vs %q", am.GroupBy, bm.GroupBy)
+	case am.JobAxis != bm.JobAxis:
+		return fmt.Errorf("results: artifacts on different planning axes: %q vs %q", am.JobAxis, bm.JobAxis)
 	}
 	if len(am.Params) != len(bm.Params) {
 		return fmt.Errorf("results: artifacts with different parameter sets")
@@ -239,18 +278,45 @@ func (a *Artifact) CompatibleWith(b *Artifact) error {
 	return nil
 }
 
-// Merge folds b into a after verifying compatibility, seed-range
-// contiguity and chip uniqueness. The merged artifact covers the union
-// range and is normalized to an unsharded view (Shard 0/1), so merging
-// all shards of a run reproduces the single-process artifact's metadata.
-// On error a is left unmodified.
+// Merge folds b into a after verifying compatibility and slice
+// provenance. On the seed axis (fleet scans; also artifacts predating
+// job provenance) shards must cover contiguous ascending seed ranges
+// with no chip appearing twice. On every other planning axis shards
+// slice one study of one chip: seed ranges must be identical and the
+// job-index slices contiguous with disjoint job keys. The merged
+// artifact covers the union and is normalized to an unsharded view
+// (Shard 0/1), so merging all shards of a run reproduces the
+// single-process artifact's metadata. On error a is left unmodified.
 func Merge(a, b *Artifact) error {
 	if err := a.CompatibleWith(b); err != nil {
 		return err
 	}
-	if b.Meta.SeedFirst != a.Meta.SeedFirst+uint64(a.Meta.SeedCount) {
+	am, bm := &a.Meta, &b.Meta
+	jobSliced := am.JobCount > 0 || bm.JobCount > 0
+	if jobSliced && am.JobAxis == AxisSeed {
+		return fmt.Errorf("results: seed-axis artifacts must carry seed-range provenance, not job slices")
+	}
+	if jobSliced {
+		if am.SeedFirst != bm.SeedFirst || am.SeedCount != bm.SeedCount {
+			return fmt.Errorf("results: %s-axis shards of different seed ranges: [%d,+%d) vs [%d,+%d)",
+				am.JobAxis, am.SeedFirst, am.SeedCount, bm.SeedFirst, bm.SeedCount)
+		}
+		keys := make(map[string]bool, len(am.JobKeys))
+		for _, k := range am.JobKeys {
+			keys[k] = true
+		}
+		for _, k := range bm.JobKeys {
+			if keys[k] {
+				return fmt.Errorf("results: job %q present in both artifacts (same shard merged twice?)", k)
+			}
+		}
+		if bm.JobFirst != am.JobFirst+am.JobCount {
+			return fmt.Errorf("results: job slices not contiguous: [%d,+%d) then [%d,+%d) — merge shards in ascending job order with no gaps",
+				am.JobFirst, am.JobCount, bm.JobFirst, bm.JobCount)
+		}
+	} else if bm.SeedFirst != am.SeedFirst+uint64(am.SeedCount) {
 		return fmt.Errorf("results: seed ranges not contiguous: [%d,+%d) then [%d,+%d) — merge shards in ascending seed order with no gaps",
-			a.Meta.SeedFirst, a.Meta.SeedCount, b.Meta.SeedFirst, b.Meta.SeedCount)
+			am.SeedFirst, am.SeedCount, bm.SeedFirst, bm.SeedCount)
 	}
 	seen := make(map[uint64]bool, len(a.Chips))
 	for _, c := range a.Chips {
@@ -267,8 +333,13 @@ func Merge(a, b *Artifact) error {
 		}
 	}
 	a.Chips = append(a.Chips, b.Chips...)
-	a.Meta.SeedCount += b.Meta.SeedCount
-	a.Meta.Shard, a.Meta.ShardCount = 0, 1
+	if jobSliced {
+		am.JobCount += bm.JobCount
+		am.JobKeys = append(am.JobKeys, bm.JobKeys...)
+	} else {
+		am.SeedCount += bm.SeedCount
+	}
+	am.Shard, am.ShardCount = 0, 1
 	return nil
 }
 
@@ -377,10 +448,23 @@ func Decode(data []byte) (*Artifact, error) {
 	return &a, nil
 }
 
-// ShardRange partitions n seeds into `of` contiguous shards and returns
-// shard's half-open index range [lo, hi). Every seed lands in exactly one
+// ShardRange partitions n items into `of` contiguous shards and returns
+// shard's half-open index range [lo, hi). Every item lands in exactly one
 // shard and shard sizes differ by at most one; the partition depends only
 // on (n, of), so independently launched shard processes agree on it.
+//
+// Degenerate inputs never panic or return out-of-range slices: a
+// non-positive shard count, an out-of-range shard index, or a negative n
+// all yield the empty range [0, 0). When n < of, the formula leaves the
+// excess shards empty (still covering [0, n) exactly once across the
+// valid indexes); callers that consider an empty shard an error must
+// check lo == hi themselves.
 func ShardRange(n, shard, of int) (lo, hi int) {
+	if n < 0 {
+		n = 0
+	}
+	if of < 1 || shard < 0 || shard >= of {
+		return 0, 0
+	}
 	return n * shard / of, n * (shard + 1) / of
 }

@@ -2,6 +2,7 @@ package results
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"path/filepath"
 	"reflect"
@@ -228,7 +229,7 @@ func TestArtifactDecodeRejectsBadPayloads(t *testing.T) {
 	}
 	for name, data := range map[string][]byte{
 		"not json":     []byte("not json"),
-		"format skew":  bytes.Replace(good, []byte(`"format": 1`), []byte(`"format": 99`), 1),
+		"format skew":  bytes.Replace(good, []byte(fmt.Sprintf(`"format": %d`, FormatVersion)), []byte(`"format": 99`), 1),
 		"bad axis":     bytes.Replace(good, []byte(`"group_by": "region-channel"`), []byte(`"group_by": "bank"`), 1),
 		"stream skew":  bytes.Replace(good, []byte(`"v": 1`), []byte(`"v": 9`), 1),
 		"truncated":    good[:len(good)/2],
@@ -269,7 +270,7 @@ func TestShardRangeCoversAllSeedsExactlyOnce(t *testing.T) {
 }
 
 func TestGroupByParseRoundTrip(t *testing.T) {
-	for _, gb := range []GroupBy{ByRegion, ByChannel, ByRegionChannel} {
+	for _, gb := range []GroupBy{ByRegion, ByChannel, ByRegionChannel, ByPoint} {
 		got, err := ParseGroupBy(gb.String())
 		if err != nil || got != gb {
 			t.Errorf("ParseGroupBy(%q) = %v, %v", gb.String(), got, err)
@@ -288,6 +289,7 @@ func TestKeyLabels(t *testing.T) {
 		{Key{Region: "first", Channel: NoChannel}, "region first"},
 		{Key{Channel: 3}, "channel 3"},
 		{Key{Region: "last", Channel: 7}, "region last ch7"},
+		{Key{Channel: NoChannel, Point: "t=55C"}, "t=55C"},
 	} {
 		if got := tc.key.Label(); got != tc.want {
 			t.Errorf("Label(%v) = %q, want %q", tc.key, got, tc.want)
