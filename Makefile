@@ -34,6 +34,11 @@ bench-engine:
 #      shards under the weighted planner, merged through the generic
 #      `characterize merge` with a shard glob — pinning that neither
 #      sharding nor planner choice changes the artifacts.
+#   3. the fleet control plane: the same rowpress study through
+#      `characterize fleet` with 2 shard workers, with worker 0 killed
+#      (-kill-after 0:1) after its first journaled chunk so the retry
+#      resumes it from the journal — CSV, JSON and artifact must still
+#      byte-match the single-process run from step 2 (DESIGN.md §10).
 SMOKE_DIR := .smoke
 
 smoke:
@@ -63,6 +68,13 @@ smoke:
 	cmp $(SMOKE_DIR)/press.csv $(SMOKE_DIR)/press-merged.csv
 	cmp $(SMOKE_DIR)/press.json $(SMOKE_DIR)/press-merged.json
 	cmp $(SMOKE_DIR)/press.bin $(SMOKE_DIR)/press-merged.bin
+	$(GO) run ./cmd/characterize fleet -experiment rowpress -rows 2 -hammers 60000 \
+		-workers 2 -kill-after 0:1 -dir $(SMOKE_DIR)/fleet -progress \
+		-csv $(SMOKE_DIR)/fleet.csv -json $(SMOKE_DIR)/fleet.json \
+		-artifact $(SMOKE_DIR)/fleet.bin >/dev/null
+	cmp $(SMOKE_DIR)/press.csv $(SMOKE_DIR)/fleet.csv
+	cmp $(SMOKE_DIR)/press.json $(SMOKE_DIR)/fleet.json
+	cmp $(SMOKE_DIR)/press.bin $(SMOKE_DIR)/fleet.bin
 	rm -rf $(SMOKE_DIR)
 
 # Reduced-budget paper suite on the paper-geometry chip: the nightly CI

@@ -21,6 +21,17 @@
 // offending shard. The experiment is inferred from the artifacts and the
 // merged result renders with the experiment's own report.
 //
+// Fleet mode replaces the shard-launch shell loop with a coordinator:
+//
+//	characterize fleet -experiment NAME -workers N [-chunk J] [-dir DIR]
+//	             [-retries R] [-stall DURATION] [study flags] [export flags]
+//
+// It partitions the plan across N worker subprocesses, streams their
+// progress, relaunches dead or straggling workers (journals make every
+// relaunch resume where the worker died), and auto-merges the shard
+// artifacts — output stays byte-identical to the single-process run. See
+// DESIGN.md §10.
+//
 // Figure mode (the original interface) renders the paper's evaluation
 // figures with ASCII plots and headline numbers:
 //
@@ -50,9 +61,19 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("characterize: ")
-	if len(os.Args) > 1 && os.Args[1] == "merge" {
-		runMerge(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "merge":
+			runMerge(os.Args[2:])
+			return
+		case "fleet":
+			runFleet(os.Args[2:])
+			return
+		case hbmrh.FleetWorkerCommand:
+			// The fleet coordinator re-executes this binary as its shard
+			// workers; never invoked by operators directly.
+			os.Exit(hbmrh.FleetWorkerMain(os.Args[2:]))
+		}
 	}
 	var (
 		experiment = flag.String("experiment", "", "registry experiment to run (see -experiment list), or: list, paper")

@@ -27,6 +27,7 @@ import (
 	"github.com/safari-repro/hbmrh/internal/defense"
 	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/experiments"
+	"github.com/safari-repro/hbmrh/internal/fleet"
 	"github.com/safari-repro/hbmrh/internal/hbm"
 	"github.com/safari-repro/hbmrh/internal/mapping"
 	"github.com/safari-repro/hbmrh/internal/results"
@@ -313,6 +314,37 @@ func RunExperiment(name string, o ExperimentOptions) (*ResultsArtifact, error) {
 // RenderExperimentArtifact renders an artifact with its experiment's
 // registered renderer (generic distribution render for unknown tools).
 func RenderExperimentArtifact(a *ResultsArtifact) string { return experiments.Render(a) }
+
+// The fleet control plane: one coordinator partitions a registered
+// experiment across shard worker processes, streams their progress,
+// replaces dead or straggling workers (relaunches resume from on-disk
+// journals), and auto-merges the shard artifacts into output
+// byte-identical to a single-process run. See DESIGN.md §10 for the
+// worker protocol and the byte-identity argument.
+type (
+	// FleetSpec configures one fleet run: the study, the worker count,
+	// checkpoint granularity, retry budget and straggler gate.
+	FleetSpec = fleet.Spec
+	// FleetStudy is the serializable experiment selection forwarded to
+	// every fleet worker.
+	FleetStudy = fleet.Study
+	// FleetLauncher starts shard workers; the default launches local
+	// subprocesses of the current binary, and remote schemes (SSH, a
+	// scheduler) plug in by implementing the same argv contract.
+	FleetLauncher = fleet.Launcher
+)
+
+// FleetWorkerCommand is the subcommand under which binaries embedding
+// the fleet must dispatch to FleetWorkerMain.
+const FleetWorkerCommand = fleet.WorkerCommand
+
+// RunFleet executes a fleet run and returns the merged artifact.
+func RunFleet(s FleetSpec) (*ResultsArtifact, error) { return fleet.Run(s) }
+
+// FleetWorkerMain is the worker process entry point; host binaries
+// dispatch their FleetWorkerCommand argv to it and exit with its return
+// value.
+func FleetWorkerMain(args []string) int { return fleet.WorkerMain(args) }
 
 // Unified results layer: every driver that produces distributions emits
 // this serializable artifact schema — provenance metadata (config hash,

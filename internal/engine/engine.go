@@ -12,6 +12,16 @@
 //     re-instantiating a chip per sweep;
 //   - context cancellation between jobs and serialized progress callbacks,
 //     surfaced through the experiment options and cmd/characterize.
+//
+// Two execution shapes share the scheduler: Map materializes every
+// result placed by index, and Reduce/ReduceHarness stream results into
+// an ordered fold — the fold sees job i before job i+1 behind a bounded
+// backpressure window, so streaming aggregation stays deterministic at
+// any worker count (DESIGN.md §6). How job indexes reach workers is the
+// pluggable planner (Options.Planner, planner.go): shared-counter queue,
+// static or size-weighted contiguous blocks, or work stealing. Planner
+// choice never changes output, only assignment locality and fold overlap
+// (DESIGN.md §9).
 package engine
 
 import (

@@ -201,6 +201,71 @@ func Run(name string, o Options) (*results.Artifact, error) {
 	return a, nil
 }
 
+// PlanInfo describes an experiment plan without executing it: everything
+// a coordinator needs to partition a run across workers and everything a
+// worker needs to stamp a resumable journal. Because planning is a pure
+// function of the options, every process computing a PlanInfo for the
+// same option set gets the same answer.
+type PlanInfo struct {
+	// Jobs is the plan's total job count, the unit slices partition.
+	Jobs int
+	// Axis is the planning axis (results.AxisSeed, "channel", "point"...).
+	Axis string
+	// ConfigHash is the resolved chip config's fingerprint, hex, as
+	// stamped into artifact provenance.
+	ConfigHash string
+	// Params are the plan's merge-compatibility parameters.
+	Params map[string]string
+}
+
+// Describe plans a registered experiment and returns its PlanInfo.
+func Describe(name string, o Options) (PlanInfo, error) {
+	e, err := Lookup(name)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	p, err := e.Plan(o)
+	if err != nil {
+		return PlanInfo{}, fmt.Errorf("experiments: planning %s: %w", name, err)
+	}
+	return PlanInfo{
+		Jobs:       len(p.Jobs),
+		Axis:       p.Axis,
+		ConfigHash: fmt.Sprintf("%016x", p.Cfg.Hash()),
+		Params:     p.Params,
+	}, nil
+}
+
+// RunSlice executes the contiguous job slice [lo, hi) of an experiment
+// plan — the checkpoint-granular unit of the fleet worker, which journals
+// one sealed slice artifact per completed chunk. Unlike Run, the slice is
+// arbitrary rather than derived from a shard index; o.Shard/ShardCount
+// are ignored. Slice artifacts carry the same job-slice (or seed-range)
+// provenance as shard artifacts, so merging adjacent slices through
+// results.Merge reproduces, byte for byte, the artifact a single RunSlice
+// over the union would have produced — the invariant checkpoint/resume
+// rests on.
+func RunSlice(name string, o Options, lo, hi int) (*results.Artifact, error) {
+	e, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.Plan(o)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: planning %s: %w", name, err)
+	}
+	if lo < 0 || hi > len(p.Jobs) || lo >= hi {
+		return nil, fmt.Errorf("experiments: slice [%d,%d) of %s out of range (the plan has %d %s jobs)",
+			lo, hi, name, len(p.Jobs), p.Axis)
+	}
+	a, err := executePlan(p, o, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	stampMeta(a, e.Name, p, lo, hi, 0, 1)
+	return a, nil
+}
+
 // executePlan runs the job slice [lo, hi) through the engine and folds
 // the payloads in job-index order.
 func executePlan(p *Plan, o Options, lo, hi int) (*results.Artifact, error) {

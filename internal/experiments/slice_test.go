@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/results"
+)
+
+// TestRunSliceMergeMatchesRun pins the invariant the fleet worker's
+// checkpoint/resume rests on: arbitrary adjacent job slices of a plan,
+// merged through results.Merge, reproduce the unsharded artifact byte
+// for byte — on a point-axis study and on the seed axis.
+func TestRunSliceMergeMatchesRun(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+		cuts []int // slice boundaries, strictly inside (0, jobs)
+	}{
+		{"rowpress", Options{Cfg: config.SmallChip(), Rows: 1, Hammers: 60000}, []int{1, 2, 4}},
+		{"multichip", Options{Cfg: config.SmallChip(), Rows: 2, Seeds: 4}, []int{3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			info, err := Describe(tc.name, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			whole, err := Run(tc.name, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := whole.MarshalIndented()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounds := append(append([]int{0}, tc.cuts...), info.Jobs)
+			var merged *results.Artifact
+			for i := 0; i+1 < len(bounds); i++ {
+				part, err := RunSlice(tc.name, tc.opts, bounds[i], bounds[i+1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if merged == nil {
+					merged = part
+					continue
+				}
+				if err := results.Merge(merged, part); err != nil {
+					t.Fatalf("merging slice [%d,%d): %v", bounds[i], bounds[i+1], err)
+				}
+			}
+			got, err := merged.MarshalIndented()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("merged slices differ from unsharded run (cuts %v)", tc.cuts)
+			}
+		})
+	}
+}
+
+// TestRunSliceRejectsBadSlices pins the range validation.
+func TestRunSliceRejectsBadSlices(t *testing.T) {
+	opts := Options{Cfg: config.SmallChip(), Rows: 1, Hammers: 60000}
+	info, err := Describe("rowpress", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{{-1, 1}, {0, info.Jobs + 1}, {2, 2}, {3, 1}} {
+		if _, err := RunSlice("rowpress", opts, bad[0], bad[1]); err == nil {
+			t.Errorf("RunSlice(%d, %d) succeeded, want range error", bad[0], bad[1])
+		}
+	}
+	if _, err := RunSlice("no-such-experiment", opts, 0, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

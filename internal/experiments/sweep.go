@@ -2,6 +2,15 @@
 // evaluation: the spatial-variation study of Section 4 (Figs. 3-6) and
 // the TRR-uncovering study of Section 5, with scale knobs so the same
 // drivers power fast tests, benchmarks and full-resolution runs.
+//
+// Every study registers as an Experiment in the registry (registry.go,
+// DESIGN.md §9): a name plus a pure planner producing an indexed job
+// list and a deterministic fold into a results.Artifact. Run executes a
+// whole plan; RunSlice executes any contiguous job slice, stamped with
+// job-axis provenance so slices merge through results.Merge into bytes
+// identical to the unsharded run. That contract is what gives each
+// registered study -shard i/N, artifact merging, CSV/JSON export, and
+// the fleet control plane (internal/fleet) for free.
 package experiments
 
 import (

@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// WorkerCommand is the subcommand name under which host binaries must
+// dispatch to WorkerMain: a launcher starts a worker by executing the
+// binary with argv [WorkerCommand, flags...]. The argv is the entire
+// coordinator→worker protocol (results flow back through the filesystem
+// and events through stdout), which is what lets non-local launchers plug
+// in without touching the coordinator.
+const WorkerCommand = "fleet-worker"
+
+// Proc is one launched worker process.
+type Proc interface {
+	// Wait blocks until the worker exits; nil means exit status 0.
+	Wait() error
+	// Kill terminates the worker immediately (straggler replacement).
+	Kill() error
+}
+
+// Launcher starts shard workers. The default LocalLauncher re-executes
+// the running binary as a local subprocess; a remote launcher (SSH, a
+// cluster scheduler) implements the same two calls against the same argv
+// contract — it only has to run the same build somewhere and stream back
+// stdout/stderr, since journals and artifacts live in the worker's
+// filesystem and merge gates verify build identity.
+type Launcher interface {
+	// Start launches one worker with the given argv (argv[0] is
+	// WorkerCommand), wiring its stdout (the event stream) and stderr to
+	// the given writers. It returns as soon as the process is running.
+	Start(ctx context.Context, argv []string, stdout, stderr io.Writer) (Proc, error)
+}
+
+// LocalLauncher runs workers as subprocesses of the current binary
+// (os.Executable). The zero value is ready to use.
+type LocalLauncher struct{}
+
+// Start implements Launcher.
+func (LocalLauncher) Start(ctx context.Context, argv []string, stdout, stderr io.Writer) (Proc, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.CommandContext(ctx, self, argv...)
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return (*localProc)(cmd), nil
+}
+
+type localProc exec.Cmd
+
+func (p *localProc) Wait() error { return (*exec.Cmd)(p).Wait() }
+func (p *localProc) Kill() error { return (*exec.Cmd)(p).Process.Kill() }
+
+// exitCode extracts a worker exit status from a Wait error: the standard
+// exec.ExitError, or anything exposing ExitCode() int (remote launchers).
+// It returns -1 when the error carries no status (e.g. a kill).
+func exitCode(err error) int {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	var coded interface{ ExitCode() int }
+	if errors.As(err, &coded) {
+		return coded.ExitCode()
+	}
+	return -1
+}
+
+// tailBuffer keeps the last max bytes written to it — enough of a
+// worker's stderr to report a useful failure without holding a runaway
+// log in memory.
+type tailBuffer struct {
+	mu  sync.Mutex
+	max int
+	buf []byte
+}
+
+func newTailBuffer(max int) *tailBuffer { return &tailBuffer{max: max} }
+
+func (t *tailBuffer) Write(b []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, b...)
+	if len(t.buf) > t.max {
+		t.buf = t.buf[len(t.buf)-t.max:]
+	}
+	return len(b), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}

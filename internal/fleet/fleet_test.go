@@ -1,0 +1,294 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/safari-repro/hbmrh/internal/engine"
+	"github.com/safari-repro/hbmrh/internal/experiments"
+)
+
+// TestMain doubles the test binary as the fleet worker: the coordinator's
+// LocalLauncher re-executes os.Executable() with the WorkerCommand argv,
+// which under `go test` is this binary. This is the same dispatch
+// cmd/characterize performs, so the tests exercise the real subprocess
+// protocol.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == WorkerCommand {
+		os.Exit(WorkerMain(os.Args[2:]))
+	}
+	os.Exit(m.Run())
+}
+
+// testStudy is the cheap study the fleet tests run: the rowpress point
+// sweep at minimal density (5 plan jobs, milliseconds each).
+func testStudy() Study {
+	return Study{Experiment: "rowpress", Chip: "small", Rows: 1, Hammers: 60000}
+}
+
+// singleProcessBytes runs the study unsharded in this process and
+// returns the artifact's canonical bytes.
+func singleProcessBytes(t *testing.T, s Study) []byte {
+	t.Helper()
+	opts, err := s.options(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := experiments.Run(s.Experiment, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func fleetBytes(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFleetMatchesSingleProcess pins the headline contract: a fleet run
+// across worker subprocesses produces an artifact byte-identical to the
+// single-process run, and aggregate progress arrives monotonic and
+// complete.
+func TestFleetMatchesSingleProcess(t *testing.T) {
+	want := singleProcessBytes(t, testStudy())
+	var mu sync.Mutex
+	var last engine.Progress
+	got := fleetBytes(t, Spec{
+		Study:   testStudy(),
+		Workers: 2,
+		Dir:     t.TempDir(),
+		Progress: func(p engine.Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if p.Done <= last.Done {
+				t.Errorf("progress not strictly increasing: %+v after %+v", p, last)
+			}
+			last = p
+		},
+	})
+	if string(got) != string(want) {
+		t.Fatalf("fleet artifact differs from single-process run\nfleet:\n%s\nsingle:\n%s", got, want)
+	}
+	if last.Done != last.Total || last.Total == 0 {
+		t.Fatalf("final progress %+v, want Done == Total > 0", last)
+	}
+}
+
+// TestFleetKillResumeByteIdentical kills worker 0 after its first sealed
+// chunk; the relaunch must resume from the journal and the merged
+// artifact must still match the single-process bytes.
+func TestFleetKillResumeByteIdentical(t *testing.T) {
+	want := singleProcessBytes(t, testStudy())
+	var logs []string
+	var mu sync.Mutex
+	got := fleetBytes(t, Spec{
+		Study:     testStudy(),
+		Workers:   2,
+		Dir:       t.TempDir(),
+		Retries:   2,
+		KillAfter: map[int]int{0: 1},
+		Log: func(format string, a ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			logs = append(logs, fmt.Sprintf(format, a...))
+		},
+	})
+	if string(got) != string(want) {
+		t.Fatalf("artifact after kill+resume differs from single-process run")
+	}
+	joined := strings.Join(logs, "\n")
+	if !strings.Contains(joined, "died (injected)") {
+		t.Fatalf("injected death never fired; log:\n%s", joined)
+	}
+	if !strings.Contains(joined, "worker 0: attempt 2") {
+		t.Fatalf("worker 0 was never relaunched; log:\n%s", joined)
+	}
+}
+
+// TestWorkerResumeInProcess drives RunWorker directly: die after one
+// chunk, resume, and check the shard artifact equals an uninterrupted
+// slice run. It also checks the resumed session skipped the sealed chunk
+// (the start event's Done carries the journaled count).
+func TestWorkerResumeInProcess(t *testing.T) {
+	s := testStudy()
+	opts, err := s.options(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := experiments.Describe(s.Experiment, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Jobs < 3 {
+		t.Fatalf("test study plans %d jobs, want >= 3", info.Jobs)
+	}
+	dir := t.TempDir()
+	w := WorkerSpec{
+		Study: s,
+		Lo:    0, Hi: 3,
+		Chunk: 1,
+		Dir:   dir,
+		Out:   dir + "/shard.json",
+	}
+
+	kill := w
+	kill.DieAfter = 1
+	if err := RunWorker(context.Background(), kill, io.Discard); !errors.Is(err, errInjected) {
+		t.Fatalf("DieAfter run: got %v, want injected death", err)
+	}
+	if _, err := os.Stat(w.Out); !os.IsNotExist(err) {
+		t.Fatalf("killed worker wrote its shard artifact anyway (err %v)", err)
+	}
+
+	var events strings.Builder
+	if err := RunWorker(context.Background(), w, &events); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(events.String(), `"event":"start","worker":0,"lo":0,"hi":3,"done":1`) {
+		t.Fatalf("resumed worker did not report the journaled chunk:\n%s", events.String())
+	}
+
+	got, err := os.ReadFile(w.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := experiments.RunSlice(s.Experiment, opts, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := whole.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("resumed shard artifact differs from uninterrupted slice run")
+	}
+}
+
+// flakyLauncher hangs (or fails) the first Start per worker, then
+// delegates to the real local launcher.
+type flakyLauncher struct {
+	mu    sync.Mutex
+	seen  map[string]bool
+	local LocalLauncher
+	mode  string // "hang" or "fail"
+}
+
+func (f *flakyLauncher) Start(ctx context.Context, argv []string, stdout, stderr io.Writer) (Proc, error) {
+	key := strings.Join(argv, " ")
+	f.mu.Lock()
+	if f.seen == nil {
+		f.seen = map[string]bool{}
+	}
+	firstLaunch := !f.seen[key]
+	f.seen[key] = true
+	f.mu.Unlock()
+	if !firstLaunch {
+		return f.local.Start(ctx, argv, stdout, stderr)
+	}
+	switch f.mode {
+	case "hang":
+		return newHangProc(), nil
+	default:
+		return failProc{}, nil
+	}
+}
+
+// hangProc emits nothing and waits to be killed — a straggler.
+type hangProc struct {
+	once sync.Once
+	done chan struct{}
+}
+
+func newHangProc() *hangProc { return &hangProc{done: make(chan struct{})} }
+
+func (p *hangProc) Wait() error {
+	<-p.done
+	return errors.New("killed")
+}
+
+func (p *hangProc) Kill() error {
+	p.once.Do(func() { close(p.done) })
+	return nil
+}
+
+// failProc dies instantly with a generic failure.
+type failProc struct{}
+
+func (failProc) Wait() error { return errors.New("worker crashed") }
+func (failProc) Kill() error { return nil }
+
+// TestFleetStallKillsAndRetries launches every worker as a straggler
+// first: the stall gate must kill it and the relaunch (a real worker)
+// must finish with byte-identical output.
+func TestFleetStallKillsAndRetries(t *testing.T) {
+	want := singleProcessBytes(t, testStudy())
+	var logs []string
+	var mu sync.Mutex
+	got := fleetBytes(t, Spec{
+		Study:   testStudy(),
+		Workers: 2,
+		Dir:     t.TempDir(),
+		Retries: 1,
+		// Generous: the gate must catch the silent first attempt without
+		// ever firing on the real (race-instrumented, slow to start)
+		// replacement worker.
+		StallTimeout: 2 * time.Second,
+		Launcher:     &flakyLauncher{mode: "hang"},
+		Log: func(format string, a ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			logs = append(logs, fmt.Sprintf(format, a...))
+		},
+	})
+	if string(got) != string(want) {
+		t.Fatalf("artifact after straggler replacement differs from single-process run")
+	}
+	if joined := strings.Join(logs, "\n"); !strings.Contains(joined, "stalled") {
+		t.Fatalf("stall gate never fired; log:\n%s", joined)
+	}
+}
+
+// TestFleetRetryBudgetExhausted pins that a shard that keeps dying fails
+// the run once its relaunch budget is spent.
+func TestFleetRetryBudgetExhausted(t *testing.T) {
+	_, err := Run(Spec{
+		Study:   testStudy(),
+		Workers: 1,
+		Dir:     t.TempDir(),
+		Retries: -1,
+		Launcher: launcherFunc(func(ctx context.Context, argv []string, stdout, stderr io.Writer) (Proc, error) {
+			return failProc{}, nil
+		}),
+	})
+	if err == nil || !strings.Contains(err.Error(), "failed 1 attempt(s)") {
+		t.Fatalf("got %v, want retry-budget failure", err)
+	}
+}
+
+// launcherFunc adapts a function to Launcher.
+type launcherFunc func(context.Context, []string, io.Writer, io.Writer) (Proc, error)
+
+func (f launcherFunc) Start(ctx context.Context, argv []string, stdout, stderr io.Writer) (Proc, error) {
+	return f(ctx, argv, stdout, stderr)
+}

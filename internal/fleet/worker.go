@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/engine"
+	"github.com/safari-repro/hbmrh/internal/experiments"
+	"github.com/safari-repro/hbmrh/internal/results"
+)
+
+// Study is the serializable experiment selection a fleet run forwards to
+// every worker: the registry experiment plus the uniform knob set, with
+// the chip as a preset name so the whole study crosses the process (and,
+// later, machine) boundary as flags.
+type Study struct {
+	// Experiment is the registry name (experiments.Lookup).
+	Experiment string
+	// Chip is the config preset: "paper" or "small" ("" means small).
+	Chip string
+	// Rows/Hammers/Seeds/Iterations are the registry sampling knobs.
+	Rows, Hammers, Seeds, Iterations int
+	// JobWorkers bounds per-job device parallelism
+	// (experiments.Options.Workers).
+	JobWorkers int
+	// Parallel bounds concurrent plan jobs inside one worker process.
+	Parallel int
+	// Planner is the engine planner name; "" means queue. Planner choice
+	// never changes artifacts, so workers may even disagree on it.
+	Planner string
+}
+
+// options resolves the study into registry options for one process.
+func (s Study) options(ctx context.Context) (experiments.Options, error) {
+	var cfg *config.Config
+	switch s.Chip {
+	case "", "small":
+		cfg = config.SmallChip()
+	case "paper":
+		cfg = config.PaperChip()
+	default:
+		return experiments.Options{}, fmt.Errorf("fleet: unknown chip preset %q (want paper or small)", s.Chip)
+	}
+	planner := engine.PlanQueue
+	if s.Planner != "" {
+		var err error
+		if planner, err = engine.ParsePlanner(s.Planner); err != nil {
+			return experiments.Options{}, err
+		}
+	}
+	return experiments.Options{
+		Cfg:        cfg,
+		Rows:       s.Rows,
+		Hammers:    s.Hammers,
+		Seeds:      s.Seeds,
+		Iterations: s.Iterations,
+		Workers:    s.JobWorkers,
+		Parallel:   s.Parallel,
+		Planner:    planner,
+		Ctx:        ctx,
+	}, nil
+}
+
+// WorkerSpec is one shard worker's assignment.
+type WorkerSpec struct {
+	Study
+	// Worker is the shard index, used only to label events.
+	Worker int
+	// Lo/Hi is the half-open job slice this worker measures.
+	Lo, Hi int
+	// Chunk is the checkpoint granularity in jobs (<= 0 means 1): the
+	// worker seals and journals one slice artifact per Chunk jobs.
+	Chunk int
+	// Dir is the worker's journal directory.
+	Dir string
+	// Out is where the finished shard artifact is written.
+	Out string
+	// DieAfter, when positive, makes the worker exit abruptly (skipping
+	// the shard merge and Out) after journaling that many chunks this
+	// session — the fault-injection hook behind the kill/resume tests and
+	// the CI smoke.
+	DieAfter int
+}
+
+// Event is one progress record a worker emits, one JSON line per event,
+// on its stdout. The coordinator streams them for progress display and
+// treats any event as proof of life for straggler detection.
+type Event struct {
+	// Event is "start", "chunk" or "done".
+	Event string `json:"event"`
+	// Worker is the emitting shard index.
+	Worker int `json:"worker"`
+	// Lo/Hi echo the worker's job slice.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Done/Total count jobs completed within the slice; a resumed worker
+	// starts from its journaled count.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Worker exit codes, the coordinator's retry protocol: any non-zero exit
+// triggers a relaunch (the journal makes relaunches resume), and
+// ExitJournal additionally wipes the worker directory first because the
+// journal itself was rejected.
+const (
+	// ExitJournal signals an unusable journal (ErrJournal).
+	ExitJournal = 4
+	// ExitInjected signals a DieAfter-injected death.
+	ExitInjected = 3
+)
+
+// errInjected is RunWorker's DieAfter sentinel.
+var errInjected = errors.New("fleet: injected worker death")
+
+// RunWorker measures one shard as a sequence of journaled chunks and
+// writes the merged shard artifact. Killed workers resume: completed
+// chunks are loaded from the journal and only the remainder reruns, and
+// because slice artifacts merge exactly (results.Merge over exact-sum
+// streams), the shard artifact is byte-identical no matter how many times
+// the worker died on the way.
+func RunWorker(ctx context.Context, w WorkerSpec, events io.Writer) error {
+	opts, err := w.options(ctx)
+	if err != nil {
+		return err
+	}
+	info, err := experiments.Describe(w.Experiment, opts)
+	if err != nil {
+		return err
+	}
+	if w.Lo < 0 || w.Hi > info.Jobs || w.Lo >= w.Hi {
+		return fmt.Errorf("fleet: worker %d slice [%d,%d) out of range (plan has %d %s jobs)",
+			w.Worker, w.Lo, w.Hi, info.Jobs, info.Axis)
+	}
+	chunk := w.Chunk
+	if chunk <= 0 {
+		chunk = 1
+	}
+	j, err := OpenJournal(w.Dir, JournalHeader{
+		Experiment:  w.Experiment,
+		ConfigHash:  info.ConfigHash,
+		CodeVersion: results.CodeVersion(),
+		Params:      info.Params,
+		Lo:          w.Lo,
+		Hi:          w.Hi,
+	})
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+
+	emit := func(e Event) {
+		e.Worker = w.Worker
+		e.Lo, e.Hi = w.Lo, w.Hi
+		e.Total = w.Hi - w.Lo
+		line, _ := json.Marshal(e)
+		fmt.Fprintf(events, "%s\n", line)
+	}
+	emit(Event{Event: "start", Done: j.Resumed() - w.Lo})
+
+	sealed := 0
+	for a := j.Resumed(); a < w.Hi; a = min(a+chunk, w.Hi) {
+		b := min(a+chunk, w.Hi)
+		art, err := experiments.RunSlice(w.Experiment, opts, a, b)
+		if err != nil {
+			return fmt.Errorf("fleet: worker %d jobs [%d,%d): %w", w.Worker, a, b, err)
+		}
+		if err := j.Append(art, a, b); err != nil {
+			return err
+		}
+		emit(Event{Event: "chunk", Done: b - w.Lo})
+		if sealed++; w.DieAfter > 0 && sealed >= w.DieAfter {
+			return errInjected
+		}
+	}
+
+	// Reassemble the shard from the journal — every chunk, including the
+	// ones sealed seconds ago, reloads from disk, so what merges is
+	// exactly what a resumed process would have merged.
+	var shard *results.Artifact
+	for _, rec := range j.Done() {
+		a, err := j.ReadChunk(rec)
+		if err != nil {
+			return err
+		}
+		if shard == nil {
+			shard = a
+			continue
+		}
+		if err := results.Merge(shard, a); err != nil {
+			return fmt.Errorf("fleet: worker %d merging chunk [%d,%d): %w", w.Worker, rec.Lo, rec.Hi, err)
+		}
+	}
+	data, err := shard.MarshalIndented()
+	if err != nil {
+		return err
+	}
+	if err := writeFileSync(w.Out, data); err != nil {
+		return err
+	}
+	emit(Event{Event: "done", Done: w.Hi - w.Lo})
+	return nil
+}
+
+// WorkerMain is the fleet worker process entry point. Host binaries
+// dispatch their `fleet-worker` argv to it (args excludes the subcommand
+// name) and exit with its return value; the default launcher re-executes
+// the running binary with that argv, so coordinator and workers are
+// always the same build — which the artifact code-version merge gate then
+// verifies end to end.
+func WorkerMain(args []string) int {
+	fs := flag.NewFlagSet("fleet-worker", flag.ContinueOnError)
+	var w WorkerSpec
+	fs.StringVar(&w.Experiment, "experiment", "", "registry experiment")
+	fs.StringVar(&w.Chip, "chip", "small", "chip preset: paper or small")
+	fs.IntVar(&w.Rows, "rows", 0, "sampling density")
+	fs.IntVar(&w.Hammers, "hammers", 0, "hammer count / HCfirst ceiling")
+	fs.IntVar(&w.Seeds, "seeds", 0, "chip instances for fleet experiments")
+	fs.IntVar(&w.Iterations, "iterations", 0, "U-TRR iterations")
+	fs.IntVar(&w.JobWorkers, "job-workers", 0, "devices per job")
+	fs.IntVar(&w.Parallel, "parallel", 0, "concurrent plan jobs")
+	fs.StringVar(&w.Planner, "planner", "queue", "engine planner")
+	fs.IntVar(&w.Worker, "worker", 0, "shard index (event labeling)")
+	fs.IntVar(&w.Lo, "lo", 0, "job slice start")
+	fs.IntVar(&w.Hi, "hi", 0, "job slice end (exclusive)")
+	fs.IntVar(&w.Chunk, "chunk", 1, "jobs per checkpoint")
+	fs.StringVar(&w.Dir, "dir", "", "journal directory")
+	fs.StringVar(&w.Out, "out", "", "shard artifact output file")
+	fs.IntVar(&w.DieAfter, "die-after", 0, "fault injection: exit after N journaled chunks")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if w.Experiment == "" || w.Dir == "" || w.Out == "" {
+		fmt.Fprintln(os.Stderr, "fleet-worker: -experiment, -dir and -out are required")
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := RunWorker(ctx, w, os.Stdout)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errInjected):
+		return ExitInjected
+	case errors.Is(err, ErrJournal):
+		fmt.Fprintln(os.Stderr, err)
+		return ExitJournal
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+}

@@ -16,6 +16,14 @@
 // distributions (the Figs. 3-5 sweep, the Fig. 6 bank scatter) emit the
 // same shape, so every summary export in the repo shares one CSV/JSON
 // renderer and one merge path.
+//
+// Sharding has two regimes (DESIGN.md §7, §9): seed-axis artifacts
+// carry contiguous seed-range provenance, while every other axis
+// carries its job-slice provenance (JobAxis/JobFirst/JobCount/JobKeys)
+// with contiguity and disjoint-key checks. ShardRange computes the
+// canonical contiguous partition all processes agree on, and
+// MergeShards folds shard files in canonical order — the merge path
+// under `characterize merge` and the fleet coordinator alike.
 package results
 
 import (

@@ -1,6 +1,20 @@
-// Package stats provides the summary statistics used by the paper's
-// figures: box-and-whiskers five-number summaries (Figs. 3-4), means and
-// coefficients of variation (Fig. 6), and simple histograms.
+// Package stats provides the statistics layer under the paper's figures
+// and the repo's distributable artifacts.
+//
+// The batch side is the figure vocabulary: box-and-whiskers five-number
+// summaries (Figs. 3-4, Summarize), means and coefficients of variation
+// (Fig. 6, Summary.CV), and fixed-range histograms.
+//
+// The streaming side is what makes sharded runs merge exactly. Stream is
+// a bounded-memory accumulator (exact small-sample buffer up to a
+// cutoff, then histogram bins) whose sums are ExactSum values — Shewchuk
+// compensated summation keeping the exact running sum as non-overlapping
+// partials — so Stream.Merge is associative and commutative bit for bit,
+// not just approximately. That exactness is the base of the repo-wide
+// byte-identity guarantee: shard artifacts merged in any grouping render
+// the same bytes as a single-process run (see internal/results and
+// DESIGN.md §6-§7, §10). Streams serialize through a versioned binary
+// codec and a JSON form (codec.go), both validated on decode.
 package stats
 
 import (
