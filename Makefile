@@ -75,6 +75,13 @@ smoke:
 	cmp $(SMOKE_DIR)/press.csv $(SMOKE_DIR)/fleet.csv
 	cmp $(SMOKE_DIR)/press.json $(SMOKE_DIR)/fleet.json
 	cmp $(SMOKE_DIR)/press.bin $(SMOKE_DIR)/fleet.bin
+	$(GO) run ./cmd/resultsd -store $(SMOKE_DIR)/store -quiet \
+		-query '/v1/summary' '$(SMOKE_DIR)/fleet/shard-*.json' \
+		> $(SMOKE_DIR)/store.json
+	cmp $(SMOKE_DIR)/press.json $(SMOKE_DIR)/store.json
+	$(GO) run ./cmd/resultsd -store $(SMOKE_DIR)/store -quiet \
+		-query '/v1/csv' > $(SMOKE_DIR)/store.csv
+	cmp $(SMOKE_DIR)/press.csv $(SMOKE_DIR)/store.csv
 	rm -rf $(SMOKE_DIR)
 
 # Reduced-budget paper suite on the paper-geometry chip: the nightly CI

@@ -9,6 +9,8 @@ package hbmrh_test
 
 import (
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	hbmrh "github.com/safari-repro/hbmrh"
@@ -407,6 +409,44 @@ func BenchmarkExtAdaptiveDefense(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := guard.Hammer(bank, m.ToLogical(row-1), m.ToLogical(row+1), 64000); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryHotCache measures the query service's cached read path:
+// a store built from four fleet shards, one warm /v1/summary entry, and
+// every iteration a full HTTP round trip that must be served from the
+// generation-keyed cache without re-rendering.
+func BenchmarkQueryHotCache(b *testing.B) {
+	st, err := hbmrh.OpenArtifactStore("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for shard := 0; shard < 4; shard++ {
+		a, err := hbmrh.RunExperiment("rowpress", hbmrh.ExperimentOptions{
+			Cfg: hbmrh.SmallChip(), Rows: 1, Hammers: 60000,
+			Shard: shard, ShardCount: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.IngestArtifact(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	handler := hbmrh.NewQueryServer(st).Handler()
+	req := httptest.NewRequest(http.MethodGet, "/v1/summary", nil)
+	warm := httptest.NewRecorder()
+	handler.ServeHTTP(warm, req)
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", warm.Code, warm.Body.String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatal("cache read failed")
 		}
 	}
 }

@@ -38,6 +38,7 @@ func runFleet(args []string) {
 		stall      = fs.Duration("stall", 0, "straggler gate: kill and retry a worker silent for this long (0 = off)")
 		killAfter  = fs.String("kill-after", "", "fault injection for tests: I:K kills worker I after K journaled chunks (first launch only)")
 		progress   = fs.Bool("progress", false, "stream aggregate job completion and worker lifecycle on stderr")
+		storeDir   = fs.String("store", "", "artifact store directory: auto-ingest every shard after the merge (serve with resultsd)")
 		csvOut     = fs.String("csv", "", "summary CSV file (\"-\" = stdout)")
 		jsonOut    = fs.String("json", "", "summary JSON file (\"-\" = stdout)")
 		artifact   = fs.String("artifact", "", "merged artifact file (\"-\" = stdout)")
@@ -72,6 +73,13 @@ func runFleet(args []string) {
 		Retries:      *retries,
 		StallTimeout: *stall,
 		Ctx:          ctx,
+	}
+	if *storeDir != "" {
+		st, err := hbmrh.OpenArtifactStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Store = st
 	}
 	if *killAfter != "" {
 		var i, k int

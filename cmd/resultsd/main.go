@@ -1,0 +1,81 @@
+// Command resultsd serves the artifact store's query endpoints: it
+// opens (or creates) a store, optionally ingests shard artifacts given
+// as arguments, and either answers one query in-process (-query, for
+// scripts and CI) or listens for HTTP (-listen).
+//
+// Typical flows:
+//
+//	# build a store from fleet shards and serve it
+//	resultsd -store runs/store -listen :8321 runs/fleet/shard-*.json
+//
+//	# one-shot render against an existing store (no server)
+//	resultsd -store runs/store -query '/v1/summary?group-by=channel'
+//
+// Endpoint catalog (GET unless noted): /healthz, /v1/keys, /v1/summary,
+// /v1/csv, /v1/render, /v1/artifact, /v1/distributions, /v1/safety,
+// /v1/trr, POST /v1/ingest. See DESIGN.md §11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	hbmrh "github.com/safari-repro/hbmrh"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("resultsd: ")
+	var (
+		storeDir = flag.String("store", "", "artifact store directory (empty = in-memory, useful only with ingest args + -query)")
+		listen   = flag.String("listen", "", "HTTP listen address, e.g. :8321")
+		oneShot  = flag.String("query", "", "answer one GET request path in-process and print the body, e.g. '/v1/summary?group-by=channel'")
+		quiet    = flag.Bool("quiet", false, "suppress ingest logging")
+	)
+	flag.Parse()
+	if *listen == "" && *oneShot == "" {
+		log.Fatal("nothing to do: pass -listen ADDR to serve or -query PATH for a one-shot render")
+	}
+
+	st, err := hbmrh.OpenArtifactStore(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, arg := range flag.Args() {
+		rs, err := st.IngestFiles(arg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *quiet {
+			continue
+		}
+		for _, r := range rs {
+			if r.Duplicate {
+				log.Printf("already stored: %.12s (corpus %s)", r.Hash, r.Corpus)
+			} else {
+				log.Printf("ingested %.12s into corpus %s (gen %d, pending %d)", r.Hash, r.Corpus, r.Gen, r.Pending)
+			}
+		}
+	}
+
+	handler := hbmrh.NewQueryServer(st).Handler()
+
+	if *oneShot != "" {
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, httptest.NewRequest(http.MethodGet, *oneShot, nil))
+		os.Stdout.Write(w.Body.Bytes())
+		if w.Code != http.StatusOK {
+			log.Fatalf("%s: HTTP %d", *oneShot, w.Code)
+		}
+		if *listen == "" {
+			return
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "resultsd: serving %d corpus/corpora on %s\n", len(st.Corpora()), *listen)
+	log.Fatal(http.ListenAndServe(*listen, handler))
+}

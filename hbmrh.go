@@ -30,9 +30,11 @@ import (
 	"github.com/safari-repro/hbmrh/internal/fleet"
 	"github.com/safari-repro/hbmrh/internal/hbm"
 	"github.com/safari-repro/hbmrh/internal/mapping"
+	"github.com/safari-repro/hbmrh/internal/query"
 	"github.com/safari-repro/hbmrh/internal/results"
 	"github.com/safari-repro/hbmrh/internal/retention"
 	"github.com/safari-repro/hbmrh/internal/stats"
+	"github.com/safari-repro/hbmrh/internal/store"
 	"github.com/safari-repro/hbmrh/internal/thermal"
 	"github.com/safari-repro/hbmrh/internal/utrr"
 )
@@ -345,6 +347,30 @@ func RunFleet(s FleetSpec) (*ResultsArtifact, error) { return fleet.Run(s) }
 // dispatch their FleetWorkerCommand argv to it and exit with its return
 // value.
 func FleetWorkerMain(args []string) int { return fleet.WorkerMain(args) }
+
+// The artifact store and its query service (DESIGN.md §11): a
+// content-addressed, append-only store of shard artifacts with
+// conflict-checked incremental merge, and an HTTP/JSON read side whose
+// responses are byte-identical to `characterize` renders and cached per
+// (corpus, generation, endpoint, params) with single-flight dedup.
+type (
+	// ArtifactStore is the content-addressed shard artifact store.
+	ArtifactStore = store.Store
+	// StoreIngestResult reports what one store ingest did.
+	StoreIngestResult = store.IngestResult
+	// StoreSnapshot is an immutable read view of one corpus: its sealed
+	// merged artifact plus membership and generation bookkeeping.
+	StoreSnapshot = store.Snapshot
+	// QueryServer serves the query endpoint catalog over one store.
+	QueryServer = query.Server
+)
+
+// OpenArtifactStore opens (or creates) the store at dir, replaying any
+// persisted objects; dir "" opens an in-memory store.
+func OpenArtifactStore(dir string) (*ArtifactStore, error) { return store.Open(dir) }
+
+// NewQueryServer returns the HTTP query service over st.
+func NewQueryServer(st *ArtifactStore) *QueryServer { return query.New(st) }
 
 // Unified results layer: every driver that produces distributions emits
 // this serializable artifact schema — provenance metadata (config hash,

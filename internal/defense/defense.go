@@ -42,8 +42,16 @@ func (u Uniform) Name() string { return "uniform" }
 // Adaptive applies per-channel thresholds from the characterization.
 type Adaptive struct{ PerChannel []int }
 
-// Threshold implements Policy.
-func (a Adaptive) Threshold(ch int) int { return a.PerChannel[ch] }
+// Threshold implements Policy. A channel outside the characterized set
+// returns 0 — no measured HCfirst means no safe threshold — which
+// Guard.Hammer turns into an error instead of guessing a value for
+// memory the defender never profiled.
+func (a Adaptive) Threshold(ch int) int {
+	if ch < 0 || ch >= len(a.PerChannel) {
+		return 0
+	}
+	return a.PerChannel[ch]
+}
 
 // Name implements Policy.
 func (a Adaptive) Name() string { return "adaptive" }
@@ -99,45 +107,95 @@ func (g *Guard) Stats() Stats { return g.stats }
 // Hammer performs n double-sided hammers of the two aggressor rows while
 // enforcing the policy: whenever an aggressor's activation count reaches
 // the channel's threshold, the guard refreshes the aggressor's logical
-// neighbours and resets its counter. Hammering is chunked so thresholds
-// are honoured mid-burst.
+// neighbours and retires its counter. Hammering is chunked so thresholds
+// are honoured mid-burst. Passing the same row as both aggressors is
+// allowed and counts both activations of each hammer against that one
+// row's counter (the device-level HammerPair would reject the aliased
+// pair; the guard degrades it to the single-row hammer path).
 func (g *Guard) Hammer(b addr.BankAddr, rowA, rowB, n int) error {
 	thr := g.policy.Threshold(b.Channel)
 	if thr <= 0 {
-		return fmt.Errorf("defense: non-positive threshold for channel %d", b.Channel)
+		return fmt.Errorf("defense: policy %s has no positive threshold for channel %d (channel outside the characterized set?)",
+			g.policy.Name(), b.Channel)
+	}
+	// A degenerate pair names one aggressor twice. The activation stream
+	// the controller sees is still two activations per hammer, but they
+	// land on ONE counter: drive the single-row hammer path and account
+	// the chunk once — incrementing the aliased key per list entry
+	// overshot the threshold by up to a chunk and double-counted acts.
+	sameRow := rowA == rowB
+	if sameRow && thr < 2 {
+		return fmt.Errorf("defense: threshold %d for channel %d cannot be honoured for a doubled aggressor (each hammer is 2 activations of row %d)",
+			thr, b.Channel, rowA)
 	}
 	remaining := n
 	for remaining > 0 {
-		// Largest chunk that keeps both aggressors under threshold.
+		// Largest chunk that keeps every aggressor under threshold: a
+		// distinct row spends one activation per hammer, a doubled row two.
 		chunk := remaining
-		for _, row := range []int{rowA, rowB} {
-			if room := thr - g.counters[counterKey{b, row}]; room < chunk {
+		if sameRow {
+			if room := (thr - g.counters[counterKey{b, rowA}]) / 2; room < chunk {
 				chunk = room
+			}
+		} else {
+			for _, row := range []int{rowA, rowB} {
+				if room := thr - g.counters[counterKey{b, row}]; room < chunk {
+					chunk = room
+				}
 			}
 		}
 		if chunk <= 0 {
-			// A counter is saturated: preventively refresh and reset.
-			for _, row := range []int{rowA, rowB} {
-				key := counterKey{b, row}
-				if g.counters[key] >= thr {
-					if err := g.refreshNeighbours(b, row); err != nil {
-						return err
-					}
-					g.counters[key] = 0
-				}
+			if err := g.flushSaturated(b, rowA, rowB, thr, sameRow); err != nil {
+				return err
 			}
 			continue
 		}
-		if err := g.dev.HammerPair(b, rowA, rowB, chunk); err != nil {
+		if sameRow {
+			if err := g.dev.HammerSingle(b, rowA, 2*chunk); err != nil {
+				return err
+			}
+		} else if err := g.dev.HammerPair(b, rowA, rowB, chunk); err != nil {
 			return err
 		}
 		if err := g.dev.AdvanceTime(g.dev.Config().Timing.TRP); err != nil {
 			return err
 		}
-		g.counters[counterKey{b, rowA}] += chunk
-		g.counters[counterKey{b, rowB}] += chunk
+		if sameRow {
+			g.counters[counterKey{b, rowA}] += 2 * chunk
+		} else {
+			g.counters[counterKey{b, rowA}] += chunk
+			g.counters[counterKey{b, rowB}] += chunk
+		}
 		g.stats.ObservedActs += int64(2 * chunk)
 		remaining -= chunk
+	}
+	// Flush eagerly rather than waiting for the next burst: a counter that
+	// just reached threshold means the neighbours have absorbed their full
+	// disturbance budget, and retiring it here keeps the table bounded by
+	// rows with a residual (sub-threshold) count.
+	return g.flushSaturated(b, rowA, rowB, thr, sameRow)
+}
+
+// flushSaturated preventively refreshes the neighbours of any aggressor
+// whose counter cannot absorb one more hammer, then retires the entry.
+// Deleting rather than zeroing keeps the table from growing monotonically
+// over a run: an entry exists only while its row carries un-refreshed
+// activations.
+func (g *Guard) flushSaturated(b addr.BankAddr, rowA, rowB, thr int, sameRow bool) error {
+	rows := []int{rowA, rowB}
+	need := 1
+	if sameRow {
+		rows = rows[:1]
+		need = 2
+	}
+	for _, row := range rows {
+		key := counterKey{b, row}
+		if g.counters[key] > thr-need {
+			if err := g.refreshNeighbours(b, row); err != nil {
+				return err
+			}
+			delete(g.counters, key)
+		}
 	}
 	return nil
 }

@@ -132,6 +132,86 @@ func TestGuardRejectsBadThreshold(t *testing.T) {
 	}
 }
 
+func TestAdaptiveOutOfRangeChannelErrors(t *testing.T) {
+	// Regression: Adaptive.Threshold indexed PerChannel directly, so any
+	// channel outside the characterized slice panicked the guard. It must
+	// surface as an error through Guard.Hammer instead.
+	cfg := config.SmallChip()
+	d, err := hbm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuard(d, Adaptive{PerChannel: []int{1000, 1000}})
+	for _, ch := range []int{len([]int{1000, 1000}), cfg.Geometry.Channels - 1, -1} {
+		if err := g.Hammer(bankAddr(ch), 10, 12, 100); err == nil {
+			t.Fatalf("channel %d outside the characterized set accepted", ch)
+		}
+	}
+	// In-range channels still hammer.
+	if err := g.Hammer(bankAddr(1), 10, 12, 100); err != nil {
+		t.Fatalf("in-range channel rejected: %v", err)
+	}
+}
+
+func TestGuardSameRowAggressors(t *testing.T) {
+	// Regression: rowA == rowB incremented the shared counter once per
+	// list entry, overshooting the threshold by up to a chunk (and the
+	// device layer would reject the aliased HammerPair outright). The
+	// guard must degrade to single-row hammering with exact accounting.
+	cfg := config.SmallChip()
+	d, err := hbm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const thr, hammers = 100, 5000
+	g := NewGuard(d, Uniform{T: thr})
+	if err := g.Hammer(bankAddr(0), 20, 20, hammers); err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stats()
+	if s.ObservedActs != 2*hammers {
+		t.Fatalf("observed %d activations, want %d (2 per hammer, counted once)", s.ObservedActs, 2*hammers)
+	}
+	// 2 activations per hammer against a threshold of 100: the counter
+	// saturates every 50 hammers, and each saturation refreshes the two
+	// physical neighbours.
+	if want := int64(2*hammers/thr) * 2; s.PreventiveRefreshes != want {
+		t.Fatalf("spent %d preventive refreshes, want %d", s.PreventiveRefreshes, want)
+	}
+	// An unguardable doubled-aggressor threshold is an error, not a hang.
+	g = NewGuard(d, Uniform{T: 1})
+	if err := g.Hammer(bankAddr(0), 20, 20, 10); err == nil {
+		t.Fatal("threshold 1 accepted for a doubled aggressor")
+	}
+}
+
+func TestGuardCounterTableBounded(t *testing.T) {
+	// Regression: saturation zeroed counters instead of deleting them, so
+	// the table grew by one entry per row ever hammered. Rows whose
+	// counters saturate must leave no residue.
+	cfg := config.SmallChip()
+	d, err := hbm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const thr = 64
+	g := NewGuard(d, Uniform{T: thr})
+	b := bankAddr(0)
+	for row := 10; row < 200; row += 4 {
+		// Exactly thr activations per aggressor: each pair saturates and
+		// retires both counters.
+		if err := g.Hammer(b, row, row+2, thr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(g.counters) != 0 {
+		t.Fatalf("counter table retains %d entries after every aggressor saturated", len(g.counters))
+	}
+	if g.Stats().PreventiveRefreshes == 0 {
+		t.Fatal("no preventive refreshes despite saturating every counter")
+	}
+}
+
 func TestSafetyFromHCFirst(t *testing.T) {
 	if got := SafetyFromHCFirst(30000); got != 15000 {
 		t.Errorf("SafetyFromHCFirst(30000) = %d, want 15000", got)

@@ -32,6 +32,7 @@ import (
 	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/experiments"
 	"github.com/safari-repro/hbmrh/internal/results"
+	"github.com/safari-repro/hbmrh/internal/store"
 )
 
 // Spec configures one fleet run.
@@ -75,6 +76,13 @@ type Spec struct {
 	// Log, if non-nil, receives coordinator lifecycle lines: launches,
 	// resumes, deaths, retries, stalls, the merge.
 	Log func(format string, args ...any)
+	// Store, if non-nil, receives every shard artifact after the merge
+	// succeeds (the auto-ingest hook): the query service's store ends the
+	// run holding the same shards `characterize merge` consumed, so its
+	// rebuilt view renders the same bytes as the returned artifact.
+	// Re-running a resumable fleet re-ingests identical shard bytes,
+	// which the content-addressed store dedups as no-ops.
+	Store *store.Store
 }
 
 // Run executes a fleet run and returns the merged artifact. The artifact
@@ -199,6 +207,19 @@ func Run(s Spec) (*results.Artifact, error) {
 		return nil, fmt.Errorf("fleet: merging shards: %w", err)
 	}
 	logf("fleet: merged %d shard artifact(s)", len(paths))
+	if s.Store != nil {
+		for _, p := range paths {
+			r, err := s.Store.IngestFiles(p)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: auto-ingest: %w", err)
+			}
+			if len(r) == 1 && r[0].Duplicate {
+				logf("fleet: shard %s already in store (%.12s)", filepath.Base(p), r[0].Hash)
+			} else {
+				logf("fleet: ingested %s into corpus %s (gen %d)", filepath.Base(p), r[0].Corpus, r[0].Gen)
+			}
+		}
+	}
 	return merged, nil
 }
 

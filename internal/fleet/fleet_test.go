@@ -13,6 +13,7 @@ import (
 
 	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/experiments"
+	"github.com/safari-repro/hbmrh/internal/store"
 )
 
 // TestMain doubles the test binary as the fleet worker: the coordinator's
@@ -91,6 +92,36 @@ func TestFleetMatchesSingleProcess(t *testing.T) {
 	}
 	if last.Done != last.Total || last.Total == 0 {
 		t.Fatalf("final progress %+v, want Done == Total > 0", last)
+	}
+}
+
+// TestFleetAutoIngest pins the store hook: a fleet run with Spec.Store
+// leaves the store holding every shard, and the store's rebuilt merged
+// view renders the same bytes as the artifact the run returned.
+func TestFleetAutoIngest(t *testing.T) {
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fleetBytes(t, Spec{
+		Study:   testStudy(),
+		Workers: 2,
+		Dir:     t.TempDir(),
+		Store:   st,
+	})
+	snap, err := st.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Members != 2 || !snap.Complete {
+		t.Fatalf("store after fleet run: members=%d complete=%v", snap.Members, snap.Complete)
+	}
+	fromStore, err := snap.Merged.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fromStore) != string(got) {
+		t.Fatal("store's merged view differs from the fleet's returned artifact")
 	}
 }
 

@@ -1,0 +1,555 @@
+// Package query is the read side of the artifact store: an HTTP/JSON
+// service exposing merged fleet results — distribution summaries,
+// per-channel BER/HCfirst quantiles, TRR fingerprints and safe guard
+// thresholds — with responses rendered by exactly the code paths the
+// CLI uses, so a query against a store built from N fleet shards returns
+// byte-identical CSV/JSON to a single-process `characterize` run.
+//
+// Responses are cached per (corpus, corpus generation, endpoint,
+// canonical parameters). An ingest bumps the corpus generation, which
+// retires that corpus's cache bucket on the next read while other
+// corpora keep serving their cached bytes — invalidation is incremental,
+// not global. Concurrent misses on one key collapse to a single render
+// (hand-rolled single-flight): the first request renders while the rest
+// wait on its result, so a burst of identical queries costs one
+// derivation. Store snapshots are immutable and sealed, which is what
+// makes the render paths safe to run from any number of goroutines.
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/safari-repro/hbmrh/internal/defense"
+	"github.com/safari-repro/hbmrh/internal/report"
+	"github.com/safari-repro/hbmrh/internal/results"
+	"github.com/safari-repro/hbmrh/internal/store"
+)
+
+// MaxIngestBytes bounds a POST /v1/ingest body.
+const MaxIngestBytes = 256 << 20
+
+// DefaultCacheEntries bounds one corpus generation's cache bucket.
+const DefaultCacheEntries = 256
+
+// Server serves query endpoints over one Store. Create with New; all
+// methods are safe for concurrent use.
+type Server struct {
+	st *store.Store
+
+	mu      sync.Mutex
+	buckets map[string]*bucket // corpus ID -> current-generation bucket
+	hits    uint64
+	misses  uint64
+	maxPer  int
+}
+
+// bucket caches rendered responses for one corpus at one generation.
+type bucket struct {
+	gen     uint64
+	entries map[string]*entry
+}
+
+// entry is a single-flight render slot: done closes when body/ctype/err
+// are final.
+type entry struct {
+	done  chan struct{}
+	body  []byte
+	ctype string
+	err   error
+}
+
+// CacheStats reports cache effectiveness (for tests and benchmarks).
+type CacheStats struct{ Hits, Misses uint64 }
+
+// New returns a Server over st.
+func New(st *store.Store) *Server {
+	return &Server{st: st, buckets: map[string]*bucket{}, maxPer: DefaultCacheEntries}
+}
+
+// Stats returns the cache hit/miss counters.
+func (s *Server) Stats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{Hits: s.hits, Misses: s.misses}
+}
+
+// Handler returns the HTTP handler serving the endpoint catalog
+// (DESIGN.md §11): /healthz, /v1/keys, /v1/summary, /v1/csv,
+// /v1/render, /v1/artifact, /v1/distributions, /v1/safety, /v1/trr and
+// POST /v1/ingest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/keys", s.keys)
+	mux.HandleFunc("/v1/ingest", s.ingest)
+	for path, render := range map[string]renderFunc{
+		"/v1/summary":       renderSummary,
+		"/v1/csv":           renderCSV,
+		"/v1/render":        renderText,
+		"/v1/artifact":      renderArtifact,
+		"/v1/distributions": renderDistributions,
+		"/v1/safety":        renderSafety,
+		"/v1/trr":           renderTRR,
+	} {
+		mux.HandleFunc(path, s.cached(path, render))
+	}
+	return mux
+}
+
+// renderFunc renders one endpoint's body from an immutable snapshot. A
+// returned *httpError sets the status; any other error is a 500.
+type renderFunc func(snap *store.Snapshot, params url.Values) (body []byte, ctype string, err error)
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// cached wraps a renderFunc with corpus resolution, the generation-keyed
+// response cache and single-flight render dedup.
+func (s *Server) cached(path string, render renderFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		params := r.URL.Query()
+		snap, err := s.st.Resolve(params.Get("key"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		body, ctype, err := s.render(snap, path, params, render)
+		if err != nil {
+			status := http.StatusInternalServerError
+			var he *httpError
+			if errors.As(err, &he) {
+				status = he.status
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", ctype)
+		w.Header().Set("X-Corpus", snap.Corpus)
+		w.Header().Set("X-Generation", strconv.FormatUint(snap.Gen, 10))
+		w.Write(body)
+	}
+}
+
+// render serves one request through the cache: hit returns stored bytes,
+// miss renders under single-flight while concurrent requests for the
+// same key wait for the leader's result.
+func (s *Server) render(snap *store.Snapshot, path string, params url.Values, render renderFunc) ([]byte, string, error) {
+	key := cacheKey(path, params)
+
+	s.mu.Lock()
+	b := s.buckets[snap.Corpus]
+	if b == nil || b.gen < snap.Gen {
+		// First read at this generation: retire the stale bucket (the
+		// incremental invalidation — only this corpus's entries go).
+		b = &bucket{gen: snap.Gen, entries: map[string]*entry{}}
+		s.buckets[snap.Corpus] = b
+	}
+	if b.gen > snap.Gen {
+		// Our snapshot lost a race with an ingest; render this one
+		// uncached rather than poisoning the newer bucket.
+		s.misses++
+		s.mu.Unlock()
+		body, ctype, err := render(snap, params)
+		return body, ctype, err
+	}
+	if e, ok := b.entries[key]; ok {
+		s.hits++
+		s.mu.Unlock()
+		<-e.done
+		return e.body, e.ctype, e.err
+	}
+	s.misses++
+	if len(b.entries) >= s.maxPer {
+		for k, e := range b.entries {
+			select {
+			case <-e.done: // only evict completed entries
+				delete(b.entries, k)
+			default:
+			}
+			break
+		}
+	}
+	e := &entry{done: make(chan struct{})}
+	b.entries[key] = e
+	s.mu.Unlock()
+
+	e.body, e.ctype, e.err = render(snap, params)
+	close(e.done)
+	if e.err != nil {
+		// Failed renders are not worth caching; let a later request retry.
+		s.mu.Lock()
+		if cur := s.buckets[snap.Corpus]; cur != nil && cur.entries[key] == e {
+			delete(cur.entries, key)
+		}
+		s.mu.Unlock()
+	}
+	return e.body, e.ctype, e.err
+}
+
+// cacheKey canonicalizes the endpoint and its parameters: sorted keys,
+// so equivalent URLs share one entry. The corpus and generation live in
+// the bucket, not the key.
+func cacheKey(path string, params url.Values) string {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(path)
+	for _, k := range keys {
+		for _, v := range params[k] {
+			sb.WriteByte(0)
+			sb.WriteString(k)
+			sb.WriteByte('=')
+			sb.WriteString(v)
+		}
+	}
+	return sb.String()
+}
+
+// groupByParam parses the group-by parameter, defaulting to the
+// snapshot's stored axis.
+func groupByParam(snap *store.Snapshot, params url.Values) (results.GroupBy, error) {
+	v := params.Get("group-by")
+	if v == "" {
+		v = snap.Meta.GroupBy
+	}
+	gb, err := results.ParseGroupBy(v)
+	if err != nil {
+		return 0, badRequest("%v", err)
+	}
+	return gb, nil
+}
+
+// --- endpoint renders ------------------------------------------------
+
+// keys lists the store's corpora with their snapshot state; uncached
+// (it is the discovery endpoint and already cheap).
+func (s *Server) keys(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	type corpusJSON struct {
+		Corpus   string `json:"corpus"`
+		Gen      uint64 `json:"generation"`
+		Tool     string `json:"tool"`
+		GroupBy  string `json:"group_by"`
+		Seeds    int    `json:"seed_count"`
+		Chips    int    `json:"chips"`
+		Members  int    `json:"members"`
+		Pending  int    `json:"pending"`
+		Complete bool   `json:"complete"`
+	}
+	out := struct {
+		StoreGen uint64       `json:"store_generation"`
+		Corpora  []corpusJSON `json:"corpora"`
+	}{Corpora: []corpusJSON{}}
+	for _, id := range s.st.Corpora() {
+		snap, ok := s.st.Snapshot(id)
+		if !ok {
+			continue
+		}
+		out.StoreGen = snap.StoreGen
+		out.Corpora = append(out.Corpora, corpusJSON{
+			Corpus: snap.Corpus, Gen: snap.Gen,
+			Tool: snap.Meta.Tool, GroupBy: snap.Meta.GroupBy,
+			Seeds: snap.Meta.SeedCount, Chips: len(snap.Merged.Chips),
+			Members: snap.Members, Pending: snap.Pending, Complete: snap.Complete,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// ingest accepts one artifact per POST body and feeds it to the store;
+// the generation bump implicitly retires the corpus's cache bucket.
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, MaxIngestBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(data) > MaxIngestBytes {
+		http.Error(w, "artifact exceeds ingest size limit", http.StatusRequestEntityTooLarge)
+		return
+	}
+	res, err := s.st.Ingest(data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, struct {
+		Corpus    string `json:"corpus"`
+		Hash      string `json:"hash"`
+		Duplicate bool   `json:"duplicate"`
+		Gen       uint64 `json:"generation"`
+		StoreGen  uint64 `json:"store_generation"`
+		Pending   int    `json:"pending"`
+		Complete  bool   `json:"complete"`
+	}{res.Corpus, res.Hash, res.Duplicate, res.Gen, res.StoreGen, res.Pending, res.Complete})
+}
+
+// renderSummary is the JSON export: byte-identical to `characterize`'s
+// -json output for the same merged artifact and axis.
+func renderSummary(snap *store.Snapshot, params url.Values) ([]byte, string, error) {
+	gb, err := groupByParam(snap, params)
+	if err != nil {
+		return nil, "", err
+	}
+	body, err := snap.Merged.SummaryJSON(gb)
+	if err != nil {
+		return nil, "", badRequest("%v", err)
+	}
+	return body, "application/json", nil
+}
+
+// renderCSV is the CSV export: byte-identical to `characterize`'s -csv
+// output (same SummaryCSV rows through the same report.WriteCSV).
+func renderCSV(snap *store.Snapshot, params url.Values) ([]byte, string, error) {
+	gb, err := groupByParam(snap, params)
+	if err != nil {
+		return nil, "", err
+	}
+	headers, rows, err := snap.Merged.SummaryCSV(gb)
+	if err != nil {
+		return nil, "", badRequest("%v", err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteCSV(&buf, headers, rows); err != nil {
+		return nil, "", err
+	}
+	return buf.Bytes(), "text/csv; charset=utf-8", nil
+}
+
+// renderText is the fleet-report text render of the distributions.
+func renderText(snap *store.Snapshot, params url.Values) ([]byte, string, error) {
+	gb, err := groupByParam(snap, params)
+	if err != nil {
+		return nil, "", err
+	}
+	groups, err := snap.Merged.View(gb)
+	if err != nil {
+		return nil, "", badRequest("%v", err)
+	}
+	text := results.RenderGroups(groups, func(name string) string { return name }, nil)
+	return []byte(text), "text/plain; charset=utf-8", nil
+}
+
+// renderArtifact returns the merged artifact file itself — accumulator
+// state, not summaries — so a client can merge further or re-host it.
+func renderArtifact(snap *store.Snapshot, params url.Values) ([]byte, string, error) {
+	body, err := snap.Merged.MarshalIndented()
+	if err != nil {
+		return nil, "", err
+	}
+	return body, "application/json", nil
+}
+
+// renderDistributions returns quantile curves per group for one metric:
+// the HTTP form of the paper's per-channel BER/HCfirst distribution
+// figures. `points` samples the quantile function evenly in [0,1];
+// quantile_tolerance carries the sketch resolution (0 = exact).
+func renderDistributions(snap *store.Snapshot, params url.Values) ([]byte, string, error) {
+	metric := params.Get("metric")
+	if metric == "" {
+		return nil, "", badRequest("query: metric parameter required (e.g. wcdp_ber)")
+	}
+	gb, err := groupByParam(snap, params)
+	if err != nil {
+		return nil, "", err
+	}
+	points := 9
+	if v := params.Get("points"); v != "" {
+		points, err = strconv.Atoi(v)
+		if err != nil || points < 2 || points > 4096 {
+			return nil, "", badRequest("query: points must be an integer in [2, 4096]")
+		}
+	}
+	groups, err := snap.Merged.View(gb)
+	if err != nil {
+		return nil, "", badRequest("%v", err)
+	}
+	type qpoint struct {
+		Q float64 `json:"q"`
+		V float64 `json:"v"`
+	}
+	type distJSON struct {
+		Region            string   `json:"region,omitempty"`
+		Channel           *int     `json:"channel,omitempty"`
+		Point             string   `json:"point,omitempty"`
+		N                 int      `json:"n"`
+		Mean              float64  `json:"mean"`
+		QuantileTolerance float64  `json:"quantile_tolerance,omitempty"`
+		Quantiles         []qpoint `json:"quantiles"`
+	}
+	out := struct {
+		Metric string     `json:"metric"`
+		Groups []distJSON `json:"groups"`
+	}{Metric: metric, Groups: []distJSON{}}
+	found := false
+	for _, g := range groups {
+		for _, m := range g.Metrics {
+			if m.Name != metric {
+				continue
+			}
+			found = true
+			if m.Stream.N() == 0 {
+				continue
+			}
+			d := distJSON{
+				Region: g.Key.Region, Point: g.Key.Point,
+				N: m.Stream.N(), Mean: m.Stream.Mean(),
+				QuantileTolerance: m.Stream.QuantileTolerance(),
+			}
+			if g.Key.Channel != results.NoChannel {
+				ch := g.Key.Channel
+				d.Channel = &ch
+			}
+			for i := 0; i < points; i++ {
+				q := float64(i) / float64(points-1)
+				d.Quantiles = append(d.Quantiles, qpoint{Q: q, V: m.Stream.Quantile(q)})
+			}
+			out.Groups = append(out.Groups, d)
+		}
+	}
+	if !found {
+		return nil, "", badRequest("query: metric %q not in this corpus", metric)
+	}
+	return marshalJSON(out)
+}
+
+// renderSafety maps each channel's measured minimum HCfirst to the guard
+// threshold defense.SafetyFromHCFirst derives — the lookup a memory
+// controller configuring the adaptive policy performs.
+func renderSafety(snap *store.Snapshot, params url.Values) ([]byte, string, error) {
+	metric := params.Get("metric")
+	if metric == "" {
+		metric = "wcdp_hc_first"
+	}
+	groups, err := snap.Merged.View(results.ByChannel)
+	if err != nil {
+		return nil, "", badRequest("query: safety needs a channel view: %v", err)
+	}
+	type chanJSON struct {
+		Channel        int `json:"channel"`
+		N              int `json:"n"`
+		MinHCFirst     int `json:"min_hc_first"`
+		GuardThreshold int `json:"guard_threshold"`
+	}
+	out := struct {
+		Metric        string     `json:"metric"`
+		Channels      []chanJSON `json:"channels"`
+		MinHCFirst    int        `json:"min_hc_first"`
+		UniformGuardT int        `json:"uniform_guard_threshold"`
+		ChipsMinHC    int        `json:"chips_min_hc_first,omitempty"`
+		ChipsObserved int        `json:"chips,omitempty"`
+	}{Metric: metric, Channels: []chanJSON{}}
+	globalMin := 0
+	for _, g := range groups {
+		for _, m := range g.Metrics {
+			if m.Name != metric || m.Stream.N() == 0 {
+				continue
+			}
+			minHC := int(m.Stream.Min())
+			out.Channels = append(out.Channels, chanJSON{
+				Channel: g.Key.Channel, N: m.Stream.N(),
+				MinHCFirst: minHC, GuardThreshold: defense.SafetyFromHCFirst(minHC),
+			})
+			if globalMin == 0 || minHC < globalMin {
+				globalMin = minHC
+			}
+		}
+	}
+	if len(out.Channels) == 0 {
+		return nil, "", badRequest("query: no %q samples in this corpus", metric)
+	}
+	out.MinHCFirst = globalMin
+	out.UniformGuardT = defense.SafetyFromHCFirst(globalMin)
+	for _, c := range snap.Merged.Chips {
+		if c.MinHCFirst > 0 && (out.ChipsMinHC == 0 || c.MinHCFirst < out.ChipsMinHC) {
+			out.ChipsMinHC = c.MinHCFirst
+		}
+	}
+	out.ChipsObserved = len(snap.Merged.Chips)
+	return marshalJSON(out)
+}
+
+// renderTRR reports the per-chip TRR fingerprints (the uncovered
+// mitigation periods) and their population counts.
+func renderTRR(snap *store.Snapshot, params url.Values) ([]byte, string, error) {
+	type chipJSON struct {
+		Seed      uint64 `json:"seed"`
+		TRRPeriod int    `json:"trr_period"`
+	}
+	type periodJSON struct {
+		Period int `json:"period"`
+		Chips  int `json:"chips"`
+	}
+	out := struct {
+		Chips   []chipJSON   `json:"chips"`
+		Periods []periodJSON `json:"periods"`
+	}{Chips: []chipJSON{}, Periods: []periodJSON{}}
+	counts := map[int]int{}
+	for _, c := range snap.Merged.Chips {
+		out.Chips = append(out.Chips, chipJSON{Seed: c.Seed, TRRPeriod: c.TRRPeriod})
+		counts[c.TRRPeriod]++
+	}
+	sort.Slice(out.Chips, func(i, j int) bool { return out.Chips[i].Seed < out.Chips[j].Seed })
+	periods := make([]int, 0, len(counts))
+	for p := range counts {
+		periods = append(periods, p)
+	}
+	sort.Ints(periods)
+	for _, p := range periods {
+		out.Periods = append(out.Periods, periodJSON{Period: p, Chips: counts[p]})
+	}
+	return marshalJSON(out)
+}
+
+func marshalJSON(v any) ([]byte, string, error) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, "", err
+	}
+	return append(buf, '\n'), "application/json", nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	body, ctype, err := marshalJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Write(body)
+}

@@ -1,0 +1,505 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/report"
+	"github.com/safari-repro/hbmrh/internal/results"
+	"github.com/safari-repro/hbmrh/internal/stats"
+	"github.com/safari-repro/hbmrh/internal/store"
+)
+
+// shard fabricates a region×channel fleet shard over a seed range, with
+// chip records carrying HCfirst and TRR fingerprints.
+func shard(seedFirst uint64, seedCount int) *results.Artifact {
+	regions := []string{"first", "middle", "last"}
+	const channels = 4
+	a := &results.Artifact{
+		Meta: results.Meta{
+			Format:      results.FormatVersion,
+			Tool:        "multichip",
+			CodeVersion: "test-build",
+			ConfigHash:  "deadbeef",
+			GroupBy:     results.ByRegionChannel.String(),
+			SeedFirst:   seedFirst,
+			SeedCount:   seedCount,
+			ShardCount:  1,
+			Params:      map[string]string{"rows": "4"},
+		},
+	}
+	for _, r := range regions {
+		for ch := 0; ch < channels; ch++ {
+			a.Groups = append(a.Groups, results.Group{
+				Key: results.Key{Region: r, Channel: ch},
+				Metrics: []results.Metric{
+					{Name: "wcdp_ber", Stream: stats.NewStream(0, 1)},
+					{Name: "wcdp_hc_first", Stream: stats.NewStream(0, 100000)},
+				},
+			})
+		}
+	}
+	for s := seedFirst; s < seedFirst+uint64(seedCount); s++ {
+		rng := rand.New(rand.NewSource(int64(s)))
+		for gi := range a.Groups {
+			for k := 0; k < 5; k++ {
+				a.Groups[gi].Metrics[0].Stream.Add(rng.Float64())
+				a.Groups[gi].Metrics[1].Stream.Add(10000 + rng.Float64()*50000)
+			}
+		}
+		a.Chips = append(a.Chips, results.ChipRecord{
+			Seed: s, MinHCFirst: 10000 + int(s)*100, TRRPeriod: int(s%3) * 2048,
+		})
+	}
+	return a
+}
+
+func newServer(t *testing.T, shards ...*results.Artifact) (*Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range shards {
+		if _, err := st.IngestArtifact(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(st), st
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, []byte) {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, url, nil))
+	return w.Code, w.Body.Bytes()
+}
+
+func TestQueryByteIdentityWithDirectRenders(t *testing.T) {
+	// The acceptance invariant: /v1/summary and /v1/csv for a store built
+	// from 4 shards return the same bytes `characterize` renders from the
+	// single-process merge of those shards.
+	s, _ := newServer(t, shard(0, 2), shard(2, 3), shard(5, 1), shard(6, 2))
+	h := s.Handler()
+	direct, err := results.MergeShards(
+		[]*results.Artifact{shard(0, 2), shard(2, 3), shard(5, 1), shard(6, 2)},
+		[]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gb := range []results.GroupBy{results.ByRegion, results.ByChannel, results.ByRegionChannel} {
+		wantJSON, err := direct.SummaryJSON(gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, gotJSON := get(t, h, "/v1/summary?group-by="+gb.String())
+		if code != http.StatusOK {
+			t.Fatalf("%v: summary status %d: %s", gb, code, gotJSON)
+		}
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("%v: /v1/summary differs from characterize render", gb)
+		}
+
+		headers, rows, err := direct.SummaryCSV(gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantCSV bytes.Buffer
+		if err := report.WriteCSV(&wantCSV, headers, rows); err != nil {
+			t.Fatal(err)
+		}
+		code, gotCSV := get(t, h, "/v1/csv?group-by="+gb.String())
+		if code != http.StatusOK {
+			t.Fatalf("%v: csv status %d: %s", gb, code, gotCSV)
+		}
+		if !bytes.Equal(wantCSV.Bytes(), gotCSV) {
+			t.Errorf("%v: /v1/csv differs from characterize render", gb)
+		}
+	}
+	// The artifact endpoint returns the canonical merged artifact file.
+	wantArt, err := direct.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, gotArt := get(t, h, "/v1/artifact"); code != http.StatusOK || !bytes.Equal(wantArt, gotArt) {
+		t.Errorf("/v1/artifact status %d, bytes equal %v", code, bytes.Equal(wantArt, gotArt))
+	}
+}
+
+func TestQueryEndpoints(t *testing.T) {
+	s, _ := newServer(t, shard(0, 4))
+	h := s.Handler()
+
+	code, body := get(t, h, "/healthz")
+	if code != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+
+	code, body = get(t, h, "/v1/keys")
+	if code != http.StatusOK {
+		t.Fatalf("keys: %d %s", code, body)
+	}
+	var keys struct {
+		StoreGen uint64 `json:"store_generation"`
+		Corpora  []struct {
+			Corpus   string `json:"corpus"`
+			Chips    int    `json:"chips"`
+			Complete bool   `json:"complete"`
+		} `json:"corpora"`
+	}
+	if err := json.Unmarshal(body, &keys); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys.Corpora) != 1 || keys.Corpora[0].Corpus != "multichip-deadbeef" ||
+		keys.Corpora[0].Chips != 4 || !keys.Corpora[0].Complete {
+		t.Fatalf("keys: %+v", keys)
+	}
+
+	code, body = get(t, h, "/v1/distributions?metric=wcdp_ber&group-by=channel&points=5")
+	if code != http.StatusOK {
+		t.Fatalf("distributions: %d %s", code, body)
+	}
+	var dist struct {
+		Metric string `json:"metric"`
+		Groups []struct {
+			Channel   *int `json:"channel"`
+			N         int  `json:"n"`
+			Quantiles []struct{ Q, V float64 }
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(body, &dist); err != nil {
+		t.Fatal(err)
+	}
+	if len(dist.Groups) != 4 || len(dist.Groups[0].Quantiles) != 5 {
+		t.Fatalf("distributions: %d groups, %d points", len(dist.Groups), len(dist.Groups[0].Quantiles))
+	}
+	if code, body = get(t, h, "/v1/distributions?metric=nope"); code != http.StatusBadRequest {
+		t.Fatalf("unknown metric: %d %s", code, body)
+	}
+
+	code, body = get(t, h, "/v1/safety")
+	if code != http.StatusOK {
+		t.Fatalf("safety: %d %s", code, body)
+	}
+	var safety struct {
+		Channels []struct {
+			Channel        int `json:"channel"`
+			MinHCFirst     int `json:"min_hc_first"`
+			GuardThreshold int `json:"guard_threshold"`
+		} `json:"channels"`
+		MinHCFirst    int `json:"min_hc_first"`
+		UniformGuardT int `json:"uniform_guard_threshold"`
+	}
+	if err := json.Unmarshal(body, &safety); err != nil {
+		t.Fatal(err)
+	}
+	if len(safety.Channels) != 4 {
+		t.Fatalf("safety channels: %+v", safety)
+	}
+	for _, c := range safety.Channels {
+		if c.GuardThreshold != c.MinHCFirst/2 {
+			t.Fatalf("channel %d: threshold %d for HCfirst %d (want SafetyFromHCFirst)",
+				c.Channel, c.GuardThreshold, c.MinHCFirst)
+		}
+		if c.MinHCFirst < safety.MinHCFirst {
+			t.Fatalf("global min %d above channel %d's %d", safety.MinHCFirst, c.Channel, c.MinHCFirst)
+		}
+	}
+
+	code, body = get(t, h, "/v1/trr")
+	if code != http.StatusOK {
+		t.Fatalf("trr: %d %s", code, body)
+	}
+	var trr struct {
+		Chips   []struct{ Seed, TRRPeriod int }
+		Periods []struct{ Period, Chips int }
+	}
+	if err := json.Unmarshal(body, &trr); err != nil {
+		t.Fatal(err)
+	}
+	if len(trr.Chips) != 4 {
+		t.Fatalf("trr chips: %+v", trr)
+	}
+	total := 0
+	for _, p := range trr.Periods {
+		total += p.Chips
+	}
+	if total != 4 {
+		t.Fatalf("trr period counts sum to %d", total)
+	}
+
+	if code, _ = get(t, h, "/v1/render?group-by=channel"); code != http.StatusOK {
+		t.Fatalf("render: %d", code)
+	}
+	if code, _ = get(t, h, "/v1/summary?key=nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown key: %d", code)
+	}
+	if code, _ = get(t, h, "/v1/summary?group-by=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad axis: %d", code)
+	}
+}
+
+func TestQueryCacheHitsAndInvalidation(t *testing.T) {
+	s, st := newServer(t, shard(0, 2))
+	h := s.Handler()
+
+	_, first := get(t, h, "/v1/summary?group-by=channel")
+	if stats := s.Stats(); stats.Misses != 1 || stats.Hits != 0 {
+		t.Fatalf("after first read: %+v", stats)
+	}
+	// Same query, different parameter spelling/order: one cache entry.
+	_, second := get(t, h, "/v1/summary?group-by=channel")
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached read returned different bytes")
+	}
+	if stats := s.Stats(); stats.Hits != 1 || stats.Misses != 1 {
+		t.Fatalf("after cached read: %+v", stats)
+	}
+
+	// Ingest bumps the generation: next read misses and re-renders over
+	// the extended corpus.
+	if _, err := st.IngestArtifact(shard(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	_, third := get(t, h, "/v1/summary?group-by=channel")
+	if bytes.Equal(first, third) {
+		t.Fatal("read after ingest served stale bytes")
+	}
+	if stats := s.Stats(); stats.Misses != 2 {
+		t.Fatalf("after invalidation: %+v", stats)
+	}
+	want, err := results.MergeShards(
+		[]*results.Artifact{shard(0, 2), shard(2, 2)}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := want.SummaryJSON(results.ByChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, third) {
+		t.Fatal("post-ingest render differs from direct merge of both shards")
+	}
+}
+
+func TestQueryIngestEndpoint(t *testing.T) {
+	s, _ := newServer(t, shard(0, 2))
+	h := s.Handler()
+
+	post := func(a *results.Artifact) (int, []byte) {
+		buf, err := a.MarshalIndented()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(buf)))
+		return w.Code, w.Body.Bytes()
+	}
+	code, body := post(shard(2, 2))
+	if code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	var res struct {
+		Duplicate bool   `json:"duplicate"`
+		Gen       uint64 `json:"generation"`
+		Complete  bool   `json:"complete"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Duplicate || !res.Complete || res.Gen != 2 {
+		t.Fatalf("ingest result: %+v", res)
+	}
+	// Conflicting shard (seed overlap) is refused with 409.
+	if code, body = post(shard(1, 2)); code != http.StatusConflict {
+		t.Fatalf("conflicting ingest: %d %s", code, body)
+	}
+	// Re-posting the same shard is an idempotent duplicate.
+	code, body = post(shard(2, 2))
+	if code != http.StatusOK {
+		t.Fatalf("duplicate ingest: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Duplicate {
+		t.Fatal("re-posted shard not reported as duplicate")
+	}
+}
+
+// TestQueryConcurrentReadsAndIngest drives many readers against the full
+// endpoint catalog while shards stream in concurrently. Run under
+// -race (the repo's test target does), this is the no-torn-views proof:
+// every response must equal the direct render of SOME contiguous shard
+// prefix — never a mix of two generations.
+func TestQueryConcurrentReadsAndIngest(t *testing.T) {
+	// Pre-render the channel-view JSON for every reachable shard prefix;
+	// any response must match one of them exactly.
+	valid := map[string]int{}
+	fresh := func(i int) *results.Artifact {
+		switch i {
+		case 0:
+			return shard(0, 2)
+		case 1:
+			return shard(2, 3)
+		case 2:
+			return shard(5, 1)
+		default:
+			return shard(6, 2)
+		}
+	}
+	for n := 1; n <= 4; n++ {
+		arts := make([]*results.Artifact, n)
+		paths := make([]string, n)
+		for i := 0; i < n; i++ {
+			arts[i], paths[i] = fresh(i), fmt.Sprint(i)
+		}
+		m, err := results.MergeShards(arts, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := m.SummaryJSON(results.ByChannel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		valid[string(js)] = n
+	}
+
+	s, st := newServer(t, fresh(0))
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errc := make(chan error, 64)
+
+	// Writers: ingest the remaining shards concurrently with the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 1; i < 4; i++ {
+			if _, err := st.IngestArtifact(fresh(i)); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	paths := []string{
+		"/v1/summary?group-by=channel",
+		"/v1/csv?group-by=region",
+		"/v1/distributions?metric=wcdp_ber&group-by=channel",
+		"/v1/safety",
+		"/v1/trr",
+		"/v1/keys",
+		"/v1/artifact",
+	}
+	const readers = 16
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 40; i++ {
+				url := paths[(r+i)%len(paths)]
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, url, nil))
+				if w.Code != http.StatusOK {
+					errc <- fmt.Errorf("%s: status %d: %s", url, w.Code, w.Body.String())
+					return
+				}
+				if url == "/v1/summary?group-by=channel" {
+					if _, ok := valid[w.Body.String()]; !ok {
+						errc <- fmt.Errorf("torn view: summary matches no shard prefix")
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	close(start)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Settled state: the final render equals the full 4-shard merge.
+	_, body := get(t, h, "/v1/summary?group-by=channel")
+	if n := valid[string(body)]; n != 4 {
+		t.Fatalf("settled summary covers %d shards, want 4", n)
+	}
+}
+
+// TestQueryHotCacheConcurrency hammers one cached endpoint from 1k
+// concurrent readers (the acceptance load) and checks single-flight
+// collapsed the renders: at most a handful of misses, identical bytes
+// everywhere.
+func TestQueryHotCacheConcurrency(t *testing.T) {
+	s, _ := newServer(t, shard(0, 2), shard(2, 2))
+	h := s.Handler()
+	_, want := get(t, h, "/v1/summary?group-by=channel")
+
+	const readers = 1000
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	bad := make(chan string, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/summary?group-by=channel", nil))
+			if w.Code != http.StatusOK || !bytes.Equal(w.Body.Bytes(), want) {
+				bad <- fmt.Sprintf("status %d, len %d", w.Code, w.Body.Len())
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(bad)
+	for msg := range bad {
+		t.Error(msg)
+	}
+	if stats := s.Stats(); stats.Misses != 1 || stats.Hits != readers {
+		t.Fatalf("cache stats after %d hot reads: %+v", readers, stats)
+	}
+}
+
+// Single-flight under a cold cache: concurrent identical misses must
+// collapse to one render.
+func TestQuerySingleFlight(t *testing.T) {
+	s, _ := newServer(t, shard(0, 4))
+	h := s.Handler()
+	const n = 64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/distributions?metric=wcdp_hc_first", nil))
+			bodies[i] = w.Body.Bytes()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("reader %d saw different bytes", i)
+		}
+	}
+	if stats := s.Stats(); stats.Misses != 1 {
+		t.Fatalf("%d concurrent cold reads caused %d renders, want 1", n, stats.Misses)
+	}
+}

@@ -85,12 +85,18 @@ type summaryJSON struct {
 	Max    float64 `json:"max"`
 	Mean   float64 `json:"mean"`
 	StdDev float64 `json:"stddev"`
+	// QuantileTolerance is the stream's sketch resolution (one bin width):
+	// the quartiles above are estimates within this bound of the
+	// nearest-rank empirical quantile. Omitted (zero) while the stream is
+	// exact and the quartiles carry no estimator error.
+	QuantileTolerance float64 `json:"quantile_tolerance,omitempty"`
 }
 
-func toSummaryJSON(sum stats.Summary) *summaryJSON {
+func toSummaryJSON(sum stats.Summary, tol float64) *summaryJSON {
 	return &summaryJSON{
 		N: sum.N, Min: sum.Min, Q1: sum.Q1, Median: sum.Median,
 		Q3: sum.Q3, Max: sum.Max, Mean: sum.Mean, StdDev: sum.StdDev,
+		QuantileTolerance: tol,
 	}
 }
 
@@ -133,7 +139,7 @@ func (a *Artifact) SummaryJSONGroups(groups []Group) ([]byte, error) {
 		}
 		for _, m := range g.Metrics {
 			if m.Stream.N() > 0 {
-				gj.Metrics[m.Name] = toSummaryJSON(m.Stream.Summary())
+				gj.Metrics[m.Name] = toSummaryJSON(m.Stream.Summary(), m.Stream.QuantileTolerance())
 			}
 		}
 		out.Groups = append(out.Groups, gj)

@@ -421,6 +421,18 @@ func (a *Artifact) View(gb GroupBy) ([]Group, error) {
 	return out, nil
 }
 
+// Seal pre-builds every stream's sorted quantile view so subsequent
+// renders (SummaryCSV/SummaryJSON and the View they derive) are strictly
+// read-only on the streams. The artifact store seals merged views before
+// publishing them to concurrent query readers.
+func (a *Artifact) Seal() {
+	for i := range a.Groups {
+		for j := range a.Groups[i].Metrics {
+			a.Groups[i].Metrics[j].Stream.Seal()
+		}
+	}
+}
+
 // MarshalIndented renders the artifact as deterministic indented JSON
 // (fixed field order, map keys sorted, streams in their versioned wire
 // form) with a trailing newline — the artifact file format.

@@ -66,7 +66,15 @@ func Summarize(xs []float64) Summary {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return summarizeSorted(sorted)
+}
 
+// summarizeSorted is Summarize over an already-sorted sample. Moments are
+// accumulated in sorted order (exactly what Summarize always did, since it
+// sums after sorting), so callers holding a sorted view — Stream.Summary
+// over its memoized sorted sample — get bit-identical results without the
+// copy.
+func summarizeSorted(sorted []float64) Summary {
 	var sum, sumSq float64
 	for _, x := range sorted {
 		sum += x

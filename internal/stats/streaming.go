@@ -46,8 +46,15 @@ type Stream struct {
 
 	bins []int64
 	// exact holds the raw sample while n <= cutoff; nil once sketched.
+	// Insertion order is load-bearing: the codec serializes it verbatim,
+	// so shard-merge byte-identity forbids reordering it in place.
 	exact    []float64
 	sketched bool
+	// sortedExact memoizes a sorted copy of exact so quartile render
+	// paths sort once per accumulation, not once per Quantile call; nil
+	// until built (ensureSorted), invalidated by Add/Merge, never
+	// serialized.
+	sortedExact []float64
 }
 
 // Default sizing of a Stream: the exact-mode cutoff bounds the retained
@@ -101,6 +108,7 @@ func (s *Stream) Add(x float64) {
 	s.bins[s.binOf(x)]++
 	if !s.sketched {
 		s.exact = append(s.exact, x)
+		s.sortedExact = nil
 		if len(s.exact) > s.cutoff {
 			s.exact, s.sketched = nil, true
 		}
@@ -160,6 +168,7 @@ func (s *Stream) Merge(o *Stream) {
 	} else {
 		s.exact = append(s.exact, o.exact...)
 	}
+	s.sortedExact = nil
 }
 
 // Clone returns a deep copy of the stream; mutating the copy never
@@ -169,6 +178,7 @@ func (s *Stream) Clone() *Stream {
 	c := *s
 	c.bins = append([]int64(nil), s.bins...)
 	c.exact = append([]float64(nil), s.exact...)
+	c.sortedExact = nil
 	c.sum = s.sum.clone()
 	c.sumSq = s.sumSq.clone()
 	return &c
@@ -248,9 +258,7 @@ func (s *Stream) Quantile(q float64) float64 {
 	}
 	rank := q * float64(s.n-1)
 	if !s.sketched {
-		sorted := make([]float64, len(s.exact))
-		copy(sorted, s.exact)
-		sort.Float64s(sorted)
+		sorted := s.ensureSorted()
 		i := int(rank)
 		frac := rank - float64(i)
 		if i+1 >= len(sorted) {
@@ -292,7 +300,7 @@ func (s *Stream) Summary() Summary {
 		panic("stats: Summary of empty stream")
 	}
 	if !s.sketched {
-		return Summarize(s.exact)
+		return summarizeSorted(s.ensureSorted())
 	}
 	return Summary{
 		N:      int(s.n),
@@ -303,6 +311,30 @@ func (s *Stream) Summary() Summary {
 		Max:    s.max,
 		Mean:   s.Mean(),
 		StdDev: s.StdDev(),
+	}
+}
+
+// ensureSorted returns the memoized sorted view of the exact sample,
+// building it on first use. The raw buffer keeps its insertion order (the
+// codec serializes it verbatim), so only the copy is sorted.
+func (s *Stream) ensureSorted() []float64 {
+	if s.sortedExact == nil {
+		s.sortedExact = make([]float64, len(s.exact))
+		copy(s.sortedExact, s.exact)
+		sort.Float64s(s.sortedExact)
+	}
+	return s.sortedExact
+}
+
+// Seal pre-builds the sorted view of an exact-mode stream so subsequent
+// Quantile and Summary calls are strictly read-only — the precondition
+// for handing one stream to many concurrent readers, as the artifact
+// store's query service does with merged views. Sketch-mode and empty
+// streams have nothing to build; sealing is idempotent, and any later
+// Add or Merge simply invalidates the view again.
+func (s *Stream) Seal() {
+	if !s.sketched && s.n > 0 {
+		s.ensureSorted()
 	}
 }
 

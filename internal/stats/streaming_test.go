@@ -257,6 +257,44 @@ func TestStreamSketchQuantileStaysInOccupiedBin(t *testing.T) {
 	}
 }
 
+func TestStreamQuantileSortedCacheInvalidation(t *testing.T) {
+	// The exact-mode quartile path memoizes a sorted view instead of
+	// re-sorting per call; Add and Merge must invalidate it, and the raw
+	// buffer must keep its insertion order (the codec serializes it).
+	s := NewStream(0, 1)
+	for _, x := range []float64{0.9, 0.1, 0.5} {
+		s.Add(x)
+	}
+	if got := s.Quantile(0.5); got != 0.5 {
+		t.Fatalf("median %v, want 0.5", got)
+	}
+	if s.exact[0] != 0.9 {
+		t.Fatalf("Quantile reordered the raw sample: %v", s.exact)
+	}
+	s.Add(0.2) // must invalidate the memoized sorted view
+	if got, want := s.Quantile(0.5), Median([]float64{0.9, 0.1, 0.5, 0.2}); got != want {
+		t.Fatalf("median after Add %v, want %v", got, want)
+	}
+	o := NewStream(0, 1)
+	o.Add(0.3)
+	s.Merge(o) // must invalidate too
+	if got, want := s.Quantile(0.5), Median([]float64{0.9, 0.1, 0.5, 0.2, 0.3}); got != want {
+		t.Fatalf("median after Merge %v, want %v", got, want)
+	}
+	if got, want := s.Summary(), Summarize(s.exact); got != want {
+		t.Fatalf("Summary %+v diverged from Summarize %+v", got, want)
+	}
+	// Seal pre-builds the view; subsequent reads must not rebuild it (the
+	// read-only contract concurrent render paths rely on).
+	s.Seal()
+	built := &s.sortedExact[0]
+	_ = s.Quantile(0.25)
+	_ = s.Summary()
+	if built != &s.sortedExact[0] {
+		t.Fatal("sealed stream rebuilt its sorted view on read")
+	}
+}
+
 func TestStreamMismatchedMergePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,440 @@
+// Package store is the artifact system of record behind the query
+// service: a content-addressed, append-only store of shard artifacts
+// with incrementally maintained merged views.
+//
+// Every ingested artifact is kept as its pristine canonical bytes,
+// addressed by their SHA-256 — re-ingesting a shard is an idempotent
+// no-op, and nothing in the store is ever rewritten in place. Artifacts
+// group into corpora keyed by (tool, config hash): the shards of one
+// fleet scan or sharded study land in one corpus, and ingest enforces
+// the same conflict matrix as results.Merge (format/build/axis/params
+// skew, overlapping seed ranges or job keys, duplicate chip seeds), so
+// a corpus can always merge. After each accepted ingest the corpus's
+// merged view is rebuilt from fresh decodes of the pristine bytes via
+// results.MergeShards — the exact merge path `characterize merge` uses —
+// which is what makes query renders byte-identical to single-process
+// renders. The rebuilt view is sealed (read-only quantile paths) and
+// swapped in atomically, so concurrent readers always hold either the
+// old complete view or the new one, never a torn intermediate.
+//
+// Shards may arrive out of order: a shard that is compatible and
+// conflict-free but not yet adjacent to the merged prefix is accepted
+// as pending and folded in once the gap closes. Generations (one global,
+// one per corpus) bump on every accepted ingest; the query layer keys
+// its response cache on them for incremental invalidation.
+//
+// With a directory, accepted objects persist under objects/<sha256>.json
+// and Open replays them; with an empty path the store is purely
+// in-memory (tests, one-shot queries).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/safari-repro/hbmrh/internal/results"
+)
+
+// Store is the artifact store. All methods are safe for concurrent use.
+type Store struct {
+	dir string // "" = in-memory
+
+	mu      sync.RWMutex
+	gen     uint64
+	corpora map[string]*corpus
+	ordered []string // corpus IDs, sorted
+}
+
+// corpus is the shard set of one (tool, config hash) pair.
+type corpus struct {
+	id      string
+	gen     uint64
+	members []*member // canonical order: SeedFirst, then JobFirst
+	byHash  map[string]*member
+
+	// merged is the sealed union of the contiguous member prefix
+	// [0, mergedCount); nil only while the corpus has no members. It is
+	// rebuilt (never mutated) on ingest, so published pointers stay valid
+	// for readers across later ingests.
+	merged      *results.Artifact
+	mergedCount int
+}
+
+// member is one ingested shard: pristine bytes plus the provenance the
+// conflict checks need without re-decoding.
+type member struct {
+	hash  string
+	data  []byte
+	meta  results.Meta
+	seeds []uint64 // chip seeds carried by the shard
+}
+
+// IngestResult reports what one ingest did.
+type IngestResult struct {
+	// Corpus is the ID of the corpus the artifact landed in.
+	Corpus string
+	// Hash is the object address (SHA-256 of the canonical bytes).
+	Hash string
+	// Duplicate is true when the object was already present; nothing
+	// changed and no generation advanced.
+	Duplicate bool
+	// Gen / StoreGen are the corpus and store generations after the
+	// ingest.
+	Gen, StoreGen uint64
+	// Pending counts accepted members not yet adjacent to the merged
+	// prefix; Complete is true when every member is merged.
+	Pending  int
+	Complete bool
+}
+
+// Snapshot is an immutable view of one corpus. Merged is sealed and must
+// be treated as read-only; renders (SummaryCSV/SummaryJSON/View) are
+// safe from any number of goroutines.
+type Snapshot struct {
+	Corpus   string
+	Gen      uint64
+	StoreGen uint64
+	Meta     results.Meta
+	Merged   *results.Artifact
+	Members  int
+	Pending  int
+	Complete bool
+}
+
+// Open opens the store at dir, replaying any persisted objects; dir ""
+// opens an empty in-memory store. The directory is created if missing.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, corpora: map[string]*corpus{}}
+	if dir == "" {
+		return s, nil
+	}
+	objects := filepath.Join(dir, "objects")
+	if err := os.MkdirAll(objects, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	entries, err := os.ReadDir(objects)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// Replay in name (= hash) order: deterministic, and ingest tolerates
+	// any arrival order via the pending set.
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(objects, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if _, err := s.ingest(data, false); err != nil {
+			return nil, fmt.Errorf("store: replaying %s: %w", path, err)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory ("" for in-memory).
+func (s *Store) Dir() string { return s.dir }
+
+// Generation returns the global generation: it advances on every
+// accepted ingest into any corpus.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// Corpora returns the sorted corpus IDs.
+func (s *Store) Corpora() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.ordered...)
+}
+
+// CorpusID derives the corpus an artifact with this provenance belongs
+// to: "<tool>-<config hash>".
+func CorpusID(m *results.Meta) string {
+	return m.Tool + "-" + m.ConfigHash
+}
+
+// Ingest decodes, conflict-checks and stores one artifact given its
+// encoded bytes. Rejections (skewed provenance, overlapping ranges,
+// duplicate chips — the results.Merge conflict matrix) return an error
+// and leave the store unchanged; re-ingesting identical bytes is an
+// idempotent no-op reported via IngestResult.Duplicate.
+func (s *Store) Ingest(data []byte) (IngestResult, error) {
+	return s.ingest(data, true)
+}
+
+// IngestArtifact ingests an in-memory artifact (fleet auto-ingest); the
+// artifact is re-encoded to its canonical bytes first, so the stored
+// object is identical to ingesting the written shard file.
+func (s *Store) IngestArtifact(a *results.Artifact) (IngestResult, error) {
+	buf, err := a.MarshalIndented()
+	if err != nil {
+		return IngestResult{}, fmt.Errorf("store: %w", err)
+	}
+	return s.Ingest(buf)
+}
+
+// IngestFiles ingests each path (files, globs or directories, expanded
+// like `characterize merge` arguments), failing on the first rejection.
+func (s *Store) IngestFiles(args ...string) ([]IngestResult, error) {
+	paths, err := results.ExpandShardArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]IngestResult, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return out, fmt.Errorf("store: %w", err)
+		}
+		r, err := s.Ingest(data)
+		if err != nil {
+			return out, fmt.Errorf("store: ingesting %s: %w", path, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func (s *Store) ingest(data []byte, persist bool) (IngestResult, error) {
+	a, err := results.Decode(data)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	// Canonicalize: the object's address is the hash of its deterministic
+	// encoding, so semantically identical artifacts (whatever whitespace
+	// they arrived with) dedup to one object.
+	canon, err := a.MarshalIndented()
+	if err != nil {
+		return IngestResult{}, err
+	}
+	sum := sha256.Sum256(canon)
+	hash := hex.EncodeToString(sum[:])
+	id := CorpusID(&a.Meta)
+
+	m := &member{hash: hash, data: canon, meta: a.Meta}
+	for _, c := range a.Chips {
+		m.seeds = append(m.seeds, c.Seed)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	c := s.corpora[id]
+	if c != nil {
+		if _, ok := c.byHash[hash]; ok {
+			return IngestResult{
+				Corpus: id, Hash: hash, Duplicate: true,
+				Gen: c.gen, StoreGen: s.gen,
+				Pending:  len(c.members) - c.mergedCount,
+				Complete: c.mergedCount == len(c.members),
+			}, nil
+		}
+		if err := c.checkConflicts(m, a); err != nil {
+			return IngestResult{}, err
+		}
+	} else {
+		c = &corpus{id: id, byHash: map[string]*member{}}
+	}
+
+	// Accept: persist first so a crash between write and index rebuild
+	// just replays the object on the next Open.
+	if persist && s.dir != "" {
+		path := filepath.Join(s.dir, "objects", hash+".json")
+		if err := os.WriteFile(path, canon, 0o644); err != nil {
+			return IngestResult{}, fmt.Errorf("store: %w", err)
+		}
+	}
+	c.members = append(c.members, m)
+	c.byHash[hash] = m
+	sort.SliceStable(c.members, func(i, j int) bool {
+		a, b := &c.members[i].meta, &c.members[j].meta
+		if a.SeedFirst != b.SeedFirst {
+			return a.SeedFirst < b.SeedFirst
+		}
+		return a.JobFirst < b.JobFirst
+	})
+	if err := c.rebuild(); err != nil {
+		// The conflict precheck mirrors everything Merge refuses, so a
+		// rebuild failure means the precheck has a hole; surface it loudly
+		// and drop the member again rather than publishing a broken view.
+		delete(c.byHash, hash)
+		for i, mm := range c.members {
+			if mm.hash == hash {
+				c.members = append(c.members[:i], c.members[i+1:]...)
+				break
+			}
+		}
+		return IngestResult{}, fmt.Errorf("store: ingest conflicts on merge (precheck gap): %w", err)
+	}
+	if s.corpora[id] == nil {
+		s.corpora[id] = c
+		s.ordered = append(s.ordered, id)
+		sort.Strings(s.ordered)
+	}
+	c.gen++
+	s.gen++
+	return IngestResult{
+		Corpus: id, Hash: hash,
+		Gen: c.gen, StoreGen: s.gen,
+		Pending:  len(c.members) - c.mergedCount,
+		Complete: c.mergedCount == len(c.members),
+	}, nil
+}
+
+// checkConflicts applies the results.Merge conflict matrix between the
+// candidate and the corpus's existing members, without mutating anything:
+// provenance/structure skew via CompatibleWith against an existing
+// member, plus the cross-shard range and identity checks.
+func (c *corpus) checkConflicts(m *member, cand *results.Artifact) error {
+	ref, err := results.Decode(c.members[0].data)
+	if err != nil {
+		return err
+	}
+	if err := ref.CompatibleWith(cand); err != nil {
+		return err
+	}
+	jobSliced := m.meta.JobCount > 0 || c.members[0].meta.JobCount > 0
+	if jobSliced && m.meta.JobAxis == results.AxisSeed {
+		return fmt.Errorf("results: seed-axis artifacts must carry seed-range provenance, not job slices")
+	}
+	seen := map[uint64]bool{}
+	keys := map[string]bool{}
+	for _, o := range c.members {
+		for _, s := range o.seeds {
+			seen[s] = true
+		}
+		if jobSliced {
+			if o.meta.SeedFirst != m.meta.SeedFirst || o.meta.SeedCount != m.meta.SeedCount {
+				return fmt.Errorf("results: %s-axis shards of different seed ranges: [%d,+%d) vs [%d,+%d)",
+					m.meta.JobAxis, o.meta.SeedFirst, o.meta.SeedCount, m.meta.SeedFirst, m.meta.SeedCount)
+			}
+			for _, k := range o.meta.JobKeys {
+				keys[k] = true
+			}
+			lo, hi := m.meta.JobFirst, m.meta.JobFirst+m.meta.JobCount
+			if o.meta.JobFirst < hi && lo < o.meta.JobFirst+o.meta.JobCount {
+				return fmt.Errorf("results: job slices [%d,+%d) and [%d,+%d) overlap (same shard merged twice?)",
+					o.meta.JobFirst, o.meta.JobCount, m.meta.JobFirst, m.meta.JobCount)
+			}
+		} else {
+			lo, hi := m.meta.SeedFirst, m.meta.SeedFirst+uint64(m.meta.SeedCount)
+			if o.meta.SeedFirst < hi && lo < o.meta.SeedFirst+uint64(o.meta.SeedCount) {
+				return fmt.Errorf("results: seed ranges [%d,+%d) and [%d,+%d) overlap (same shard merged twice?)",
+					o.meta.SeedFirst, o.meta.SeedCount, m.meta.SeedFirst, m.meta.SeedCount)
+			}
+		}
+	}
+	for _, k := range m.meta.JobKeys {
+		if keys[k] {
+			return fmt.Errorf("results: job %q present in both artifacts (same shard merged twice?)", k)
+		}
+	}
+	for _, s := range m.seeds {
+		if seen[s] {
+			return fmt.Errorf("results: chip seed %#x present in both artifacts", s)
+		}
+	}
+	return nil
+}
+
+// rebuild re-derives the corpus's merged view from pristine bytes: fresh
+// decodes of the maximal contiguous member prefix, merged in canonical
+// order via results.MergeShards (byte-for-byte the `characterize merge`
+// path), then sealed. The previous view is left untouched for readers
+// still holding it.
+func (c *corpus) rebuild() error {
+	n := 1
+	for n < len(c.members) {
+		prev, next := &c.members[n-1].meta, &c.members[n].meta
+		if next.JobCount > 0 || prev.JobCount > 0 {
+			if next.JobFirst != prev.JobFirst+prev.JobCount {
+				break
+			}
+		} else if next.SeedFirst != prev.SeedFirst+uint64(prev.SeedCount) {
+			break
+		}
+		n++
+	}
+	shards := make([]*results.Artifact, n)
+	paths := make([]string, n)
+	for i := 0; i < n; i++ {
+		a, err := results.Decode(c.members[i].data)
+		if err != nil {
+			return err
+		}
+		shards[i], paths[i] = a, c.members[i].hash
+	}
+	merged, err := results.MergeShards(shards, paths)
+	if err != nil {
+		return err
+	}
+	merged.Seal()
+	c.merged, c.mergedCount = merged, n
+	return nil
+}
+
+// Snapshot returns an immutable view of one corpus by exact ID.
+func (s *Store) Snapshot(id string) (*Snapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.corpora[id]
+	if !ok {
+		return nil, false
+	}
+	return s.snapshotLocked(c), true
+}
+
+// Resolve returns the corpus matching key: the sole corpus for the empty
+// key, an exact ID match, or a unique ID prefix. Ambiguous or unknown
+// keys return an error listing the candidates.
+func (s *Store) Resolve(key string) (*Snapshot, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if key == "" {
+		if len(s.ordered) == 1 {
+			return s.snapshotLocked(s.corpora[s.ordered[0]]), nil
+		}
+		return nil, fmt.Errorf("store: key required; corpora: %s", strings.Join(s.ordered, ", "))
+	}
+	if c, ok := s.corpora[key]; ok {
+		return s.snapshotLocked(c), nil
+	}
+	var hits []string
+	for _, id := range s.ordered {
+		if strings.HasPrefix(id, key) {
+			hits = append(hits, id)
+		}
+	}
+	switch len(hits) {
+	case 1:
+		return s.snapshotLocked(s.corpora[hits[0]]), nil
+	case 0:
+		return nil, fmt.Errorf("store: no corpus matches %q; corpora: %s", key, strings.Join(s.ordered, ", "))
+	default:
+		return nil, fmt.Errorf("store: key %q is ambiguous: %s", key, strings.Join(hits, ", "))
+	}
+}
+
+func (s *Store) snapshotLocked(c *corpus) *Snapshot {
+	return &Snapshot{
+		Corpus:   c.id,
+		Gen:      c.gen,
+		StoreGen: s.gen,
+		Meta:     c.merged.Meta,
+		Merged:   c.merged,
+		Members:  len(c.members),
+		Pending:  len(c.members) - c.mergedCount,
+		Complete: c.mergedCount == len(c.members),
+	}
+}

@@ -1,0 +1,350 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/results"
+	"github.com/safari-repro/hbmrh/internal/stats"
+)
+
+// shard builds a region×channel shard artifact over a seed range with
+// deterministic pseudo-samples, shaped like a multichip fleet shard.
+func shard(seedFirst uint64, seedCount int) *results.Artifact {
+	regions := []string{"first", "middle", "last"}
+	const channels = 4
+	a := &results.Artifact{
+		Meta: results.Meta{
+			Format:      results.FormatVersion,
+			Tool:        "test",
+			CodeVersion: "test-build",
+			ConfigHash:  "deadbeef",
+			GroupBy:     results.ByRegionChannel.String(),
+			SeedFirst:   seedFirst,
+			SeedCount:   seedCount,
+			ShardCount:  1,
+			Params:      map[string]string{"rows": "4"},
+		},
+	}
+	for _, r := range regions {
+		for ch := 0; ch < channels; ch++ {
+			a.Groups = append(a.Groups, results.Group{
+				Key: results.Key{Region: r, Channel: ch},
+				Metrics: []results.Metric{
+					{Name: "ber", Stream: stats.NewStream(0, 1)},
+					{Name: "hc", Stream: stats.NewStream(0, 1000)},
+				},
+			})
+		}
+	}
+	for s := seedFirst; s < seedFirst+uint64(seedCount); s++ {
+		rng := rand.New(rand.NewSource(int64(s)))
+		for gi := range a.Groups {
+			for k := 0; k < 5; k++ {
+				a.Groups[gi].Metrics[0].Stream.Add(rng.Float64())
+				a.Groups[gi].Metrics[1].Stream.Add(rng.Float64() * 1000)
+			}
+		}
+		a.Chips = append(a.Chips, results.ChipRecord{Seed: s, MinHCFirst: int(s * 7)})
+	}
+	return a
+}
+
+// jobShard builds a point-axis shard of one chip's sweep covering the
+// job slice [first, first+count).
+func jobShard(first, count int) *results.Artifact {
+	a := &results.Artifact{
+		Meta: results.Meta{
+			Format:      results.FormatVersion,
+			Tool:        "sweep",
+			CodeVersion: "test-build",
+			ConfigHash:  "deadbeef",
+			GroupBy:     results.ByPoint.String(),
+			SeedFirst:   7,
+			SeedCount:   1,
+			ShardCount:  1,
+			JobAxis:     "point",
+			JobFirst:    first,
+			JobCount:    count,
+		},
+	}
+	points := []string{"p0", "p1", "p2", "p3"}
+	for _, p := range points {
+		a.Groups = append(a.Groups, results.Group{
+			Key:     results.Key{Channel: results.NoChannel, Point: p},
+			Metrics: []results.Metric{{Name: "ber", Stream: stats.NewStream(0, 1)}},
+		})
+	}
+	for j := first; j < first+count; j++ {
+		a.Meta.JobKeys = append(a.Meta.JobKeys, points[j])
+		a.Groups[j].Metrics[0].Stream.Add(float64(j) / 10)
+	}
+	return a
+}
+
+func ingest(t *testing.T, s *Store, a *results.Artifact) IngestResult {
+	t.Helper()
+	r, err := s.IngestArtifact(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestStoreMergeMatchesMergeShards(t *testing.T) {
+	// Store-merged view of 4 shards must render byte-identically to the
+	// direct MergeShards path over the same shards.
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gen uint64
+	for i, a := range []*results.Artifact{shard(0, 2), shard(2, 3), shard(5, 1), shard(6, 2)} {
+		r := ingest(t, s, a)
+		if r.Gen <= gen {
+			t.Fatalf("ingest %d did not advance generation: %d then %d", i, gen, r.Gen)
+		}
+		gen = r.Gen
+	}
+	snap, err := s.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Complete || snap.Pending != 0 || snap.Members != 4 {
+		t.Fatalf("snapshot complete=%v pending=%d members=%d", snap.Complete, snap.Pending, snap.Members)
+	}
+	direct, err := results.MergeShards(
+		[]*results.Artifact{shard(0, 2), shard(2, 3), shard(5, 1), shard(6, 2)},
+		[]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gb := range []results.GroupBy{results.ByRegion, results.ByChannel, results.ByRegionChannel} {
+		want, err := direct.SummaryJSON(gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := snap.Merged.SummaryJSON(gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%v: store render differs from direct merge:\n%s\nvs\n%s", gb, got, want)
+		}
+	}
+}
+
+func TestStoreOutOfOrderPending(t *testing.T) {
+	s, _ := Open("")
+	ingest(t, s, shard(0, 2))
+	r := ingest(t, s, shard(5, 3)) // gap [2,5): accepted but pending
+	if r.Complete || r.Pending != 1 {
+		t.Fatalf("gapped shard: complete=%v pending=%d", r.Complete, r.Pending)
+	}
+	snap, _ := s.Resolve("")
+	if snap.Merged.Meta.SeedCount != 2 {
+		t.Fatalf("merged view covers [%d,+%d), want the contiguous prefix [0,+2)",
+			snap.Merged.Meta.SeedFirst, snap.Merged.Meta.SeedCount)
+	}
+	r = ingest(t, s, shard(2, 3)) // closes the gap
+	if !r.Complete || r.Pending != 0 {
+		t.Fatalf("gap closed: complete=%v pending=%d", r.Complete, r.Pending)
+	}
+	snap, _ = s.Resolve("")
+	if snap.Merged.Meta.SeedCount != 8 {
+		t.Fatalf("merged view covers +%d seeds, want 8", snap.Merged.Meta.SeedCount)
+	}
+}
+
+func TestStoreIngestIdempotent(t *testing.T) {
+	s, _ := Open("")
+	first := ingest(t, s, shard(0, 2))
+	again := ingest(t, s, shard(0, 2))
+	if !again.Duplicate {
+		t.Fatal("identical bytes not reported as duplicate")
+	}
+	if again.Gen != first.Gen || again.StoreGen != first.StoreGen {
+		t.Fatalf("duplicate ingest advanced generations: %d/%d then %d/%d",
+			first.Gen, first.StoreGen, again.Gen, again.StoreGen)
+	}
+}
+
+// TestStoreRejectsConflicts mirrors the results.Merge conflict matrix at
+// ingest time: anything Merge would refuse, Ingest refuses up front, and
+// the store (generations included) is left unchanged.
+func TestStoreRejectsConflicts(t *testing.T) {
+	cases := map[string]func() *results.Artifact{
+		"code mismatch": func() *results.Artifact {
+			b := shard(2, 2)
+			b.Meta.CodeVersion = "other-build"
+			return b
+		},
+		"axis mismatch": func() *results.Artifact {
+			b := shard(2, 2)
+			b.Meta.GroupBy = results.ByRegion.String()
+			return b
+		},
+		"job axis mismatch": func() *results.Artifact {
+			b := shard(2, 2)
+			b.Meta.JobAxis = "channel"
+			return b
+		},
+		"param mismatch": func() *results.Artifact {
+			b := shard(2, 2)
+			b.Meta.Params["rows"] = "8"
+			return b
+		},
+		"group key skew": func() *results.Artifact {
+			b := shard(2, 2)
+			b.Groups[0].Key.Channel = 9
+			return b
+		},
+		"metric skew": func() *results.Artifact {
+			b := shard(2, 2)
+			b.Groups[0].Metrics[0].Name = "other"
+			return b
+		},
+		"stream domain skew": func() *results.Artifact {
+			b := shard(2, 2)
+			b.Groups[0].Metrics[0].Stream = stats.NewStream(0, 2)
+			return b
+		},
+		"seed overlap": func() *results.Artifact { return shard(1, 2) },
+		"duplicate chip seed": func() *results.Artifact {
+			b := shard(2, 2)
+			b.Chips[0].Seed = 0 // collides with shard(0,2)'s chip
+			return b
+		},
+	}
+	for name, make := range cases {
+		t.Run(name, func(t *testing.T) {
+			s, _ := Open("")
+			base := ingest(t, s, shard(0, 2))
+			if _, err := s.IngestArtifact(make()); err == nil {
+				t.Fatalf("%s accepted", name)
+			}
+			if g := s.Generation(); g != base.StoreGen {
+				t.Fatalf("rejected ingest advanced store generation %d -> %d", base.StoreGen, g)
+			}
+			snap, err := s.Resolve("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Members != 1 || snap.Gen != base.Gen {
+				t.Fatalf("rejected ingest mutated corpus: members=%d gen=%d", snap.Members, snap.Gen)
+			}
+		})
+	}
+}
+
+func TestStoreRejectsJobSliceConflicts(t *testing.T) {
+	t.Run("key overlap", func(t *testing.T) {
+		s, _ := Open("")
+		ingest(t, s, jobShard(0, 2))
+		b := jobShard(2, 2)
+		b.Meta.JobKeys = []string{"p1", "p3"} // p1 already covered
+		if _, err := s.IngestArtifact(b); err == nil || !strings.Contains(err.Error(), "present in both") {
+			t.Fatalf("overlapping job keys accepted: %v", err)
+		}
+	})
+	t.Run("slice overlap", func(t *testing.T) {
+		s, _ := Open("")
+		ingest(t, s, jobShard(0, 3))
+		if _, err := s.IngestArtifact(jobShard(2, 2)); err == nil {
+			t.Fatal("overlapping job slices accepted")
+		}
+	})
+	t.Run("different seed range", func(t *testing.T) {
+		s, _ := Open("")
+		ingest(t, s, jobShard(0, 2))
+		b := jobShard(2, 2)
+		b.Meta.SeedFirst = 9
+		if _, err := s.IngestArtifact(b); err == nil {
+			t.Fatal("job shards of different seed ranges accepted")
+		}
+	})
+	t.Run("contiguous slices merge", func(t *testing.T) {
+		s, _ := Open("")
+		ingest(t, s, jobShard(0, 2))
+		r := ingest(t, s, jobShard(2, 2))
+		if !r.Complete {
+			t.Fatal("contiguous job shards left pending")
+		}
+		snap, _ := s.Resolve("")
+		if snap.Merged.Meta.JobCount != 4 {
+			t.Fatalf("merged job count %d, want 4", snap.Merged.Meta.JobCount)
+		}
+	})
+}
+
+func TestStoreSeparateCorpora(t *testing.T) {
+	// Tool or config skew is not a conflict: such artifacts are different
+	// studies and land in corpora of their own.
+	s, _ := Open("")
+	ingest(t, s, shard(0, 2))
+	other := shard(0, 2)
+	other.Meta.Tool = "other"
+	ingest(t, s, other)
+	cfg := shard(0, 2)
+	cfg.Meta.ConfigHash = "feedface"
+	ingest(t, s, cfg)
+	if ids := s.Corpora(); len(ids) != 3 {
+		t.Fatalf("corpora: %v, want 3 distinct", ids)
+	}
+	if _, err := s.Resolve(""); err == nil {
+		t.Fatal("empty key resolved despite multiple corpora")
+	}
+	if snap, err := s.Resolve("other-"); err != nil || snap.Corpus != "other-deadbeef" {
+		t.Fatalf("prefix resolve: %v, %v", snap, err)
+	}
+	if _, err := s.Resolve("test-dead"); err != nil {
+		t.Fatalf("unique prefix rejected: %v", err)
+	}
+	if _, err := s.Resolve("nope"); err == nil {
+		t.Fatal("unknown key resolved")
+	}
+}
+
+func TestStorePersistenceReload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, s, shard(0, 2))
+	ingest(t, s, shard(5, 1)) // pending across the reload too
+	ingest(t, s, shard(2, 3))
+	before, err := s.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := before.Merged.SummaryJSON(results.ByChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := re.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Complete || after.Members != 3 {
+		t.Fatalf("reload: complete=%v members=%d", after.Complete, after.Members)
+	}
+	gotJSON, err := after.Merged.SummaryJSON(results.ByChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Error("reloaded store renders different bytes")
+	}
+	// Replayed duplicates stay idempotent.
+	if r := ingest(t, re, shard(0, 2)); !r.Duplicate {
+		t.Fatal("reloaded store does not recognize its own object")
+	}
+}

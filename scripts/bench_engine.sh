@@ -12,7 +12,7 @@ set -eu
 
 out=${1:-BENCH_engine.json}
 benchtime=${BENCHTIME:-3x}
-pattern='BenchmarkEngine|BenchmarkStreamCodec|BenchmarkSenseAndRestore|BenchmarkSenseColdRows|BenchmarkProfileCompute'
+pattern='BenchmarkEngine|BenchmarkStreamCodec|BenchmarkSenseAndRestore|BenchmarkSenseColdRows|BenchmarkProfileCompute|BenchmarkQuery'
 command="go test -run '^\$' -bench '$pattern' -benchtime $benchtime ./..."
 
 tmp=$(mktemp)
