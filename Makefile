@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-engine lint smoke paper-smoke ci
+.PHONY: build test bench bench-engine bench-scaling lint smoke paper-smoke ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ bench:
 # describe the refresh.
 bench-engine:
 	sh scripts/bench_engine.sh
+
+# The multicore scaling curve: chipscan-stream + sweep + contention
+# benchmarks at GOMAXPROCS in {1,2,4,8} clamped to nproc, regenerating
+# BENCH_scaling.json (schema in scripts/README.md).
+bench-scaling:
+	sh scripts/bench_scaling.sh
 
 # Sharded-fleet smoke, byte-comparing sharded-vs-single-process output
 # for two registry experiments (the distributable-fleet contract):
@@ -53,6 +59,17 @@ smoke:
 		-json $(SMOKE_DIR)/merged.json $(SMOKE_DIR)/shard*.json
 	cmp $(SMOKE_DIR)/single.csv $(SMOKE_DIR)/merged.csv
 	cmp $(SMOKE_DIR)/single.json $(SMOKE_DIR)/merged.json
+	# smoke-parallel: the same 32-seed scan flat-out at one chip per CPU
+	# (at least 8 so goroutines really interleave on small CI boxes) with
+	# mutex profiling armed; byte-compare against the serial run so both
+	# parallel nondeterminism and dead mutex profiling fail the smoke.
+	p=$$(nproc); [ "$$p" -lt 8 ] && p=8; \
+	$(GO) run ./cmd/chipscan -chip small -chips 32 -rows 2 -parallel $$p \
+		-mutexprofile $(SMOKE_DIR)/chipscan-mutex.pprof \
+		-csv $(SMOKE_DIR)/parallel.csv -json $(SMOKE_DIR)/parallel.json >/dev/null
+	cmp $(SMOKE_DIR)/single.csv $(SMOKE_DIR)/parallel.csv
+	cmp $(SMOKE_DIR)/single.json $(SMOKE_DIR)/parallel.json
+	test -s $(SMOKE_DIR)/chipscan-mutex.pprof
 	$(GO) run ./cmd/characterize -experiment rowpress -rows 2 -hammers 60000 \
 		-csv $(SMOKE_DIR)/press.csv -json $(SMOKE_DIR)/press.json \
 		-artifact $(SMOKE_DIR)/press.bin

@@ -42,6 +42,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	hbmrh "github.com/safari-repro/hbmrh"
@@ -124,6 +126,7 @@ func runScan(args []string) {
 		sweepW   = fs.Int("sweep-workers", 0, "parallel devices per chip sweep (0 = one per CPU)")
 		planner  = fs.String("planner", "queue", "job planner: queue, contiguous, weighted or stealing (never changes output)")
 		shard    = fs.String("shard", "", "measure one shard of the seed range, as I/N (e.g. 0/4); all N shards together cover every seed exactly once")
+		mutexPro = fs.String("mutexprofile", "", "write a runtime mutex-contention profile of the scan to this file (lock convoys in the engine hot path show up here)")
 	)
 	exports := addExportFlags(fs)
 	fs.Parse(args)
@@ -138,6 +141,23 @@ func runScan(args []string) {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *mutexPro != "" {
+		// Record every contended mutex event; the scan is the workload
+		// whose hot path is supposed to be contention-free, so the CI
+		// smoke runs it with profiling on to keep convoys visible.
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			f, err := os.Create(*mutexPro)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	cfg := hbmrh.SmallChip()
 	if *chip == "paper" {

@@ -239,6 +239,10 @@ func (b *Builder) emit(in Instr) *Builder {
 	return b
 }
 
+// Len reports the number of instructions emitted so far; batched callers
+// record it after each probe block as a RunSegments boundary.
+func (b *Builder) Len() int { return len(b.prog.Instrs) }
+
 // Act emits a raw activate without waits.
 func (b *Builder) Act(ba addr.BankAddr, row int) *Builder {
 	return b.emit(Instr{Op: OpAct, Ch: ba.Channel, PC: ba.PseudoChannel, Bank: ba.Bank, Row: row})

@@ -40,6 +40,18 @@ type Result struct {
 	Elapsed int64
 }
 
+// Segment is one slice of a segmented run (see RunSegments): the
+// half-open range of Result.Reads it produced and the simulated time it
+// occupied. Because every device command advances the clock
+// deterministically, a segment's Elapsed equals what the same
+// instructions would have measured as a standalone program.
+type Segment struct {
+	// Reads is the [start, end) index range into Result.Reads.
+	Reads [2]int
+	// Elapsed is the segment's simulated duration in picoseconds.
+	Elapsed int64
+}
+
 // Runner executes programs against a Target. A Runner owns reusable
 // execution state (the result, the read arena, the loop bookkeeping), so
 // steady-state program execution allocates nothing: the Result returned
@@ -65,6 +77,16 @@ type Runner struct {
 	readBuf []byte
 	jumps   []int32
 	frames  []loopFrame
+
+	// Segmented-run state (see RunSegments); segBounds is nil during a
+	// plain Run, which reduces the per-instruction overhead to one
+	// length comparison.
+	segBounds   []int
+	segIdx      int
+	segs        []Segment
+	segCheck    func() error
+	segLastRead int
+	segLastNow  int64
 }
 
 // loopFrame tracks one active loop: where its body starts, its total
@@ -105,6 +127,72 @@ func (r *Runner) Run(t Target, g addr.Geometry, prog *Program) (*Result, error) 
 	}
 	r.res.Elapsed = t.Now() - start
 	return &r.res, nil
+}
+
+// RunSegments is Run with intra-program boundaries: bounds[j] is the
+// instruction index (strictly ascending, at top level — not inside a
+// loop body) at which segment j ends, and the returned Segments record
+// each segment's read range and simulated duration. This is the batched
+// probe primitive: concatenating k probe programs and running them with
+// k boundaries pays validation, jump building, and dispatch setup once
+// while still attributing reads and elapsed time per probe.
+//
+// check, when non-nil, runs at every boundary except the last; a non-nil
+// error aborts execution with that error (the batched equivalent of
+// checking cancellation between probes). The Result and Segments are
+// owned by the Runner and valid until the next Run/RunSegments.
+func (r *Runner) RunSegments(t Target, g addr.Geometry, prog *Program, bounds []int,
+	check func() error) (*Result, []Segment, error) {
+	for j, b := range bounds {
+		if b < 0 || b > len(prog.Instrs) || (j > 0 && b <= bounds[j-1]) {
+			return nil, nil, fmt.Errorf("bender: segment bounds not ascending within program")
+		}
+	}
+	if err := prog.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	if err := r.buildJumps(prog.Instrs); err != nil {
+		return nil, nil, err
+	}
+	r.res.Reads = r.res.Reads[:0]
+	r.res.Elapsed = 0
+	r.readBuf = r.readBuf[:0]
+	r.frames = r.frames[:0]
+	r.segBounds = bounds
+	r.segIdx = 0
+	r.segs = r.segs[:0]
+	r.segCheck = check
+	r.segLastRead = 0
+	start := t.Now()
+	r.segLastNow = start
+	err := r.exec(t, g, prog)
+	if err == nil {
+		// Close any boundaries at or past the final instruction (the
+		// last bound is typically len(Instrs)). No check between them:
+		// all work is already done.
+		for r.segIdx < len(r.segBounds) {
+			r.markSegment(t)
+		}
+		r.res.Elapsed = t.Now() - start
+	}
+	r.segBounds = nil
+	r.segCheck = nil
+	if err != nil {
+		return nil, nil, err
+	}
+	return &r.res, r.segs, nil
+}
+
+// markSegment closes the current segment at the simulated present.
+func (r *Runner) markSegment(t Target) {
+	now := t.Now()
+	r.segs = append(r.segs, Segment{
+		Reads:   [2]int{r.segLastRead, len(r.res.Reads)},
+		Elapsed: now - r.segLastNow,
+	})
+	r.segLastRead = len(r.res.Reads)
+	r.segLastNow = now
+	r.segIdx++
 }
 
 // buildJumps fills r.jumps so that for every OpLoop at index i,
@@ -154,6 +242,14 @@ func (r *Runner) exec(t Target, g addr.Geometry, prog *Program) error {
 	fastOK := !r.DisableFastPath && r.Timing.TCK > 0
 	ip := 0
 	for ip < len(instrs) {
+		for r.segIdx < len(r.segBounds) && ip >= r.segBounds[r.segIdx] {
+			r.markSegment(t)
+			if r.segCheck != nil {
+				if err := r.segCheck(); err != nil {
+					return err
+				}
+			}
+		}
 		in := instrs[ip]
 		switch in.Op {
 		case OpLoop:

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+)
+
+// maxProbeBatch bounds how many victim probes one batched program
+// carries, so paper-geometry sweeps (thousands of sampled rows per bank)
+// cannot build unbounded instruction streams or read arenas. 64 probes
+// amortize program validation and dispatch to well under 2% of one
+// probe's cost.
+const maxProbeBatch = 64
+
+// BERBatch measures BER for a batch of victim rows in one bank under one
+// pattern, each at the same hammer count. It is byte-equivalent to
+// calling BER per victim in order — per-cell fault quantities are pure
+// functions of (seed, coordinates) and every probe rewrites its victim,
+// aggressor and outer rows before hammering, so probe concatenation
+// cannot change any measured value — but builds and validates a single
+// program per maxProbeBatch victims, amortizing program assembly,
+// validation, payload interning and dispatch across the batch.
+func (h *Harness) BERBatch(ba addr.BankAddr, physVictims []int, p Pattern, hammers int) ([]BERResult, error) {
+	return h.BERBatchHold(ba, physVictims, p, hammers, h.dev.Config().Timing.TRAS)
+}
+
+// BERBatchHold is BERBatch with a per-activation hold time (RowPress),
+// equivalent to calling BERHold per victim in order.
+func (h *Harness) BERBatchHold(ba addr.BankAddr, physVictims []int, p Pattern, hammers int, holdPS int64) ([]BERResult, error) {
+	out := make([]BERResult, len(physVictims))
+	for lo := 0; lo < len(physVictims); lo += maxProbeBatch {
+		hi := lo + maxProbeBatch
+		if hi > len(physVictims) {
+			hi = len(physVictims)
+		}
+		if err := h.probeBatch(ba, physVictims[lo:hi], nil, hammers, p, holdPS, out[lo:hi]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// probeBatch runs one batched probe program: for each victim, the Table 1
+// init layout, a double-sided hammer (counts[j] hammers, or uniformCount
+// when counts is nil), and a victim read-out, with a segment boundary
+// after each probe so elapsed time and the refresh budget stay
+// attributable per probe. Results land in out[j].
+func (h *Harness) probeBatch(ba addr.BankAddr, victims []int, counts []int, uniformCount int,
+	p Pattern, holdPS int64, out []BERResult) error {
+	if len(victims) == 0 {
+		return nil
+	}
+	if err := h.cancelled(); err != nil {
+		return err
+	}
+	rows := h.dev.Geometry().Rows
+	for _, v := range victims {
+		if v <= 0 || v >= rows-1 {
+			return fmt.Errorf("%w: physical row %d", ErrEdgeVictim, v)
+		}
+	}
+	m := h.dev.Mapper()
+	minTiming := holdPS <= h.dev.Config().Timing.TRAS
+	b := h.builder()
+	bounds := h.boundsScratch[:0]
+	for j, phys := range victims {
+		n := uniformCount
+		if counts != nil {
+			n = counts[j]
+		}
+		la := m.ToLogical(phys - 1)
+		lb := m.ToLogical(phys + 1)
+		h.initPattern(b, ba, phys, p)
+		if minTiming {
+			b.HammerDouble(ba, la, lb, int64(n))
+		} else {
+			b.HammerDoubleHold(ba, la, lb, int64(n), holdPS)
+		}
+		b.ReadRowOut(ba, m.ToLogical(phys))
+		bounds = append(bounds, b.Len())
+	}
+	h.boundsScratch = bounds
+	prog, err := b.Build()
+	if err != nil {
+		return err
+	}
+	res, segs, err := h.runner.RunSegments(h.dev, h.dev.Geometry(), prog, bounds, h.cancelled)
+	if err != nil {
+		return err
+	}
+	bits := h.dev.Geometry().RowBits()
+	for j := range victims {
+		seg := segs[j]
+		if h.EnforceBudget && minTiming && seg.Elapsed > RefreshBudget {
+			return fmt.Errorf("core: experiment took %.2f ms, over the 27 ms refresh budget",
+				float64(seg.Elapsed)/1e9)
+		}
+		flips := 0
+		for _, col := range res.Reads[seg.Reads[0]:seg.Reads[1]] {
+			for _, v := range col {
+				d := v ^ p.Victim
+				for d != 0 {
+					d &= d - 1
+					flips++
+				}
+			}
+		}
+		out[j] = BERResult{Flips: flips, Bits: bits, Elapsed: seg.Elapsed}
+	}
+	return nil
+}
+
+// HCFirstBatch measures HCfirst for a batch of victim rows in one bank
+// under one pattern, equivalent to calling HCFirst per victim in order
+// but running each search round as one batched probe program across all
+// still-active victims (a breadth-first binary search): the ceiling
+// probe for the whole batch first, then each halving round batched.
+// Every victim sees exactly the probe sequence the sequential search
+// would have issued, so results are identical.
+func (h *Harness) HCFirstBatch(ba addr.BankAddr, physVictims []int, p Pattern, maxHammers int) ([]int, []bool, error) {
+	return h.HCFirstBatchHold(ba, physVictims, p, maxHammers, h.dev.Config().Timing.TRAS)
+}
+
+// HCFirstBatchHold is HCFirstBatch with a per-activation hold time
+// (RowPress), equivalent to calling HCFirstHold per victim in order.
+func (h *Harness) HCFirstBatchHold(ba addr.BankAddr, physVictims []int, p Pattern, maxHammers int, holdPS int64) ([]int, []bool, error) {
+	n := len(physVictims)
+	hc := make([]int, n)
+	found := make([]bool, n)
+	if n == 0 {
+		return hc, found, nil
+	}
+	res := make([]BERResult, n)
+	// Ceiling probe: a victim that does not flip at maxHammers is done.
+	for lo := 0; lo < n; lo += maxProbeBatch {
+		hi := lo + maxProbeBatch
+		if hi > n {
+			hi = n
+		}
+		if err := h.probeBatch(ba, physVictims[lo:hi], nil, maxHammers, p, holdPS, res[lo:hi]); err != nil {
+			return nil, nil, err
+		}
+	}
+	prec := h.HCPrecision
+	if prec < 1 {
+		prec = 1
+	}
+	los := make([]int, n)
+	his := make([]int, n)
+	var active []int // indexes into physVictims still binary-searching
+	for j := 0; j < n; j++ {
+		if res[j].Flips > 0 {
+			found[j] = true
+			los[j], his[j] = 0, maxHammers
+			if maxHammers > prec {
+				active = append(active, j)
+			}
+		}
+	}
+	// Binary-search rounds: all active victims probe their midpoints in
+	// one batched program per round (chunked at maxProbeBatch).
+	vict := make([]int, 0, len(active))
+	mids := make([]int, 0, len(active))
+	for len(active) > 0 {
+		vict = vict[:0]
+		mids = mids[:0]
+		for _, j := range active {
+			vict = append(vict, physVictims[j])
+			mids = append(mids, los[j]+(his[j]-los[j])/2)
+		}
+		for lo := 0; lo < len(vict); lo += maxProbeBatch {
+			hi := lo + maxProbeBatch
+			if hi > len(vict) {
+				hi = len(vict)
+			}
+			if err := h.probeBatch(ba, vict[lo:hi], mids[lo:hi], 0, p, holdPS, res[lo:hi]); err != nil {
+				return nil, nil, err
+			}
+		}
+		next := active[:0]
+		for k, j := range active {
+			if res[k].Flips > 0 {
+				his[j] = mids[k]
+			} else {
+				los[j] = mids[k]
+			}
+			if his[j]-los[j] > prec {
+				next = append(next, j)
+			}
+		}
+		active = next
+	}
+	for j := 0; j < n; j++ {
+		if found[j] {
+			hc[j] = his[j]
+		}
+	}
+	return hc, found, nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/addr"
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/hbm"
+)
+
+// batchBank returns the bank the batch tests probe: channel 7 is the most
+// vulnerable channel of the SmallChip fault profile, so probes actually
+// flip bits there.
+func batchBank() addr.BankAddr {
+	return addr.BankAddr{Channel: 7, PseudoChannel: 0, Bank: 1}
+}
+
+func TestBERBatchMatchesSequential(t *testing.T) {
+	h := newTestHarness(t)
+	ba := batchBank()
+	rows := h.Device().Geometry().Rows
+	victims := []int{1, 2, 100, 101, 512, rows / 3, rows - 2}
+	const hammers = 40_000
+	for _, p := range Table1() {
+		batch, err := h.BERBatch(ba, victims, p, hammers)
+		if err != nil {
+			t.Fatalf("pattern %s: batch: %v", p.Name, err)
+		}
+		for j, v := range victims {
+			seq, err := h.BER(ba, v, p, hammers)
+			if err != nil {
+				t.Fatalf("pattern %s row %d: sequential: %v", p.Name, v, err)
+			}
+			if batch[j] != seq {
+				t.Fatalf("pattern %s row %d: batch %+v != sequential %+v", p.Name, v, batch[j], seq)
+			}
+		}
+	}
+}
+
+func TestBERBatchHoldMatchesSequential(t *testing.T) {
+	h := newTestHarness(t)
+	ba := batchBank()
+	p := Table1()[0]
+	victims := []int{3, 200, 700}
+	hold := 3 * h.Device().Config().Timing.TRAS // pressed: budget not enforced
+	const hammers = 5_000
+	batch, err := h.BERBatchHold(ba, victims, p, hammers, hold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range victims {
+		seq, err := h.BERHold(ba, v, p, hammers, hold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[j] != seq {
+			t.Fatalf("row %d: batch %+v != sequential %+v", v, batch[j], seq)
+		}
+	}
+}
+
+// TestBERBatchChunksLargeBatches drives more victims than maxProbeBatch so
+// the chunked path (several programs per batch call) is exercised.
+func TestBERBatchChunksLargeBatches(t *testing.T) {
+	h := newTestHarness(t)
+	ba := batchBank()
+	p := Table1()[1]
+	victims := make([]int, maxProbeBatch+9)
+	for i := range victims {
+		victims[i] = 1 + i*3
+	}
+	const hammers = 2_000
+	batch, err := h.BERBatch(ba, victims, p, hammers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(victims) {
+		t.Fatalf("got %d results for %d victims", len(batch), len(victims))
+	}
+	for _, j := range []int{0, maxProbeBatch - 1, maxProbeBatch, len(victims) - 1} {
+		seq, err := h.BER(ba, victims[j], p, hammers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[j] != seq {
+			t.Fatalf("row %d (chunk edge): batch %+v != sequential %+v", victims[j], batch[j], seq)
+		}
+	}
+}
+
+func TestHCFirstBatchMatchesSequential(t *testing.T) {
+	h := newTestHarness(t)
+	ba := batchBank()
+	victims := []int{1, 50, 300, 600, 1022}
+	const maxHammers = 120_000
+	for _, p := range Table1()[:2] {
+		hcs, founds, err := h.HCFirstBatch(ba, victims, p, maxHammers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range victims {
+			hc, found, err := h.HCFirst(ba, v, p, maxHammers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hcs[j] != hc || founds[j] != found {
+				t.Fatalf("pattern %s row %d: batch (%d,%v) != sequential (%d,%v)",
+					p.Name, v, hcs[j], founds[j], hc, found)
+			}
+		}
+	}
+}
+
+func TestBERBatchRejectsEdgeVictims(t *testing.T) {
+	h := newTestHarness(t)
+	ba := batchBank()
+	if _, err := h.BERBatch(ba, []int{5, 0}, Table1()[0], 1000); err == nil {
+		t.Fatal("batch accepted a bank-edge victim")
+	}
+	rows := h.Device().Geometry().Rows
+	if _, err := h.BERBatch(ba, []int{rows - 1}, Table1()[0], 1000); err == nil {
+		t.Fatal("batch accepted the last bank row as victim")
+	}
+}
+
+// TestBERBatchEnforcesBudgetPerProbe pins that the 27 ms refresh budget is
+// checked per probe segment, not against the whole batch program: two
+// probes that each fit the budget must pass batched even though their sum
+// exceeds it, and a single over-budget probe must fail with the same
+// error the sequential path reports.
+func TestBERBatchEnforcesBudgetPerProbe(t *testing.T) {
+	h := newTestHarness(t)
+	ba := batchBank()
+	p := Table1()[0]
+	// One probe at 256K hammers stays inside 27 ms; two of them in one
+	// batch program total well over it.
+	if _, err := h.BERBatch(ba, []int{10, 20}, p, DefaultHammers); err != nil {
+		t.Fatalf("per-probe budget misapplied to the whole batch: %v", err)
+	}
+	_, seqErr := h.BER(ba, 10, p, 500_000)
+	if seqErr == nil || !strings.Contains(seqErr.Error(), "refresh budget") {
+		t.Fatalf("sequential 500K-hammer probe should exceed the budget, got %v", seqErr)
+	}
+	_, batchErr := h.BERBatch(ba, []int{10}, p, 500_000)
+	if batchErr == nil || batchErr.Error() != seqErr.Error() {
+		t.Fatalf("batch budget error %q != sequential %q", batchErr, seqErr)
+	}
+}
+
+func TestBERBatchHonoursCancelledContext(t *testing.T) {
+	h := newTestHarness(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h.SetContext(ctx)
+	defer h.SetContext(nil)
+	if _, err := h.BERBatch(batchBank(), []int{5}, Table1()[0], 1000); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// FuzzBatchProbeEquivalence is the batched-probe leg of the differential
+// sense fuzz: a batch of probes on a normal (fast-sense) device must
+// measure exactly what per-row sequential probes measure on a device
+// pinned to the reference sense path. Any divergence in the batch
+// concatenation, the segment accounting, or the fast sense path shows up
+// as a value mismatch.
+func FuzzBatchProbeEquivalence(f *testing.F) {
+	f.Add(uint8(0), []byte{10, 60, 200}, uint16(20_000))
+	f.Add(uint8(1), []byte{1, 1, 255}, uint16(50_000))
+	f.Add(uint8(2), []byte{128}, uint16(1))
+	f.Add(uint8(3), []byte{7, 9, 11, 13, 40, 80, 160, 220}, uint16(35_000))
+	f.Fuzz(func(t *testing.T, pi uint8, vraw []byte, rawHammers uint16) {
+		if len(vraw) == 0 || len(vraw) > 8 {
+			t.Skip()
+		}
+		cfg := config.SmallChip()
+		hFast, err := NewHarnessFromConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dRef, err := hbm.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dRef.SetSenseReference(true)
+		hRef, err := NewHarness(dRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := hFast.Device().Geometry().Rows
+		victims := make([]int, len(vraw))
+		for i, b := range vraw {
+			victims[i] = 1 + int(b)*(rows-2)/256
+		}
+		p := Table1()[int(pi)%len(Table1())]
+		hammers := 1 + int(rawHammers)%DefaultHammers
+		ba := batchBank()
+		batch, err := hFast.BERBatch(ba, victims, p, hammers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range victims {
+			seq, err := hRef.BER(ba, v, p, hammers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch[j] != seq {
+				t.Fatalf("row %d: batched-on-fast %+v != sequential-on-reference %+v",
+					v, batch[j], seq)
+			}
+		}
+	})
+}

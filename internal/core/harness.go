@@ -30,6 +30,9 @@ type Harness struct {
 	// instead of allocating a fresh instruction stream and payload table,
 	// which keeps the steady-state BER probe allocation-free.
 	bld *bender.Builder
+	// boundsScratch is the reusable segment-boundary slice of the
+	// batched probe path (batch.go).
+	boundsScratch []int
 
 	// ctx, when non-nil, aborts the measurement loops: every BER
 	// measurement (and therefore every HCfirst probe and WCDP candidate)

@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/safari-repro/hbmrh/internal/config"
+	"github.com/safari-repro/hbmrh/internal/core"
+)
+
+// TestPoolStressGetPutStats hammers one pool from many goroutines across
+// both colliding traffic (all goroutines leasing the same config, so one
+// key's shard serializes them) and distinct configs (each landing on its
+// own shard), with Stats() reads interleaved. Run under -race (make test
+// does), it is the data-race probe for the sharded design; the
+// invariants below hold at any interleaving:
+//
+//	Created + Reused == total Gets  (every Get is exactly one of the two)
+//	idle(cfg) <= MaxIdlePerKey      (the per-key bound survives races)
+func TestPoolStressGetPutStats(t *testing.T) {
+	p := NewDevicePool()
+	p.MaxIdlePerKey = 2
+	cfgs := make([]*config.Config, 4)
+	for i := range cfgs {
+		cfgs[i] = config.SmallChip()
+		cfgs[i].Seed = uint64(i) // distinct keys; index 0 shared by all goroutines below
+	}
+	const goroutines = 8
+	const opsPer = 30
+	gets := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				// Even ops collide on cfgs[0]; odd ops spread per goroutine.
+				cfg := cfgs[0]
+				if i%2 == 1 {
+					cfg = cfgs[g%len(cfgs)]
+				}
+				h, err := p.Get(cfg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				gets[g]++
+				if i%5 == 0 {
+					_ = p.Stats()
+				}
+				p.Put(cfg, h)
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range gets {
+		total += n
+	}
+	st := p.Stats()
+	if st.Created+st.Reused != total {
+		t.Fatalf("Created(%d)+Reused(%d) != Gets(%d); stats %+v",
+			st.Created, st.Reused, total, st)
+	}
+	if st.Collisions != 0 {
+		t.Fatalf("unexpected hash collisions: %+v", st)
+	}
+	for i, cfg := range cfgs {
+		if n := p.idleLen(cfg); n > p.MaxIdlePerKey {
+			t.Fatalf("config %d: %d idle devices, cap %d", i, n, p.MaxIdlePerKey)
+		}
+	}
+}
+
+// TestPoolMaxIdleDefaultSnapshotsGOMAXPROCS pins the satellite fix: the
+// MaxIdlePerKey default is the GOMAXPROCS value at pool construction, not
+// whatever GOMAXPROCS happens to be at each Put.
+func TestPoolMaxIdleDefaultSnapshotsGOMAXPROCS(t *testing.T) {
+	p := NewDevicePool()
+	if p.maxIdle != runtime.GOMAXPROCS(0) {
+		t.Fatalf("maxIdle snapshot %d != GOMAXPROCS %d", p.maxIdle, runtime.GOMAXPROCS(0))
+	}
+	old := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(old + 3)
+	defer runtime.GOMAXPROCS(old)
+	if p.maxIdle != old {
+		t.Fatalf("maxIdle moved with GOMAXPROCS: %d", p.maxIdle)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Side-by-side contention benchmarks: the pre-PR pool (one global mutex,
+// mutex-guarded stats) and the pre-PR ordered reduce (one mutex + cond +
+// map reorder buffer) are reimplemented here verbatim as baselines, so
+// BENCH_engine.json records the per-job overhead reduction next to the
+// sharded/lock-free implementations even on a 1-core box.
+
+// legacyPool is the pre-sharding DevicePool: one mutex for every key and
+// for Stats.
+type legacyPool struct {
+	mu            sync.Mutex
+	idle          map[uint64]*idleSet
+	st            PoolStats
+	MaxIdlePerKey int
+}
+
+func newLegacyPool() *legacyPool { return &legacyPool{idle: make(map[uint64]*idleSet)} }
+
+func (p *legacyPool) Get(cfg *config.Config) (*core.Harness, error) {
+	k := cfg.Hash()
+	p.mu.Lock()
+	if e := p.idle[k]; e != nil && len(e.harnesses) > 0 {
+		if sameConfig(&e.cfg, cfg) {
+			h := e.harnesses[len(e.harnesses)-1]
+			e.harnesses = e.harnesses[:len(e.harnesses)-1]
+			p.st.Reused++
+			p.mu.Unlock()
+			return h, nil
+		}
+		p.st.Collisions++
+	}
+	p.st.Created++
+	p.mu.Unlock()
+	return core.NewHarnessFromConfig(cfg)
+}
+
+func (p *legacyPool) Put(cfg *config.Config, h *core.Harness) {
+	if h == nil {
+		return
+	}
+	h.Reset()
+	k := cfg.Hash()
+	max := p.MaxIdlePerKey
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.idle[k]
+	if e == nil {
+		p.idle[k] = &idleSet{cfg: snapshot(cfg), harnesses: []*core.Harness{h}}
+		return
+	}
+	if !sameConfig(&e.cfg, cfg) {
+		p.st.Collisions++
+		p.st.Dropped++
+		return
+	}
+	if len(e.harnesses) >= max {
+		p.st.Dropped++
+		return
+	}
+	e.harnesses = append(e.harnesses, h)
+}
+
+func (p *legacyPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st
+}
+
+// poolBench measures warm Get/Stats/Put cycles under heavy goroutine
+// pressure: the synthetic lock-convoy probe. One benchmark iteration is
+// a fixed workload — 32 goroutines each running 64 cycles — so the
+// measurement is meaningful even at -benchtime 1x and spawn overhead is
+// amortized over 2048 cycles. The pool is pre-warmed so no cycle ever
+// builds a device: the benchmark isolates leasing overhead, which is
+// what a fine-grained engine run pays per worker.
+func poolBench(b *testing.B, get func(*config.Config) (*core.Harness, error),
+	put func(*config.Config, *core.Harness), stats func() PoolStats) {
+	cfg := config.SmallChip()
+	const goroutines = 32
+	const cyclesPer = 64
+	hs := make([]*core.Harness, goroutines)
+	for i := range hs {
+		h, err := get(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs[i] = h
+	}
+	for _, h := range hs {
+		put(cfg, h)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := 0; c < cyclesPer; c++ {
+					h, err := get(cfg)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					_ = stats()
+					put(cfg, h)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkEnginePoolGetPut(b *testing.B) {
+	p := NewDevicePool()
+	p.MaxIdlePerKey = 64
+	poolBench(b, p.Get, p.Put, p.Stats)
+}
+
+func BenchmarkEnginePoolGetPutLegacy(b *testing.B) {
+	p := newLegacyPool()
+	p.MaxIdlePerKey = 64
+	poolBench(b, p.Get, p.Put, p.Stats)
+}
+
+// legacyReduceWorkers is the pre-PR ordered fold: a single mutex + cond
+// and a map reorder buffer, every completion (in-order or not) taking the
+// lock, folds running under it.
+func legacyReduceWorkers[T any](o Options, n int,
+	fn func(ctx context.Context, i int) (T, error),
+	fold func(i int, v T) error) error {
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	aborted := false
+	pending := make(map[int]T)
+	next := 0
+	window := o.workers(n)
+	return mapWorkers(o, n, noSetup,
+		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) },
+		func(i int, v T) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for i >= next+window && !aborted {
+				cond.Wait()
+			}
+			if aborted {
+				return nil
+			}
+			pending[i] = v
+			for {
+				w, ok := pending[next]
+				if !ok {
+					return nil
+				}
+				delete(pending, next)
+				if err := fold(next, w); err != nil {
+					return err
+				}
+				next++
+				cond.Broadcast()
+			}
+		},
+		func() {
+			mu.Lock()
+			aborted = true
+			mu.Unlock()
+			cond.Broadcast()
+		})
+}
+
+// reduceBenchJobs is sized so per-job engine overhead dominates: the jobs
+// themselves are a single integer return.
+const reduceBenchJobs = 2048
+
+func reduceBench(b *testing.B, run func(o Options, sink *int64) error) {
+	o := Options{Workers: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		if err := run(o, &sum); err != nil {
+			b.Fatal(err)
+		}
+		if sum != int64(reduceBenchJobs)*(reduceBenchJobs-1)/2 {
+			b.Fatalf("fold lost results: sum %d", sum)
+		}
+	}
+}
+
+func BenchmarkEngineReduceContended(b *testing.B) {
+	reduceBench(b, func(o Options, sink *int64) error {
+		return Reduce(o, reduceBenchJobs,
+			func(_ context.Context, i int) (int, error) { return i, nil },
+			func(_ int, v int) error { *sink += int64(v); return nil })
+	})
+}
+
+func BenchmarkEngineReduceContendedLegacy(b *testing.B) {
+	reduceBench(b, func(o Options, sink *int64) error {
+		return legacyReduceWorkers(o, reduceBenchJobs,
+			func(_ context.Context, i int) (int, error) { return i, nil },
+			func(_ int, v int) error { *sink += int64(v); return nil })
+	})
+}

@@ -192,49 +192,149 @@ func ReduceHarness[T any](o Options, cfg *config.Config, n int,
 	return reduceWorkers(o, n, harnessSetup(o, cfg), fn, fold)
 }
 
+// reduceSlot is one cell of the reorder ring. ready is a generation tag:
+// 0 when the cell is empty, i+1 when it holds job i's result. The atomic
+// store of ready publishes the plain write of v (and the folder's atomic
+// load of ready acquires it), so depositors and the folder never touch a
+// cell concurrently without a happens-before edge.
+type reduceSlot[T any] struct {
+	ready atomic.Int64
+	v     T
+}
+
 // reduceWorkers is the shared ordered-fold core of Reduce and
 // ReduceHarness; see Reduce for the backpressure and determinism
 // contract.
+//
+// The reorder buffer is a lock-free ring of one window's worth of slots
+// instead of a single mutex + map: each completed job deposits into slot
+// i%window with two atomic ops, and whichever worker deposits the fold
+// frontier becomes the folder (a CAS-guarded critical section) and drains
+// the ring in index order. The old design serialized every completion —
+// including all the out-of-order ones that only needed buffering — behind
+// one lock held across fold calls; here out-of-order completions are
+// wait-free and only frontier handoff synchronizes. Parking for the
+// backpressure window is the slow path and keeps a conventional
+// mutex+cond, entered only when a worker is a full window ahead.
 func reduceWorkers[S, T any](o Options, n int,
 	setup func() (S, func(), error),
 	fn func(ctx context.Context, s S, i int) (T, error),
 	fold func(i int, v T) error) error {
-	var mu sync.Mutex
-	cond := sync.NewCond(&mu)
-	aborted := false
-	pending := make(map[int]T)
-	next := 0
 	window := o.workers(n)
+	if window < 1 {
+		window = 1
+	}
+	slots := make([]reduceSlot[T], window)
+	var next atomic.Int64    // fold frontier: lowest unfolded index
+	var folding atomic.Int32 // 0 = no active folder, 1 = one folder draining
+	var aborted atomic.Bool
+	var parked atomic.Int32
+	var parkMu sync.Mutex
+	parkCond := sync.NewCond(&parkMu)
+
+	// wake releases backpressure-parked workers after the frontier moved.
+	// The atomic parked counter keeps the common case (nobody parked) to
+	// one load; parkers increment it under parkMu before re-checking the
+	// window, so a waker that loads parked==0 is guaranteed the parker's
+	// re-check will observe the already-advanced frontier.
+	wake := func() {
+		if parked.Load() > 0 {
+			parkMu.Lock()
+			parkCond.Broadcast()
+			parkMu.Unlock()
+		}
+	}
+
 	return mapWorkers(o, n, setup, fn,
 		func(i int, v T) error {
-			mu.Lock()
-			defer mu.Unlock()
-			for i >= next+window && !aborted {
-				cond.Wait()
-			}
-			if aborted {
-				return nil // run is unwinding; the fold stops at the failure point
-			}
-			pending[i] = v
-			for {
-				w, ok := pending[next]
-				if !ok {
-					return nil
+			idx := int64(i)
+			if idx >= next.Load()+int64(window) {
+				parkMu.Lock()
+				parked.Add(1)
+				for idx >= next.Load()+int64(window) && !aborted.Load() {
+					parkCond.Wait()
 				}
-				delete(pending, next)
-				if err := fold(next, w); err != nil {
+				parked.Add(-1)
+				parkMu.Unlock()
+				if aborted.Load() {
+					return nil // run is unwinding; the fold stops at the failure point
+				}
+			}
+			// Fast path: this deposit IS the fold frontier and no folder
+			// is active (the common case when completions arrive roughly
+			// in order) — fold directly, skipping the ring round-trip.
+			if next.Load() == idx && folding.CompareAndSwap(0, 1) {
+				if err := fold(i, v); err != nil {
+					// Leave folding set: no later index may fold after an
+					// error, matching the abort contract.
 					return err
 				}
-				next++
-				cond.Broadcast()
+				next.Store(idx + 1)
+				wake()
+				return drainRing(slots, &next, &folding, int64(window), fold, wake)
+			}
+			// Admission (i < next+window) guarantees slot i%window was
+			// folded and cleared before the frontier advanced past
+			// i-window, so the cell is ours alone.
+			s := &slots[i%window]
+			s.v = v
+			s.ready.Store(idx + 1)
+			for {
+				nx := next.Load()
+				if slots[nx%int64(window)].ready.Load() != nx+1 {
+					return nil // frontier not deposited; its depositor will fold
+				}
+				if !folding.CompareAndSwap(0, 1) {
+					// An active folder exists; it re-checks the frontier
+					// after releasing the flag, so our deposit is covered.
+					return nil
+				}
+				return drainRing(slots, &next, &folding, int64(window), fold, wake)
 			}
 		},
 		func() { // onAbort: wake parked workers so the run can unwind
-			mu.Lock()
-			aborted = true
-			mu.Unlock()
-			cond.Broadcast()
+			aborted.Store(true)
+			parkMu.Lock()
+			parkCond.Broadcast()
+			parkMu.Unlock()
 		})
+}
+
+// drainRing folds every contiguously deposited slot starting at the
+// frontier, then releases the folder flag — re-checking afterwards for a
+// deposit that landed the new frontier between the last ring check and
+// the release (that depositor saw the flag held and moved on, so the
+// releasing folder must pick its work up). The caller must hold the
+// folding flag; on a fold error the flag is left set so no later index
+// can ever fold, matching the abort contract.
+func drainRing[T any](slots []reduceSlot[T], next *atomic.Int64, folding *atomic.Int32,
+	window int64, fold func(i int, v T) error, wake func()) error {
+	for {
+		for {
+			nx := next.Load()
+			c := &slots[nx%window]
+			if c.ready.Load() != nx+1 {
+				break
+			}
+			w := c.v
+			var zero T
+			c.v = zero
+			c.ready.Store(0)
+			if err := fold(int(nx), w); err != nil {
+				return err
+			}
+			next.Store(nx + 1)
+			wake()
+		}
+		folding.Store(0)
+		nx := next.Load()
+		if slots[nx%window].ready.Load() != nx+1 {
+			return nil
+		}
+		if !folding.CompareAndSwap(0, 1) {
+			return nil
+		}
+	}
 }
 
 func noSetup() (struct{}, func(), error) { return struct{}{}, func() {}, nil }

@@ -3,6 +3,7 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/safari-repro/hbmrh/internal/config"
 	"github.com/safari-repro/hbmrh/internal/core"
@@ -15,20 +16,54 @@ import (
 // shared-nothing at the worker level: Get hands out exclusive ownership,
 // Put returns it; a harness is never used by two workers at once.
 //
+// The idle sets are sharded by config key so concurrent runs over
+// distinct configs (the multichip shape: one config per seed) never
+// contend on a lock, and the traffic counters are atomics so Stats()
+// never serializes Get/Put. Within one config all workers still funnel
+// through that key's shard lock, but mapWorkers leases one harness per
+// worker for the whole run (per-worker affinity), so the shard lock is
+// taken O(workers) times per run, not O(jobs).
+//
 // Reuse is sound because every per-cell quantity of the simulated chip is
 // a pure function of (Seed, coordinates) and the Section 4 measurements
 // rewrite their victim and aggressor rows before hammering. Studies whose
 // outcome depends on accumulated device state (thermal setpoints, nominal
 // refresh cadence, retention decay) must not use the pool.
 type DevicePool struct {
-	mu   sync.Mutex
-	idle map[uint64]*idleSet
-	st   PoolStats
+	shards [poolShards]poolShard
+
+	created    atomic.Int64
+	reused     atomic.Int64
+	dropped    atomic.Int64
+	collisions atomic.Int64
+
+	// maxIdle is the GOMAXPROCS snapshot taken at construction, used
+	// when MaxIdlePerKey is 0. Snapshotting once per pool keeps the cap
+	// consistent even if GOMAXPROCS changes mid-run (benchmarks with
+	// -cpu do exactly that).
+	maxIdle int
 
 	// MaxIdlePerKey caps how many warmed devices are kept per
-	// configuration; surplus Puts are dropped for the GC. 0 means
-	// GOMAXPROCS.
+	// configuration; surplus Puts are dropped for the GC. 0 means the
+	// GOMAXPROCS value observed when the pool was constructed.
+	//
+	// Contract: set it before the pool is shared across goroutines
+	// (typically right after NewDevicePool); it is read without
+	// synchronization on every Put.
 	MaxIdlePerKey int
+}
+
+// poolShards is the number of independently locked idle-set shards.
+// Power of two so shard selection is a mask of the config hash.
+const poolShards = 32
+
+// poolShard is one lock's worth of idle sets. The pad keeps adjacent
+// shard locks off a shared cache line (false sharing would re-serialize
+// exactly the traffic sharding is meant to spread).
+type poolShard struct {
+	mu   sync.Mutex
+	idle map[uint64]*idleSet
+	_    [104]byte
 }
 
 // idleSet holds one configuration's warmed devices plus a deep snapshot
@@ -59,9 +94,14 @@ type PoolStats struct {
 // SharedPool is the process-wide pool every engine run uses by default.
 var SharedPool = NewDevicePool()
 
-// NewDevicePool returns an empty pool.
+// NewDevicePool returns an empty pool. The MaxIdlePerKey default is
+// pinned to GOMAXPROCS as observed here, not re-read later.
 func NewDevicePool() *DevicePool {
-	return &DevicePool{idle: make(map[uint64]*idleSet)}
+	p := &DevicePool{maxIdle: runtime.GOMAXPROCS(0)}
+	for i := range p.shards {
+		p.shards[i].idle = make(map[uint64]*idleSet)
+	}
+	return p
 }
 
 // snapshot deep-copies a config (cloning its slices) so the idle set's
@@ -89,25 +129,32 @@ func (p *DevicePool) key(cfg *config.Config) uint64 {
 	return cfg.Hash()
 }
 
+// shard maps a config key to its shard. The hash is FNV-1a over the full
+// config, so the low bits are already well mixed.
+func (p *DevicePool) shard(k uint64) *poolShard {
+	return &p.shards[k&(poolShards-1)]
+}
+
 // Get leases a warmed harness for cfg, building one only when the idle
 // set is empty (or, vanishingly rarely, holds a hash-colliding config —
 // verified by contents before any device is handed out). The caller owns
 // it exclusively until Put.
 func (p *DevicePool) Get(cfg *config.Config) (*core.Harness, error) {
 	k := p.key(cfg)
-	p.mu.Lock()
-	if e := p.idle[k]; e != nil && len(e.harnesses) > 0 {
+	sh := p.shard(k)
+	sh.mu.Lock()
+	if e := sh.idle[k]; e != nil && len(e.harnesses) > 0 {
 		if sameConfig(&e.cfg, cfg) {
 			h := e.harnesses[len(e.harnesses)-1]
 			e.harnesses = e.harnesses[:len(e.harnesses)-1]
-			p.st.Reused++
-			p.mu.Unlock()
+			sh.mu.Unlock()
+			p.reused.Add(1)
 			return h, nil
 		}
-		p.st.Collisions++
+		p.collisions.Add(1)
 	}
-	p.st.Created++
-	p.mu.Unlock()
+	sh.mu.Unlock()
+	p.created.Add(1)
 	return core.NewHarnessFromConfig(cfg)
 }
 
@@ -121,41 +168,49 @@ func (p *DevicePool) Put(cfg *config.Config, h *core.Harness) {
 	k := p.key(cfg)
 	max := p.MaxIdlePerKey
 	if max <= 0 {
-		max = runtime.GOMAXPROCS(0)
+		max = p.maxIdle
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e := p.idle[k]
+	sh := p.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.idle[k]
 	if e == nil {
-		p.idle[k] = &idleSet{cfg: snapshot(cfg), harnesses: []*core.Harness{h}}
+		sh.idle[k] = &idleSet{cfg: snapshot(cfg), harnesses: []*core.Harness{h}}
 		return
 	}
 	if !sameConfig(&e.cfg, cfg) {
 		// Key collision with a different resident config: dropping the
 		// device is always safe; aliasing it never is.
-		p.st.Collisions++
-		p.st.Dropped++
+		p.collisions.Add(1)
+		p.dropped.Add(1)
 		return
 	}
 	if len(e.harnesses) >= max {
-		p.st.Dropped++
+		p.dropped.Add(1)
 		return
 	}
 	e.harnesses = append(e.harnesses, h)
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters. It reads only atomics,
+// so it never blocks (or is blocked by) Get/Put traffic.
 func (p *DevicePool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.st
+	return PoolStats{
+		Created:    int(p.created.Load()),
+		Reused:     int(p.reused.Load()),
+		Dropped:    int(p.dropped.Load()),
+		Collisions: int(p.collisions.Load()),
+	}
 }
 
-// Drain empties the idle set, releasing every cached device to the GC.
+// Drain empties the idle sets, releasing every cached device to the GC.
 func (p *DevicePool) Drain() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.idle = make(map[uint64]*idleSet)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.idle = make(map[uint64]*idleSet)
+		sh.mu.Unlock()
+	}
 }
 
 // DrainConfig releases the idle devices warmed for one configuration.
@@ -164,7 +219,21 @@ func (p *DevicePool) Drain() {
 // process lifetime: keys are never evicted, only capped per key.
 func (p *DevicePool) DrainConfig(cfg *config.Config) {
 	k := p.key(cfg)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	delete(p.idle, k)
+	sh := p.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.idle, k)
+}
+
+// idleLen reports how many warmed devices are resident for cfg; it is a
+// test hook for asserting the MaxIdlePerKey bound.
+func (p *DevicePool) idleLen(cfg *config.Config) int {
+	k := p.key(cfg)
+	sh := p.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.idle[k]; e != nil {
+		return len(e.harnesses)
+	}
+	return 0
 }

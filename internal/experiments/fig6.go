@@ -105,24 +105,33 @@ func fig6Bank(h *core.Harness, o Fig6Options, ba addr.BankAddr) (BankPoint, erro
 		{Name: "last", Start: g.Rows - span, End: g.Rows},
 	}
 	patterns := core.Table1()
-	var bers []float64
+	var victims []int
 	for _, region := range regions {
 		for phys := region.Start; phys < region.End; phys++ {
 			if phys <= 0 || phys >= g.Rows-1 {
 				continue
 			}
-			best := 0.0
-			for _, p := range patterns {
-				r, err := h.BER(ba, phys, p, o.Hammers)
-				if err != nil {
-					return BankPoint{}, err
-				}
-				if b := r.BER(); b > best {
-					best = b
-				}
-			}
-			bers = append(bers, best*100)
+			victims = append(victims, phys)
 		}
+	}
+	// Batched probes: one BERBatch per pattern across every sampled row of
+	// the bank, keeping the best BER per row — value-identical to the
+	// per-row loop it replaces.
+	best := make([]float64, len(victims))
+	for _, p := range patterns {
+		rs, err := h.BERBatch(ba, victims, p, o.Hammers)
+		if err != nil {
+			return BankPoint{}, err
+		}
+		for i, r := range rs {
+			if b := r.BER(); b > best[i] {
+				best[i] = b
+			}
+		}
+	}
+	bers := make([]float64, len(victims))
+	for i, b := range best {
+		bers[i] = b * 100
 	}
 	sum := stats.Summarize(bers)
 	return BankPoint{Bank: ba, MeanBER: sum.Mean, CV: sum.CV()}, nil

@@ -120,39 +120,54 @@ func RunSweep(o SweepOptions) (*Sweep, error) {
 	return &Sweep{Opts: o, Rows: engine.Flatten(perChannel)}, nil
 }
 
+// sweepChannel measures every sampled victim row of one channel's bank.
+// The inner loops run through the batched probe API: per pattern, one
+// BERBatch and one HCFirstBatch over all sampled rows, which amortizes
+// program assembly/validation/dispatch across the whole row set. Output
+// is byte-identical to per-row BER/HCFirst calls (pinned by the
+// core batch equivalence tests); only the probe grouping changes.
 func sweepChannel(h *core.Harness, o SweepOptions, ch int) ([]RowResult, error) {
 	g := o.Cfg.Geometry
 	ba := addr.BankAddr{Channel: ch, PseudoChannel: o.PC, Bank: o.Bank}
 	patterns := core.Table1()
-	var out []RowResult
+	var victims []int
+	var regions []string
 	for _, region := range core.Regions(g.Rows) {
 		for _, phys := range region.SampleRows(o.RowsPerRegion) {
 			if phys <= 0 || phys >= g.Rows-1 {
 				continue // bank-edge rows have no double-sided pair
 			}
-			rr := RowResult{
-				Channel: ch,
-				PhysRow: phys,
-				Region:  region.Name,
-				BER:     make([]float64, len(patterns)),
-				HCFirst: make([]int, len(patterns)),
-				Found:   make([]bool, len(patterns)),
-			}
-			for pi, p := range patterns {
-				ber, err := h.BER(ba, phys, p, o.Hammers)
-				if err != nil {
-					return nil, err
-				}
-				rr.BER[pi] = ber.BER()
-				hc, found, err := h.HCFirst(ba, phys, p, o.Hammers)
-				if err != nil {
-					return nil, err
-				}
-				rr.HCFirst[pi], rr.Found[pi] = hc, found
-			}
-			rr.WCDP = chooseWCDP(rr)
-			out = append(out, rr)
+			victims = append(victims, phys)
+			regions = append(regions, region.Name)
 		}
+	}
+	out := make([]RowResult, len(victims))
+	for i, phys := range victims {
+		out[i] = RowResult{
+			Channel: ch,
+			PhysRow: phys,
+			Region:  regions[i],
+			BER:     make([]float64, len(patterns)),
+			HCFirst: make([]int, len(patterns)),
+			Found:   make([]bool, len(patterns)),
+		}
+	}
+	for pi, p := range patterns {
+		bers, err := h.BERBatch(ba, victims, p, o.Hammers)
+		if err != nil {
+			return nil, err
+		}
+		hcs, founds, err := h.HCFirstBatch(ba, victims, p, o.Hammers)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i].BER[pi] = bers[i].BER()
+			out[i].HCFirst[pi], out[i].Found[pi] = hcs[i], founds[i]
+		}
+	}
+	for i := range out {
+		out[i].WCDP = chooseWCDP(out[i])
 	}
 	return out, nil
 }

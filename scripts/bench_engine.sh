@@ -13,12 +13,12 @@ set -eu
 out=${1:-BENCH_engine.json}
 benchtime=${BENCHTIME:-3x}
 pattern='BenchmarkEngine|BenchmarkStreamCodec|BenchmarkSenseAndRestore|BenchmarkSenseColdRows|BenchmarkProfileCompute|BenchmarkQuery'
-command="go test -run '^\$' -bench '$pattern' -benchtime $benchtime ./..."
+command="go test -run '^\$' -bench '$pattern' -benchtime $benchtime -benchmem ./..."
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" ./... | tee "$tmp"
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... | tee "$tmp"
 
 nproc_val=$(nproc 2>/dev/null || echo 1)
 goversion=$(go env GOVERSION)
@@ -42,7 +42,13 @@ BEGIN { cpu = ENVIRON["CPU_ESC"]; note = ENVIRON["NOTE_ESC"] }
 /^Benchmark/ && NF >= 4 {
 	name = $1
 	sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
-	entries[++n] = sprintf("    { \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %d }", name, $2, $3)
+	# With -benchmem the line carries "<B> B/op  <allocs> allocs/op";
+	# record both so the 0-allocs-per-probe invariant is machine-checkable
+	# from the JSON, not just test-asserted.
+	if (NF >= 8 && $6 == "B/op" && $8 == "allocs/op")
+		entries[++n] = sprintf("    { \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %d, \"b_per_op\": %s, \"allocs_per_op\": %s }", name, $2, $3, $5, $7)
+	else
+		entries[++n] = sprintf("    { \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %d }", name, $2, $3)
 }
 END {
 	printf "{\n"

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Captures the multicore scaling curve into BENCH_scaling.json: the
+# chipscan stream and sweep benchmarks plus the synthetic contention pair
+# (sharded pool / lock-free reduce vs their pre-sharding baselines), each
+# at GOMAXPROCS in {1, 2, 4, 8} clamped to nproc so the capture works on
+# any box. Entries carry an explicit "gomaxprocs" field (the -N suffix go
+# test appends under -cpu), so the speedup curve per benchmark is a
+# straight group-by in jq.
+#
+# Usage: scripts/bench_scaling.sh [output.json]
+#   BENCH_NOTE="..."    prose note recorded in the file (optional)
+#   BENCHTIME=3x        -benchtime passed to go test (optional)
+set -eu
+
+out=${1:-BENCH_scaling.json}
+benchtime=${BENCHTIME:-3x}
+nproc_val=$(nproc 2>/dev/null || echo 1)
+
+cpus=""
+for c in 1 2 4 8; do
+	[ "$c" -le "$nproc_val" ] && cpus="$cpus,$c"
+done
+cpus=${cpus#,}
+[ -n "$cpus" ] || cpus=1
+
+pattern='BenchmarkEngineChipscanStream$|BenchmarkEngineSweepParallel$|BenchmarkEnginePoolGetPut|BenchmarkEngineReduceContended'
+command="go test -run '^\$' -bench '$pattern' -benchtime $benchtime -cpu $cpus ./..."
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -cpu "$cpus" ./... | tee "$tmp"
+
+goversion=$(go env GOVERSION)
+goos=$(go env GOOS)
+goarch=$(go env GOARCH)
+cpu=$(awk -F': ' '/model name/{print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
+date_val=$(date +%F)
+
+json_escape() { printf '%s' "$1" | sed 's/\\/\\\\/g; s/"/\\"/g'; }
+CPU_ESC=$(json_escape "$cpu")
+NOTE_ESC=$(json_escape "${BENCH_NOTE:-}")
+export CPU_ESC NOTE_ESC
+
+awk -v nproc="$nproc_val" -v goversion="$goversion" -v goos="$goos" \
+    -v goarch="$goarch" -v date="$date_val" -v cpus="$cpus" \
+    -v benchtime="$benchtime" -v command="$command" '
+BEGIN { cpu = ENVIRON["CPU_ESC"]; note = ENVIRON["NOTE_ESC"] }
+/^Benchmark/ && NF >= 4 {
+	name = $1
+	procs = 1
+	if (match(name, /-[0-9]+$/)) {
+		procs = substr(name, RSTART + 1)
+		name = substr(name, 1, RSTART - 1)
+	}
+	entries[++n] = sprintf("    { \"name\": \"%s\", \"gomaxprocs\": %d, \"iterations\": %s, \"ns_per_op\": %d }", name, procs, $2, $3)
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"scaling\",\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"nproc\": %s,\n", nproc
+	printf "  \"gomaxprocs_list\": \"%s\",\n", cpus
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"command\": \"%s\",\n", command
+	printf "  \"note\": \"%s\",\n", note
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++)
+		printf "%s%s\n", entries[i], (i < n ? "," : "")
+	printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out (nproc=$nproc_val, gomaxprocs=$cpus)"
