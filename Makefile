@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-engine bench-scaling lint smoke paper-smoke ci
+.PHONY: build test bench bench-engine bench-scaling lint smoke paper-smoke torture ci
 
 build:
 	$(GO) build ./...
@@ -99,7 +99,20 @@ smoke:
 	$(GO) run ./cmd/resultsd -store $(SMOKE_DIR)/store -quiet \
 		-query '/v1/csv' > $(SMOKE_DIR)/store.csv
 	cmp $(SMOKE_DIR)/press.csv $(SMOKE_DIR)/store.csv
+	# Race-instrumented kill/resume + stall/retry: the fleet recovery
+	# paths under the race detector, beyond what -kill-after above covers.
+	$(GO) test -race -count=1 \
+		-run 'TestFleetKillResumeByteIdentical|TestFleetStallKillsAndRetries' \
+		./internal/fleet
 	rm -rf $(SMOKE_DIR)
+
+# Crash-consistency torture: every registered failpoint site armed in
+# turn against a full fleet → store-ingest → query cycle — workers
+# killed mid-fsync, writes torn at a byte offset, spawns refused,
+# renders poisoned — with the recovered outputs byte-compared to a
+# fault-free run (DESIGN.md §13). Race-instrumented; a few seconds.
+torture:
+	$(GO) test -race -count=1 -run TestTortureAllSites -v ./internal/torture
 
 # Reduced-budget paper suite on the paper-geometry chip: the nightly CI
 # smoke (sweep + fig6 + trrstudy through the registry; ~5 s).

@@ -35,8 +35,10 @@ func runFleet(args []string) {
 		chunk      = fs.Int("chunk", 1, "jobs per checkpoint: each worker journals a sealed artifact every N jobs")
 		dir        = fs.String("dir", "", "journal + shard directory (default: a temp dir; a fixed dir makes reruns resume)")
 		retries    = fs.Int("retries", 2, "relaunches per failed or stalled shard (-1 = none)")
+		backoff    = fs.Bool("retry-backoff", true, "capped exponential backoff with deterministic jitter between relaunches")
 		stall      = fs.Duration("stall", 0, "straggler gate: kill and retry a worker silent for this long (0 = off)")
 		killAfter  = fs.String("kill-after", "", "fault injection for tests: I:K kills worker I after K journaled chunks (first launch only)")
+		failpoints = fs.String("failpoints", "", "failpoint spec armed in every worker's first launch (internal/failpoint; relaunches come back clean)")
 		progress   = fs.Bool("progress", false, "stream aggregate job completion and worker lifecycle on stderr")
 		storeDir   = fs.String("store", "", "artifact store directory: auto-ingest every shard after the merge (serve with resultsd)")
 		csvOut     = fs.String("csv", "", "summary CSV file (\"-\" = stdout)")
@@ -67,12 +69,16 @@ func runFleet(args []string) {
 			Parallel:   *parallel,
 			Planner:    *planner,
 		},
-		Workers:      *workers,
-		Chunk:        *chunk,
-		Dir:          *dir,
-		Retries:      *retries,
-		StallTimeout: *stall,
-		Ctx:          ctx,
+		Workers:          *workers,
+		Chunk:            *chunk,
+		Dir:              *dir,
+		Retries:          *retries,
+		StallTimeout:     *stall,
+		WorkerFailpoints: *failpoints,
+		Ctx:              ctx,
+	}
+	if !*backoff {
+		spec.Backoff = -1
 	}
 	if *storeDir != "" {
 		st, err := hbmrh.OpenArtifactStore(*storeDir)

@@ -11,20 +11,32 @@
 //	# one-shot render against an existing store (no server)
 //	resultsd -store runs/store -query '/v1/summary?group-by=channel'
 //
+// The server carries read/write/idle timeouts (a stuck or malicious
+// client cannot pin a connection forever) and drains gracefully:
+// SIGTERM/SIGINT stops accepting connections, in-flight requests get up
+// to -drain to finish, then the process exits 0. A store opened with
+// quarantined objects serves what it has and reports "degraded" on
+// /healthz.
+//
 // Endpoint catalog (GET unless noted): /healthz, /v1/keys, /v1/summary,
 // /v1/csv, /v1/render, /v1/artifact, /v1/distributions, /v1/safety,
 // /v1/trr, POST /v1/ingest. See DESIGN.md §11.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	hbmrh "github.com/safari-repro/hbmrh"
+	"github.com/safari-repro/hbmrh/internal/failpoint"
 )
 
 func main() {
@@ -35,15 +47,25 @@ func main() {
 		listen   = flag.String("listen", "", "HTTP listen address, e.g. :8321")
 		oneShot  = flag.String("query", "", "answer one GET request path in-process and print the body, e.g. '/v1/summary?group-by=channel'")
 		quiet    = flag.Bool("quiet", false, "suppress ingest logging")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 	if *listen == "" && *oneShot == "" {
 		log.Fatal("nothing to do: pass -listen ADDR to serve or -query PATH for a one-shot render")
 	}
+	if err := failpoint.ArmFromEnv(); err != nil {
+		log.Fatal(err)
+	}
 
 	st, err := hbmrh.OpenArtifactStore(*storeDir)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, q := range st.Quarantined() {
+		log.Printf("quarantined %s: %s", q.File, q.Reason)
+	}
+	if n := len(st.Quarantined()); n > 0 {
+		log.Printf("store degraded: %d object(s) quarantined under objects/quarantine/ (re-ingest the shards to restore)", n)
 	}
 	for _, arg := range flag.Args() {
 		rs, err := st.IngestFiles(arg)
@@ -76,6 +98,35 @@ func main() {
 		}
 	}
 
+	// A bare ListenAndServe has no timeouts: one client that never reads
+	// its response (or trickles its request) holds a connection and its
+	// handler goroutine forever. Generous bounds — renders are local and
+	// fast, but /v1/artifact bodies can be large.
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "resultsd: serving %d corpus/corpora on %s\n", len(st.Corpora()), *listen)
-	log.Fatal(http.ListenAndServe(*listen, handler))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		fmt.Fprintf(os.Stderr, "resultsd: shutting down, draining in-flight requests (up to %s)\n", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+	}
 }

@@ -7,7 +7,14 @@ import (
 	"os"
 	"os/exec"
 	"sync"
+
+	"github.com/safari-repro/hbmrh/internal/failpoint"
 )
+
+// fpLauncherStart injects spawn failures (fork refused, binary missing)
+// into the local launcher; the coordinator must absorb them as retryable
+// attempts with backoff, never as a fatal run error.
+var fpLauncherStart = failpoint.Register("fleet/launcher/start")
 
 // WorkerCommand is the subcommand name under which host binaries must
 // dispatch to WorkerMain: a launcher starts a worker by executing the
@@ -44,6 +51,9 @@ type LocalLauncher struct{}
 
 // Start implements Launcher.
 func (LocalLauncher) Start(ctx context.Context, argv []string, stdout, stderr io.Writer) (Proc, error) {
+	if err := fpLauncherStart.Inject(); err != nil {
+		return nil, err
+	}
 	self, err := os.Executable()
 	if err != nil {
 		return nil, err

@@ -23,6 +23,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -31,6 +32,7 @@ import (
 
 	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/experiments"
+	"github.com/safari-repro/hbmrh/internal/failpoint"
 	"github.com/safari-repro/hbmrh/internal/results"
 	"github.com/safari-repro/hbmrh/internal/store"
 )
@@ -65,6 +67,19 @@ type Spec struct {
 	// -die-after KillAfter[i] and exits abruptly after sealing that many
 	// chunks. Retries relaunch it without the flag.
 	KillAfter map[int]int
+	// WorkerFailpoints, when non-empty, is a failpoint spec
+	// (internal/failpoint) passed to every worker's FIRST launch via
+	// -failpoints — the torture harness's hook for crashing workers at
+	// exact durability steps. Like KillAfter, relaunches come back clean.
+	WorkerFailpoints string
+	// Backoff is the base delay of the capped exponential backoff between
+	// a worker's relaunches: attempt n waits ~Backoff·2ⁿ (capped at 30s),
+	// scaled by a deterministic jitter factor in [0.5, 1.0) derived from
+	// the worker index and attempt, so a fleet of workers felled by one
+	// cause does not relaunch in lockstep yet every schedule is
+	// reproducible. Zero means the 250ms default; negative disables
+	// backoff (relaunch immediately).
+	Backoff time.Duration
 	// Launcher starts workers; nil means LocalLauncher.
 	Launcher Launcher
 	// Ctx cancels the run, killing every live worker.
@@ -126,6 +141,12 @@ func Run(s Spec) (*results.Artifact, error) {
 		return nil, err
 	}
 
+	backoff := s.Backoff
+	if backoff == 0 {
+		backoff = DefaultBackoff
+	} else if backoff < 0 {
+		backoff = 0
+	}
 	r := &run{
 		spec:     s,
 		retries:  retries,
@@ -133,6 +154,7 @@ func Run(s Spec) (*results.Artifact, error) {
 		dir:      dir,
 		launcher: s.Launcher,
 		logf:     logf,
+		backoff:  backoff,
 		total:    info.Jobs,
 		done:     map[int]int{},
 	}
@@ -223,6 +245,12 @@ func Run(s Spec) (*results.Artifact, error) {
 	return merged, nil
 }
 
+// DefaultBackoff is the relaunch backoff base when Spec.Backoff is zero.
+const DefaultBackoff = 250 * time.Millisecond
+
+// backoffCap bounds the exponential relaunch delay.
+const backoffCap = 30 * time.Second
+
 // run is the shared state of one coordinator execution.
 type run struct {
 	spec     Spec
@@ -231,6 +259,7 @@ type run struct {
 	dir      string
 	launcher Launcher
 	logf     func(string, ...any)
+	backoff  time.Duration // base delay; 0 = disabled
 
 	total int
 	mu    sync.Mutex
@@ -257,24 +286,41 @@ func (r *run) observe(worker int, e Event) {
 	r.spec.Progress(engine.Progress{Done: sum, Total: r.total})
 }
 
-// shard supervises one shard: launch, monitor, and — on death or stall —
-// relaunch within the retry budget. Journals make every relaunch a
-// resume; a rejected journal (ExitJournal) wipes the worker directory so
-// the relaunch starts the shard fresh.
+// shard supervises one shard: launch, monitor, and — on death, stall or
+// failed launch — relaunch within the retry budget, after a capped
+// exponential backoff so a struggling host is not hammered with
+// immediate respawns. Journals make every relaunch a resume; a rejected
+// journal (ExitJournal) wipes the worker directory so the relaunch
+// starts the shard fresh.
 func (r *run) shard(ctx context.Context, i, lo, hi int, out string) error {
 	dieAfter := r.spec.KillAfter[i]
+	failpoints := r.spec.WorkerFailpoints
 	workerDir := filepath.Join(r.dir, fmt.Sprintf("worker-%d", i))
 	for attempt := 0; ; attempt++ {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		argv := r.workerArgv(i, lo, hi, workerDir, out, dieAfter)
-		dieAfter = 0 // the injected death fires once
+		argv := r.workerArgv(i, lo, hi, workerDir, out, dieAfter, failpoints)
+		dieAfter, failpoints = 0, "" // injected faults fire on the first launch only
 		sink := &eventSink{last: time.Now(), onEvent: func(e Event) { r.observe(i, e) }}
 		stderr := newTailBuffer(4 << 10)
-		proc, err := r.launcher.Start(ctx, argv, sink, stderr)
-		if err != nil {
-			return fmt.Errorf("fleet: launching worker %d: %w", i, err)
+		proc, lerr := r.launcher.Start(ctx, argv, sink, stderr)
+		if lerr != nil {
+			// A failed spawn is a failed attempt, not a fatal run: the host
+			// may be briefly out of PIDs or file descriptors, exactly what
+			// backoff-and-retry exists for.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			r.logf("fleet: worker %d: launch failed: %v", i, lerr)
+			if attempt >= r.retries {
+				return fmt.Errorf("fleet: worker %d failed %d attempt(s) on jobs [%d,%d): launching: %w",
+					i, attempt+1, lo, hi, lerr)
+			}
+			if err := r.relaunchBackoff(ctx, i, attempt); err != nil {
+				return err
+			}
+			continue
 		}
 		r.logf("fleet: worker %d: attempt %d covering jobs [%d,%d)", i, attempt+1, lo, hi)
 
@@ -293,6 +339,8 @@ func (r *run) shard(ctx context.Context, i, lo, hi int, out string) error {
 			r.logf("fleet: worker %d stalled (no event for %s); killed", i, r.spec.StallTimeout)
 		case code == ExitInjected:
 			r.logf("fleet: worker %d died (injected)", i)
+		case code == failpoint.ExitCode:
+			r.logf("fleet: worker %d died (failpoint)", i)
 		case code == ExitJournal:
 			r.logf("fleet: worker %d rejected its journal; restarting the shard fresh", i)
 			if err := os.RemoveAll(workerDir); err != nil {
@@ -305,7 +353,48 @@ func (r *run) shard(ctx context.Context, i, lo, hi int, out string) error {
 			return fmt.Errorf("fleet: worker %d failed %d attempt(s) on jobs [%d,%d): %w\n%s",
 				i, attempt+1, lo, hi, werr, stderr.String())
 		}
+		if err := r.relaunchBackoff(ctx, i, attempt); err != nil {
+			return err
+		}
 	}
+}
+
+// relaunchBackoff waits out the backoff delay for the given failed
+// attempt (0-based), returning early only on cancellation.
+func (r *run) relaunchBackoff(ctx context.Context, worker, attempt int) error {
+	d := BackoffDelay(r.backoff, worker, attempt)
+	if d <= 0 {
+		return nil
+	}
+	r.logf("fleet: worker %d: backing off %s before relaunch", worker, d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// BackoffDelay computes the relaunch delay after a worker's failed
+// attempt (0-based): base·2^attempt capped at 30s, scaled by a
+// deterministic jitter factor in [0.5, 1.0) hashed from (worker,
+// attempt). Same inputs, same delay — reproducible fleet schedules with
+// de-synchronized relaunches. A base <= 0 disables backoff entirely.
+func BackoffDelay(base time.Duration, worker, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for n := 0; n < attempt && d < backoffCap; n++ {
+		d *= 2
+	}
+	d = min(d, backoffCap)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d:%d", worker, attempt)
+	frac := float64(h.Sum64()%1024) / 1024
+	return time.Duration(float64(d) * (0.5 + frac/2))
 }
 
 // watchStall arms the straggler gate for one worker attempt. It returns
@@ -349,7 +438,7 @@ func (r *run) watchStall(ctx context.Context, proc Proc, sink *eventSink) (stall
 
 // workerArgv renders one worker assignment as the WorkerCommand argv —
 // the whole coordinator→worker protocol.
-func (r *run) workerArgv(i, lo, hi int, dir, out string, dieAfter int) []string {
+func (r *run) workerArgv(i, lo, hi int, dir, out string, dieAfter int, failpoints string) []string {
 	s := r.spec
 	planner := s.Planner
 	if planner == "" {
@@ -378,6 +467,9 @@ func (r *run) workerArgv(i, lo, hi int, dir, out string, dieAfter int) []string 
 	}
 	if dieAfter > 0 {
 		argv = append(argv, "-die-after", strconv.Itoa(dieAfter))
+	}
+	if failpoints != "" {
+		argv = append(argv, "-failpoints", failpoints)
 	}
 	return argv
 }

@@ -240,6 +240,8 @@ func (f *flakyLauncher) Start(ctx context.Context, argv []string, stdout, stderr
 	switch f.mode {
 	case "hang":
 		return newHangProc(), nil
+	case "refuse":
+		return nil, errors.New("spawn refused")
 	default:
 		return failProc{}, nil
 	}
@@ -297,6 +299,68 @@ func TestFleetStallKillsAndRetries(t *testing.T) {
 	}
 	if joined := strings.Join(logs, "\n"); !strings.Contains(joined, "stalled") {
 		t.Fatalf("stall gate never fired; log:\n%s", joined)
+	}
+}
+
+// TestFleetLaunchFailureRetried refuses every worker's first spawn at
+// the launcher: a launch failure must burn a retry attempt (with
+// backoff) rather than fail the run, and the relaunch must produce
+// byte-identical output.
+func TestFleetLaunchFailureRetried(t *testing.T) {
+	want := singleProcessBytes(t, testStudy())
+	var logs []string
+	var mu sync.Mutex
+	got := fleetBytes(t, Spec{
+		Study:    testStudy(),
+		Workers:  2,
+		Dir:      t.TempDir(),
+		Retries:  1,
+		Backoff:  time.Millisecond,
+		Launcher: &flakyLauncher{mode: "refuse"},
+		Log: func(format string, a ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			logs = append(logs, fmt.Sprintf(format, a...))
+		},
+	})
+	if string(got) != string(want) {
+		t.Fatalf("artifact after launch-failure retry differs from single-process run")
+	}
+	joined := strings.Join(logs, "\n")
+	if !strings.Contains(joined, "launch failed") {
+		t.Fatalf("launch failure never reported; log:\n%s", joined)
+	}
+	if !strings.Contains(joined, "backing off") {
+		t.Fatalf("relaunch skipped its backoff; log:\n%s", joined)
+	}
+}
+
+// TestBackoffDelay pins the relaunch backoff shape: deterministic for a
+// given (worker, attempt), inside the jittered [d/2, d) window of the
+// doubled base, capped, and disabled by a non-positive base.
+func TestBackoffDelay(t *testing.T) {
+	base := DefaultBackoff
+	for attempt := 0; attempt < 12; attempt++ {
+		d := BackoffDelay(base, 3, attempt)
+		if d != BackoffDelay(base, 3, attempt) {
+			t.Fatalf("attempt %d: BackoffDelay not deterministic", attempt)
+		}
+		full := base << attempt
+		if full > 30*time.Second || full <= 0 { // shift past the cap (or overflow)
+			full = 30 * time.Second
+		}
+		if d < full/2 || d >= full {
+			t.Fatalf("attempt %d: delay %s outside jitter window [%s, %s)", attempt, d, full/2, full)
+		}
+	}
+	if d := BackoffDelay(base, 1, 0); d == BackoffDelay(base, 2, 0) {
+		t.Fatalf("workers 1 and 2 share jitter %s; want per-worker spread", d)
+	}
+	if d := BackoffDelay(0, 0, 5); d != 0 {
+		t.Fatalf("disabled backoff returned %s, want 0", d)
+	}
+	if d := BackoffDelay(-time.Second, 0, 5); d != 0 {
+		t.Fatalf("negative base returned %s, want 0", d)
 	}
 }
 

@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The pristine journal the fuzzer damages: one valid three-chunk
+// journal per process (its header, bytes, records and chunk directory),
+// built once because sealing chunks runs real (small) measurements.
+// Fuzz iterations only mutate copies of the journal bytes.
+var pristineOnce sync.Once
+var pristineHdr JournalHeader
+var pristineData []byte
+var pristineRecs []ChunkRecord
+var pristineDir string
+
+func pristineJournal(tb testing.TB) (JournalHeader, []byte, []ChunkRecord, string) {
+	pristineOnce.Do(func() {
+		var err error
+		if pristineDir, err = os.MkdirTemp("", "hbmrh-fuzz-journal-*"); err != nil {
+			tb.Fatal(err)
+		}
+		pristineHdr = testJournal(tb, pristineDir, 3)
+		if pristineData, err = os.ReadFile(journalPath(pristineDir)); err != nil {
+			tb.Fatal(err)
+		}
+		j, err := OpenJournal(pristineDir, pristineHdr)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		pristineRecs = j.Done()
+		j.Close()
+	})
+	return pristineHdr, pristineData, pristineRecs, pristineDir
+}
+
+// FuzzJournalRecovery throws arbitrary single-fault damage — a
+// truncation at any byte, or a bit-flip of any byte — at a valid journal
+// and pins the recovery contract: OpenJournal either resumes with a
+// strict prefix of the pristine records (the torn-tail allowance) or
+// refuses with ErrJournal. It must never misread: no successful open may
+// return a record that differs from the pristine sequence, because a
+// misread record is merged into the artifact and breaks byte-identity.
+func FuzzJournalRecovery(f *testing.F) {
+	hdr, pristine, recs, srcDir := pristineJournal(f)
+
+	// Seeds: no-op, empty file, header-only, cuts at each line boundary
+	// and mid-line, and flips in the header, a middle record, the final
+	// record's hash, and a newline.
+	f.Add(uint8(0), 0)
+	f.Add(uint8(0), len(pristine))
+	f.Add(uint8(0), len(pristine)-1)
+	f.Add(uint8(0), len(pristine)/2)
+	f.Add(uint8(0), 20)
+	f.Add(uint8(1), 10)
+	f.Add(uint8(7), len(pristine)/2)
+	f.Add(uint8(3), len(pristine)-2)
+	f.Add(uint8(4), len(pristine)-40)
+
+	f.Fuzz(func(t *testing.T, op uint8, pos int) {
+		mutated := append([]byte(nil), pristine...)
+		if op == 0 {
+			// Truncate: everything from pos on never reached the disk.
+			if pos < 0 {
+				pos = 0
+			}
+			if pos > len(mutated) {
+				pos = len(mutated)
+			}
+			mutated = mutated[:pos]
+		} else {
+			// Bit-flip: one stored byte decays. op picks the bit.
+			if len(mutated) == 0 {
+				t.Skip()
+			}
+			pos = ((pos % len(mutated)) + len(mutated)) % len(mutated)
+			mutated[pos] ^= 1 << (op % 8)
+		}
+
+		// Stage a directory with pristine chunk files and the damaged
+		// journal; the chunk files' own corruption is covered elsewhere
+		// (the SHA-256 check, TestJournalChunkCorruptionRejected).
+		dir := t.TempDir()
+		for _, rec := range recs {
+			if err := os.Link(filepath.Join(srcDir, rec.File), filepath.Join(dir, rec.File)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(journalPath(dir), mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		j, err := OpenJournal(dir, hdr)
+		if err != nil {
+			if !errors.Is(err, ErrJournal) {
+				t.Fatalf("damage (op %d, pos %d) rejected with a non-ErrJournal error: %v", op, pos, err)
+			}
+			return
+		}
+		defer j.Close()
+		done := j.Done()
+		if len(done) > len(recs) {
+			t.Fatalf("damage (op %d, pos %d) grew the journal: %d records, pristine has %d", op, pos, len(done), len(recs))
+		}
+		for i, rec := range done {
+			if !reflect.DeepEqual(rec, recs[i]) {
+				t.Fatalf("damage (op %d, pos %d) misread record %d: got %+v, pristine %+v", op, pos, i, rec, recs[i])
+			}
+		}
+		if want := hdr.Lo + len(done); j.Resumed() != want && !(len(done) > 0 && j.Resumed() == done[len(done)-1].Hi) {
+			t.Fatalf("damage (op %d, pos %d): resume at %d with %d single-job records", op, pos, j.Resumed(), len(done))
+		}
+	})
+}

@@ -9,7 +9,24 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/safari-repro/hbmrh/internal/failpoint"
 	"github.com/safari-repro/hbmrh/internal/results"
+)
+
+// Failpoint sites covering every durability step of the journal
+// protocol: the header commit, the atomic chunk-artifact write
+// (writeFileSync's write/sync/rename triple, shared with the shard
+// output), and the record append + sync. The torture harness kills or
+// tears each one and asserts the resumed run stays byte-identical
+// (DESIGN.md §13).
+var (
+	fpHeaderWrite = failpoint.Register("fleet/journal/header-write")
+	fpHeaderSync  = failpoint.Register("fleet/journal/header-sync")
+	fpRecordWrite = failpoint.Register("fleet/journal/record-write")
+	fpRecordSync  = failpoint.Register("fleet/journal/record-sync")
+	fpFileWrite   = failpoint.Register("fleet/write/payload")
+	fpFileSync    = failpoint.Register("fleet/write/sync")
+	fpFileRename  = failpoint.Register("fleet/write/rename")
 )
 
 // The worker journal: an append-only record of which job slices of a
@@ -157,7 +174,11 @@ func createJournal(dir string, hdr JournalHeader) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
-	if _, err := f.Write(append(line, '\n')); err != nil {
+	if _, err := fpHeaderWrite.Write(f, append(line, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := fpHeaderSync.Inject(); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -210,6 +231,14 @@ func validateJournal(dir string, want JournalHeader, data []byte) ([]ChunkRecord
 		if rec.Lo != next || rec.Hi <= rec.Lo || rec.Hi > hdr.Hi {
 			return nil, fmt.Errorf("%w: %s: record %d covers [%d,%d), want a slice starting at %d within [%d,%d)",
 				ErrJournal, journalPath(dir), i+1, rec.Lo, rec.Hi, next, hdr.Lo, hdr.Hi)
+		}
+		// The file name re-derives from the slice, so a corrupted Lo/Hi (or
+		// File) cannot pair a valid record with the wrong chunk artifact:
+		// without this, a bit-flipped Hi on the final record would pass the
+		// hash check against the old file and silently skip jobs on resume.
+		if rec.File != chunkFileName(rec.Lo, rec.Hi) {
+			return nil, fmt.Errorf("%w: %s: record %d names file %q for slice [%d,%d), want %q",
+				ErrJournal, journalPath(dir), i+1, rec.File, rec.Lo, rec.Hi, chunkFileName(rec.Lo, rec.Hi))
 		}
 		if err := verifyChunkFile(dir, rec); err != nil {
 			return nil, err
@@ -284,7 +313,10 @@ func (j *Journal) Append(a *results.Artifact, lo, hi int) error {
 	if err != nil {
 		return err
 	}
-	if _, err := j.f.Write(append(line, '\n')); err != nil {
+	if _, err := fpRecordWrite.Write(j.f, append(line, '\n')); err != nil {
+		return err
+	}
+	if err := fpRecordSync.Inject(); err != nil {
 		return err
 	}
 	if err := j.f.Sync(); err != nil {
@@ -306,14 +338,21 @@ func (j *Journal) ReadChunk(rec ChunkRecord) (*results.Artifact, error) {
 func (j *Journal) Close() error { return j.f.Close() }
 
 // writeFileSync writes data to path atomically: temp file in the same
-// directory, sync, rename.
+// directory, sync, rename. Each of the three durability steps carries a
+// failpoint site; a kill between any two leaves either no file or the
+// complete old/new file, never a torn visible one — which the torture
+// harness proves by crashing at each site in turn.
 func writeFileSync(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := fpFileWrite.Write(tmp, data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := fpFileSync.Inject(); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -322,6 +361,9 @@ func writeFileSync(path string, data []byte) error {
 		return err
 	}
 	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := fpFileRename.Inject(); err != nil {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)

@@ -14,7 +14,8 @@ import (
 
 // testJournal seals the first `chunks` single-job chunks of the test
 // study into a fresh journal in dir and closes it, returning the header.
-func testJournal(t *testing.T, dir string, chunks int) JournalHeader {
+// (testing.TB so the fuzz harness can share it.)
+func testJournal(t testing.TB, dir string, chunks int) JournalHeader {
 	t.Helper()
 	s := testStudy()
 	opts, err := s.options(context.Background())
@@ -160,6 +161,32 @@ func TestJournalChunkCorruptionRejected(t *testing.T) {
 	}
 	data[len(data)/2] ^= 0x40
 	if err := os.WriteFile(chunk, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reopen(t, dir, hdr); !errors.Is(err, ErrJournal) {
+		t.Fatalf("got %v, want ErrJournal", err)
+	}
+}
+
+// TestJournalRecordFileMismatchRejected pins the Lo/Hi↔File cross-check:
+// a committed record whose slice was corrupted to a different — but
+// still contiguous and in-range — slice would pass the hash check
+// against the old chunk file and silently skip the jobs in between on
+// resume. The file name re-derives from the slice, so the forgery must
+// be refused.
+func TestJournalRecordFileMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	hdr := testJournal(t, dir, 1)
+	path := journalPath(dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	widened := strings.Replace(string(data), `"lo":0,"hi":1`, `"lo":0,"hi":2`, 1)
+	if widened == string(data) {
+		t.Fatal("record slice not found")
+	}
+	if err := os.WriteFile(path, []byte(widened), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := reopen(t, dir, hdr); !errors.Is(err, ErrJournal) {

@@ -14,7 +14,17 @@ import (
 	"github.com/safari-repro/hbmrh/internal/config"
 	"github.com/safari-repro/hbmrh/internal/engine"
 	"github.com/safari-repro/hbmrh/internal/experiments"
+	"github.com/safari-repro/hbmrh/internal/failpoint"
 	"github.com/safari-repro/hbmrh/internal/results"
+)
+
+// Worker-lifecycle failpoint sites: the top of every chunk iteration
+// (where a stall simulates a wedged measurement and a kill a mid-shard
+// crash) and the moment between the last sealed chunk and the shard
+// output write (a crash there must resume into reassembly alone).
+var (
+	fpWorkerChunk = failpoint.Register("fleet/worker/chunk")
+	fpWorkerOut   = failpoint.Register("fleet/worker/out")
 )
 
 // Study is the serializable experiment selection a fleet run forwards to
@@ -169,6 +179,9 @@ func RunWorker(ctx context.Context, w WorkerSpec, events io.Writer) error {
 	sealed := 0
 	for a := j.Resumed(); a < w.Hi; a = min(a+chunk, w.Hi) {
 		b := min(a+chunk, w.Hi)
+		if err := fpWorkerChunk.Inject(); err != nil {
+			return fmt.Errorf("fleet: worker %d jobs [%d,%d): %w", w.Worker, a, b, err)
+		}
 		art, err := experiments.RunSlice(w.Experiment, opts, a, b)
 		if err != nil {
 			return fmt.Errorf("fleet: worker %d jobs [%d,%d): %w", w.Worker, a, b, err)
@@ -185,6 +198,9 @@ func RunWorker(ctx context.Context, w WorkerSpec, events io.Writer) error {
 	// Reassemble the shard from the journal — every chunk, including the
 	// ones sealed seconds ago, reloads from disk, so what merges is
 	// exactly what a resumed process would have merged.
+	if err := fpWorkerOut.Inject(); err != nil {
+		return fmt.Errorf("fleet: worker %d sealing shard: %w", w.Worker, err)
+	}
 	var shard *results.Artifact
 	for _, rec := range j.Done() {
 		a, err := j.ReadChunk(rec)
@@ -235,12 +251,19 @@ func WorkerMain(args []string) int {
 	fs.StringVar(&w.Dir, "dir", "", "journal directory")
 	fs.StringVar(&w.Out, "out", "", "shard artifact output file")
 	fs.IntVar(&w.DieAfter, "die-after", 0, "fault injection: exit after N journaled chunks")
+	failpoints := fs.String("failpoints", "", "failpoint spec armed in this worker process (see internal/failpoint)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if w.Experiment == "" || w.Dir == "" || w.Out == "" {
 		fmt.Fprintln(os.Stderr, "fleet-worker: -experiment, -dir and -out are required")
 		return 2
+	}
+	if *failpoints != "" {
+		if err := failpoint.Arm(*failpoints); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet-worker:", err)
+			return 2
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

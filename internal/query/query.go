@@ -30,9 +30,19 @@ import (
 	"sync"
 
 	"github.com/safari-repro/hbmrh/internal/defense"
+	"github.com/safari-repro/hbmrh/internal/failpoint"
 	"github.com/safari-repro/hbmrh/internal/report"
 	"github.com/safari-repro/hbmrh/internal/results"
 	"github.com/safari-repro/hbmrh/internal/store"
+)
+
+// Failpoint sites on the serving path: render (a failed render must
+// return 500 without poisoning the cache — the next request re-renders
+// and succeeds) and ingest (a failed POST must leave store and cache
+// generations untouched).
+var (
+	fpQueryRender = failpoint.Register("query/render")
+	fpQueryIngest = failpoint.Register("query/ingest")
 )
 
 // MaxIngestBytes bounds a POST /v1/ingest body.
@@ -89,10 +99,7 @@ func (s *Server) Stats() CacheStats {
 // POST /v1/ingest.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/v1/keys", s.keys)
 	mux.HandleFunc("/v1/ingest", s.ingest)
 	for path, render := range map[string]renderFunc{
@@ -159,6 +166,9 @@ func (s *Server) cached(path string, render renderFunc) http.HandlerFunc {
 // miss renders under single-flight while concurrent requests for the
 // same key wait for the leader's result.
 func (s *Server) render(snap *store.Snapshot, path string, params url.Values, render renderFunc) ([]byte, string, error) {
+	if err := fpQueryRender.Inject(); err != nil {
+		return nil, "", err
+	}
 	key := cacheKey(path, params)
 
 	s.mu.Lock()
@@ -249,6 +259,30 @@ func groupByParam(snap *store.Snapshot, params url.Values) (results.GroupBy, err
 
 // --- endpoint renders ------------------------------------------------
 
+// healthz reports liveness plus the store's degradation state: "ok"
+// with a healthy store, "degraded" (still HTTP 200 — the service is up
+// and serving what it has) when Open quarantined objects, with the
+// quarantined files listed so an operator knows which shards to
+// re-ingest.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	q := s.st.Quarantined()
+	status := "ok"
+	files := make([]string, 0, len(q))
+	for _, o := range q {
+		files = append(files, o.File)
+	}
+	if len(q) > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, struct {
+		Status      string   `json:"status"`
+		Corpora     int      `json:"corpora"`
+		StoreGen    uint64   `json:"store_generation"`
+		Quarantined int      `json:"quarantined"`
+		Files       []string `json:"quarantined_files,omitempty"`
+	}{status, len(s.st.Corpora()), s.st.Generation(), len(q), files})
+}
+
 // keys lists the store's corpora with their snapshot state; uncached
 // (it is the discovery endpoint and already cheap).
 func (s *Server) keys(w http.ResponseWriter, r *http.Request) {
@@ -292,6 +326,10 @@ func (s *Server) keys(w http.ResponseWriter, r *http.Request) {
 func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := fpQueryIngest.Inject(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	data, err := io.ReadAll(io.LimitReader(r.Body, MaxIngestBytes+1))

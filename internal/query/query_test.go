@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -137,8 +139,19 @@ func TestQueryEndpoints(t *testing.T) {
 	h := s.Handler()
 
 	code, body := get(t, h, "/healthz")
-	if code != http.StatusOK || string(body) != "ok\n" {
+	if code != http.StatusOK {
 		t.Fatalf("healthz: %d %q", code, body)
+	}
+	var health struct {
+		Status      string `json:"status"`
+		Corpora     int    `json:"corpora"`
+		Quarantined int    `json:"quarantined"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Corpora != 1 || health.Quarantined != 0 {
+		t.Fatalf("healthz: %+v, want ok with 1 corpus and nothing quarantined", health)
 	}
 
 	code, body = get(t, h, "/v1/keys")
@@ -242,6 +255,51 @@ func TestQueryEndpoints(t *testing.T) {
 	}
 	if code, _ = get(t, h, "/v1/summary?group-by=bogus"); code != http.StatusBadRequest {
 		t.Fatalf("bad axis: %d", code)
+	}
+}
+
+// TestQueryHealthzDegraded opens a store whose directory holds one
+// corrupt object: /healthz must stay HTTP 200 (the service is up and
+// serving what survived) but report "degraded" with the quarantine
+// details, so probes and dashboards see the damage.
+func TestQueryHealthzDegraded(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.IngestArtifact(shard(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	objects, err := filepath.Glob(filepath.Join(dir, "objects", "*.json"))
+	if err != nil || len(objects) != 1 {
+		t.Fatalf("objects: %v (err %v), want 1", objects, err)
+	}
+	if err := os.WriteFile(objects[0], []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = store.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	h := New(st).Handler()
+
+	code, body := get(t, h, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("degraded healthz must stay 200, got %d %q", code, body)
+	}
+	var health struct {
+		Status           string   `json:"status"`
+		Quarantined      int      `json:"quarantined"`
+		QuarantinedFiles []string `json:"quarantined_files"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.Quarantined != 1 {
+		t.Fatalf("healthz: %+v, want degraded with 1 quarantined", health)
+	}
+	if len(health.QuarantinedFiles) != 1 || health.QuarantinedFiles[0] != filepath.Base(objects[0]) {
+		t.Fatalf("quarantined_files %v, want the torn object's name", health.QuarantinedFiles)
 	}
 }
 

@@ -38,17 +38,39 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/safari-repro/hbmrh/internal/failpoint"
 	"github.com/safari-repro/hbmrh/internal/results"
+)
+
+// Failpoint sites on the write path: the ingest gate (before any state
+// changes, so an injected failure must leave store and generations
+// untouched) and the object persist (tear-able, so a crash mid-write
+// leaves a corrupt objects/*.json for Open's quarantine to absorb).
+var (
+	fpStoreIngest = failpoint.Register("store/ingest")
+	fpStoreWrite  = failpoint.Register("store/object/write")
 )
 
 // Store is the artifact store. All methods are safe for concurrent use.
 type Store struct {
 	dir string // "" = in-memory
 
-	mu      sync.RWMutex
-	gen     uint64
-	corpora map[string]*corpus
-	ordered []string // corpus IDs, sorted
+	mu          sync.RWMutex
+	gen         uint64
+	corpora     map[string]*corpus
+	ordered     []string // corpus IDs, sorted
+	quarantined []QuarantinedObject
+}
+
+// QuarantinedObject records one object file Open moved aside instead of
+// replaying: the store runs degraded (that shard's data is absent until
+// re-ingested) but it runs.
+type QuarantinedObject struct {
+	// File is the object file name (within objects/, now under
+	// objects/quarantine/).
+	File string
+	// Reason is the replay failure that condemned it.
+	Reason string
 }
 
 // corpus is the shard set of one (tool, config hash) pair.
@@ -109,6 +131,14 @@ type Snapshot struct {
 
 // Open opens the store at dir, replaying any persisted objects; dir ""
 // opens an empty in-memory store. The directory is created if missing.
+//
+// An object that cannot be replayed — unreadable, torn by a crash
+// mid-write, or conflicting with already-replayed members — does not
+// fail the open: it is moved to objects/quarantine/ and recorded, and
+// replay continues with the rest. One corrupt file costs one shard (its
+// data returns on the next ingest of those bytes), not the whole store;
+// Quarantined reports the damage and the query service surfaces it as a
+// degraded /healthz.
 func Open(dir string) (*Store, error) {
 	s := &Store{dir: dir, corpora: map[string]*corpus{}}
 	if dir == "" {
@@ -130,14 +160,38 @@ func Open(dir string) (*Store, error) {
 		}
 		path := filepath.Join(objects, e.Name())
 		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, fmt.Errorf("store: %w", err)
+		if err == nil {
+			_, err = s.ingest(data, false)
 		}
-		if _, err := s.ingest(data, false); err != nil {
-			return nil, fmt.Errorf("store: replaying %s: %w", path, err)
+		if err != nil {
+			if qerr := s.quarantine(objects, e.Name(), err); qerr != nil {
+				return nil, qerr
+			}
 		}
 	}
 	return s, nil
+}
+
+// quarantine moves one condemned object file into objects/quarantine/
+// and records why, so replay can continue past it.
+func (s *Store) quarantine(objects, name string, cause error) error {
+	qdir := filepath.Join(objects, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("store: quarantining %s: %w", name, err)
+	}
+	if err := os.Rename(filepath.Join(objects, name), filepath.Join(qdir, name)); err != nil {
+		return fmt.Errorf("store: quarantining %s: %w", name, err)
+	}
+	s.quarantined = append(s.quarantined, QuarantinedObject{File: name, Reason: cause.Error()})
+	return nil
+}
+
+// Quarantined reports the objects Open moved aside, in replay order. A
+// non-empty result means the store is serving a degraded view.
+func (s *Store) Quarantined() []QuarantinedObject {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]QuarantinedObject(nil), s.quarantined...)
 }
 
 // Dir returns the store's directory ("" for in-memory).
@@ -207,6 +261,15 @@ func (s *Store) IngestFiles(args ...string) ([]IngestResult, error) {
 }
 
 func (s *Store) ingest(data []byte, persist bool) (IngestResult, error) {
+	// Live ingests only (replay is exempt: an injected replay failure
+	// would quarantine a pristine object). Firing before any work is the
+	// point — an ingest that fails here must be indistinguishable from one
+	// that never arrived.
+	if persist {
+		if err := fpStoreIngest.Inject(); err != nil {
+			return IngestResult{}, err
+		}
+	}
 	a, err := results.Decode(data)
 	if err != nil {
 		return IngestResult{}, err
@@ -248,10 +311,13 @@ func (s *Store) ingest(data []byte, persist bool) (IngestResult, error) {
 	}
 
 	// Accept: persist first so a crash between write and index rebuild
-	// just replays the object on the next Open.
+	// just replays the object on the next Open. A crash mid-write instead
+	// leaves a torn objects/*.json that the next Open quarantines — either
+	// way the accepted state is recoverable, which the torture harness
+	// pins by tearing this exact write.
 	if persist && s.dir != "" {
 		path := filepath.Join(s.dir, "objects", hash+".json")
-		if err := os.WriteFile(path, canon, 0o644); err != nil {
+		if err := writeObject(path, canon); err != nil {
 			return IngestResult{}, fmt.Errorf("store: %w", err)
 		}
 	}
@@ -290,6 +356,25 @@ func (s *Store) ingest(data []byte, persist bool) (IngestResult, error) {
 		Pending:  len(c.members) - c.mergedCount,
 		Complete: c.mergedCount == len(c.members),
 	}, nil
+}
+
+// writeObject persists one object file through the tear-able failpoint
+// site: the payload, then sync, so what a crash leaves behind is exactly
+// the prefix that reached the disk.
+func writeObject(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fpStoreWrite.Write(f, data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // checkConflicts applies the results.Merge conflict matrix between the

@@ -3,6 +3,9 @@ package store
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -304,6 +307,96 @@ func TestStoreSeparateCorpora(t *testing.T) {
 	}
 	if _, err := s.Resolve("nope"); err == nil {
 		t.Fatal("unknown key resolved")
+	}
+}
+
+// TestStoreQuarantineCorruptObject damages one persisted object and
+// reopens: the store must move it to objects/quarantine/, report it, and
+// keep serving the intact corpus — and a re-ingest of the lost shard
+// must restore the full merge (content addressing self-heals).
+func TestStoreQuarantineCorruptObject(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, s, shard(0, 2))
+	ingest(t, s, shard(2, 3))
+	want, err := s.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := want.Merged.SummaryJSON(results.ByChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear one object mid-file, the wreckage a crash during writeObject
+	// leaves behind.
+	objects, err := filepath.Glob(filepath.Join(dir, "objects", "*.json"))
+	if err != nil || len(objects) != 2 {
+		t.Fatalf("objects on disk: %v (err %v), want 2", objects, err)
+	}
+	sort.Strings(objects)
+	victim := objects[0]
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with a corrupt object must degrade, not fail: %v", err)
+	}
+	q := re.Quarantined()
+	if len(q) != 1 || q[0].File != filepath.Base(victim) || q[0].Reason == "" {
+		t.Fatalf("quarantined %+v, want exactly the torn object with a reason", q)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "objects", "quarantine", filepath.Base(victim))); err != nil {
+		t.Fatalf("torn object not moved into objects/quarantine/: %v", err)
+	}
+	snap, err := re.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Members != 1 {
+		t.Fatalf("degraded store serves %d member(s), want the 1 intact shard", snap.Members)
+	}
+
+	// Re-ingesting the shards heals the corpus back to full strength:
+	// the survivor dedups, the quarantined one is restored. (Which of the
+	// two objects was torn depends on hash order, so replay both.)
+	ingest(t, re, shard(0, 2))
+	ingest(t, re, shard(2, 3))
+	healed, err := re.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Members != 2 || !healed.Complete {
+		t.Fatalf("after re-ingest: members=%d complete=%v", healed.Members, healed.Complete)
+	}
+	gotJSON, err := healed.Merged.SummaryJSON(results.ByChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Error("healed store renders different bytes than before the damage")
+	}
+
+	// The quarantine directory must not be replayed as objects on the
+	// next open.
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Quarantined()) != 0 {
+		t.Fatalf("clean reopen still quarantines: %+v", again.Quarantined())
+	}
+	if snap, err := again.Resolve(""); err != nil || snap.Members != 2 {
+		t.Fatalf("clean reopen: members=%d err=%v, want 2", snap.Members, err)
 	}
 }
 
