@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-engine bench-scaling lint smoke paper-smoke torture ci
+.PHONY: build test bench bench-engine bench-scaling bench-query lint smoke paper-smoke torture ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ bench-engine:
 # BENCH_scaling.json (schema in scripts/README.md).
 bench-scaling:
 	sh scripts/bench_scaling.sh
+
+# The serving data plane's latency budget + ingest throughput:
+# open-loop loadgen over the mixed endpoint set and the incremental-vs-
+# full-rebuild ingest benchmark, regenerating BENCH_query.json (schema
+# in scripts/README.md). Set BENCH_NOTE to describe the refresh.
+bench-query:
+	sh scripts/bench_query.sh
 
 # Sharded-fleet smoke, byte-comparing sharded-vs-single-process output
 # for two registry experiments (the distributable-fleet contract):
@@ -104,6 +111,14 @@ smoke:
 	$(GO) test -race -count=1 \
 		-run 'TestFleetKillResumeByteIdentical|TestFleetStallKillsAndRetries' \
 		./internal/fleet
+	# Load-harness smoke against the store just built above: a fixed
+	# closed-loop request count with the serving gates armed — zero
+	# 4xx/5xx, warm-cache hit rate >= 0.9, and 304 revalidation
+	# correctness (bodiless, only in answer to If-None-Match).
+	$(GO) run ./cmd/loadgen -store $(SMOKE_DIR)/store -requests 400 \
+		-concurrency 4 -gzip 0.25 -conditional 0.25 \
+		-endpoints '/v1/summary,/v1/csv,/v1/render,/v1/artifact' \
+		-check-304 -min-hit-rate 0.9 -max-5xx 0 -max-4xx 0
 	rm -rf $(SMOKE_DIR)
 
 # Crash-consistency torture: every registered failpoint site armed in

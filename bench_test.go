@@ -413,11 +413,31 @@ func BenchmarkExtAdaptiveDefense(b *testing.B) {
 	}
 }
 
-// BenchmarkQueryHotCache measures the query service's cached read path:
-// a store built from four fleet shards, one warm /v1/summary entry, and
-// every iteration a full HTTP round trip that must be served from the
-// generation-keyed cache without re-rendering.
-func BenchmarkQueryHotCache(b *testing.B) {
+// benchWriter is a reusable ResponseWriter for the hot-cache
+// benchmarks: the header map persists across iterations (reset between
+// them) and bodies are counted, not stored, so the measurement is the
+// serving data plane rather than httptest.NewRecorder's per-iteration
+// buffer growth.
+type benchWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *benchWriter) Header() http.Header         { return w.h }
+func (w *benchWriter) Write(b []byte) (int, error) { w.n += len(b); return len(b), nil }
+func (w *benchWriter) WriteHeader(code int)        { w.status = code }
+func (w *benchWriter) reset() {
+	for k := range w.h {
+		delete(w.h, k)
+	}
+	w.status, w.n = http.StatusOK, 0
+}
+
+// queryBenchHandler builds the shared fixture: a store from four fleet
+// shards behind the query service, with one warm /v1/summary entry.
+func queryBenchHandler(b *testing.B) http.Handler {
+	b.Helper()
 	st, err := hbmrh.OpenArtifactStore("")
 	if err != nil {
 		b.Fatal(err)
@@ -435,18 +455,69 @@ func BenchmarkQueryHotCache(b *testing.B) {
 		}
 	}
 	handler := hbmrh.NewQueryServer(st).Handler()
-	req := httptest.NewRequest(http.MethodGet, "/v1/summary", nil)
 	warm := httptest.NewRecorder()
-	handler.ServeHTTP(warm, req)
+	handler.ServeHTTP(warm, httptest.NewRequest(http.MethodGet, "/v1/summary", nil))
 	if warm.Code != http.StatusOK {
 		b.Fatalf("warmup status %d: %s", warm.Code, warm.Body.String())
 	}
+	return handler
+}
+
+// BenchmarkQueryHotCache measures the query service's cached read path:
+// every iteration a full HTTP round trip that must be served from the
+// generation-keyed variant cache without re-rendering — the path the
+// ≤2 allocs/op pin in internal/query guards.
+func BenchmarkQueryHotCache(b *testing.B) {
+	handler := queryBenchHandler(b)
+	req := httptest.NewRequest(http.MethodGet, "/v1/summary", nil)
+	w := &benchWriter{h: make(http.Header, 16)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w := httptest.NewRecorder()
+		w.reset()
 		handler.ServeHTTP(w, req)
-		if w.Code != http.StatusOK {
+		if w.status != http.StatusOK || w.n == 0 {
 			b.Fatal("cache read failed")
+		}
+	}
+}
+
+// BenchmarkQueryHotCacheGzip is the same hit served from the
+// pre-compressed variant: Accept-Encoding: gzip must cost a body copy,
+// never a per-request compression.
+func BenchmarkQueryHotCacheGzip(b *testing.B) {
+	handler := queryBenchHandler(b)
+	req := httptest.NewRequest(http.MethodGet, "/v1/summary", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	w := &benchWriter{h: make(http.Header, 16)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		handler.ServeHTTP(w, req)
+		if w.status != http.StatusOK || w.n == 0 {
+			b.Fatal("gzip cache read failed")
+		}
+	}
+}
+
+// BenchmarkQueryHotCache304 is the revalidation fast path: a matching
+// If-None-Match answered 304 without touching either body.
+func BenchmarkQueryHotCache304(b *testing.B) {
+	handler := queryBenchHandler(b)
+	probe := httptest.NewRecorder()
+	handler.ServeHTTP(probe, httptest.NewRequest(http.MethodGet, "/v1/summary", nil))
+	etag := probe.Header().Get("ETag")
+	if etag == "" {
+		b.Fatal("no ETag on the warm entry")
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/summary", nil)
+	req.Header.Set("If-None-Match", etag)
+	w := &benchWriter{h: make(http.Header, 16)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		handler.ServeHTTP(w, req)
+		if w.status != http.StatusNotModified || w.n != 0 {
+			b.Fatal("revalidation missed")
 		}
 	}
 }

@@ -1,0 +1,656 @@
+// Command loadgen is the latency-budgeted load harness for the query
+// service's serving data plane. It drives the same handler resultsd
+// serves — in-process, so the numbers measure the data plane (cache,
+// render, variant selection), not the kernel's networking stack — with
+// an OPEN-LOOP arrival process: requests are scheduled on a fixed
+// timeline (-rps) before any response returns, and each latency is
+// measured from the request's *scheduled* arrival, not from when a
+// worker got around to sending it. A saturated server therefore shows
+// its real queueing tail instead of the coordinated-omission mirage a
+// closed-loop client produces.
+//
+// Three modes:
+//
+//	# load an existing store (e.g. the smoke store) at 2000 rps
+//	loadgen -store .smoke/store -rps 2000 -requests 10000 \
+//	        -endpoints '/v1/summary,/v1/csv' -gzip 0.3 -conditional 0.3
+//
+//	# synthesize a 32-shard corpus in memory and measure the hot path
+//	loadgen -synthetic 32 -requests 50000 -json
+//
+//	# ingest-throughput benchmark: incremental merge vs full rebuild
+//	loadgen -ingest-bench 256 -json
+//
+// Latencies land in an HDR-style log-bucketed histogram (32 linear
+// sub-buckets per power of two, ≤3.2% relative error at any magnitude),
+// merged across workers after the run; the report carries p50/p90/p99/
+// p999/max/mean, per-class status counts, cache hit rate from the
+// server's own counters, and 304/gzip accounting. With -rps 0 the
+// harness degenerates to a closed loop (latency from send time), which
+// is what the smoke gate uses for a deterministic request count.
+//
+// Acceptance gates (-min-hit-rate, -max-5xx, -max-4xx, -check-304) turn
+// the harness into a CI check: any violated gate exits non-zero. See
+// DESIGN.md §14 for the methodology and scripts/README.md for the JSON
+// schema.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/bits"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/safari-repro/hbmrh/internal/query"
+	"github.com/safari-repro/hbmrh/internal/results"
+	"github.com/safari-repro/hbmrh/internal/stats"
+	"github.com/safari-repro/hbmrh/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		storeDir    = flag.String("store", "", "open an existing artifact store directory")
+		synthetic   = flag.Int("synthetic", 0, "build an in-memory store from N synthetic multichip shards")
+		ingestBench = flag.Int("ingest-bench", 0, "run the ingest-throughput benchmark over N shards (incremental vs full rebuild) and exit")
+		rps         = flag.Float64("rps", 0, "open-loop arrival rate; 0 = closed loop (send as fast as workers allow)")
+		requests    = flag.Int("requests", 10000, "total requests to issue")
+		concurrency = flag.Int("concurrency", 8, "worker goroutines draining the arrival schedule")
+		endpoints   = flag.String("endpoints", "/v1/summary,/v1/csv", "comma-separated GET paths to mix uniformly")
+		gzipFrac    = flag.Float64("gzip", 0, "fraction of requests sent with Accept-Encoding: gzip")
+		condFrac    = flag.Float64("conditional", 0, "fraction of requests revalidating with If-None-Match (last ETag seen per worker+endpoint)")
+		seed        = flag.Int64("seed", 1, "seed for the endpoint/variant mix (deterministic per request index)")
+		jsonOut     = flag.Bool("json", false, "print the machine-readable report to stdout (human summary goes to stderr)")
+		minHitRate  = flag.Float64("min-hit-rate", -1, "gate: fail unless cache hit rate >= this fraction")
+		max5xx      = flag.Int("max-5xx", -1, "gate: fail if more than this many 5xx responses")
+		max4xx      = flag.Int("max-4xx", -1, "gate: fail if more than this many 4xx responses")
+		check304    = flag.Bool("check-304", false, "gate: require >=1 valid 304 (conditional mix must be >0) and zero 304 protocol violations")
+	)
+	flag.Parse()
+
+	if *ingestBench > 0 {
+		runIngestBench(*ingestBench, *jsonOut)
+		return
+	}
+
+	st, err := openStore(*storeDir, *synthetic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := query.New(st)
+	paths := splitEndpoints(*endpoints)
+	if len(paths) == 0 {
+		log.Fatal("no endpoints to drive (-endpoints)")
+	}
+
+	rep := drive(srv, driveConfig{
+		rps:         *rps,
+		requests:    *requests,
+		concurrency: *concurrency,
+		endpoints:   paths,
+		gzipFrac:    *gzipFrac,
+		condFrac:    *condFrac,
+		seed:        *seed,
+	})
+
+	rep.Checks = applyGates(rep, gates{
+		minHitRate: *minHitRate,
+		max5xx:     *max5xx,
+		max4xx:     *max4xx,
+		check304:   *check304,
+		condFrac:   *condFrac,
+	})
+
+	printHuman(rep)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !rep.Checks.Passed {
+		os.Exit(1)
+	}
+}
+
+func openStore(dir string, synthetic int) (*store.Store, error) {
+	if dir != "" && synthetic > 0 {
+		return nil, fmt.Errorf("-store and -synthetic are mutually exclusive")
+	}
+	if dir == "" && synthetic == 0 {
+		return nil, fmt.Errorf("nothing to serve: pass -store DIR or -synthetic N")
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < synthetic; i++ {
+		if _, err := st.IngestArtifact(synthShard(uint64(i), 1)); err != nil {
+			return nil, fmt.Errorf("synthetic shard %d: %w", i, err)
+		}
+	}
+	return st, nil
+}
+
+func splitEndpoints(csv string) []string {
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// synthShard fabricates one multichip-shaped shard on the seed axis —
+// the same region×channel×{wcdp_ber, wcdp_hc_first} shape the fleet
+// produces — so synthetic runs exercise the real render paths.
+func synthShard(seedFirst uint64, seedCount int) *results.Artifact {
+	regions := []string{"first", "middle", "last"}
+	const channels = 4
+	a := &results.Artifact{
+		Meta: results.Meta{
+			Format:      results.FormatVersion,
+			Tool:        "multichip",
+			CodeVersion: "loadgen-synth",
+			ConfigHash:  "10adcafe",
+			GroupBy:     results.ByRegionChannel.String(),
+			SeedFirst:   seedFirst,
+			SeedCount:   seedCount,
+			ShardCount:  1,
+			Params:      map[string]string{"rows": "4"},
+		},
+	}
+	for _, r := range regions {
+		for ch := 0; ch < channels; ch++ {
+			a.Groups = append(a.Groups, results.Group{
+				Key: results.Key{Region: r, Channel: ch},
+				Metrics: []results.Metric{
+					{Name: "wcdp_ber", Stream: stats.NewStream(0, 1)},
+					{Name: "wcdp_hc_first", Stream: stats.NewStream(0, 100000)},
+				},
+			})
+		}
+	}
+	for s := seedFirst; s < seedFirst+uint64(seedCount); s++ {
+		rng := rand.New(rand.NewSource(int64(s)))
+		for gi := range a.Groups {
+			for k := 0; k < 5; k++ {
+				a.Groups[gi].Metrics[0].Stream.Add(rng.Float64())
+				a.Groups[gi].Metrics[1].Stream.Add(10000 + rng.Float64()*50000)
+			}
+		}
+		a.Chips = append(a.Chips, results.ChipRecord{
+			Seed: s, MinHCFirst: 10000 + int(s)*100, TRRPeriod: int(s%3) * 2048,
+		})
+	}
+	return a
+}
+
+// ---------------------------------------------------------------------
+// Load drive
+// ---------------------------------------------------------------------
+
+// spinWindow is how close to a scheduled arrival the pacer switches
+// from sleeping to spinning.
+const spinWindow = 2 * time.Millisecond
+
+type driveConfig struct {
+	rps         float64
+	requests    int
+	concurrency int
+	endpoints   []string
+	gzipFrac    float64
+	condFrac    float64
+	seed        int64
+}
+
+// Report is the machine-readable run record; scripts/README.md pins the
+// schema for BENCH_query.json consumers.
+type Report struct {
+	Config struct {
+		RPS         float64  `json:"rps"`
+		Requests    int      `json:"requests"`
+		Concurrency int      `json:"concurrency"`
+		Endpoints   []string `json:"endpoints"`
+		GzipFrac    float64  `json:"gzip_frac"`
+		CondFrac    float64  `json:"conditional_frac"`
+		Seed        int64    `json:"seed"`
+	} `json:"config"`
+	DurationS   float64 `json:"duration_s"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Status      struct {
+		OK2xx     uint64 `json:"2xx"`
+		NM304     uint64 `json:"304"`
+		Err4xx    uint64 `json:"4xx"`
+		Err5xx    uint64 `json:"5xx"`
+		GzipBody  uint64 `json:"gzip_bodies"`
+		Bad304    uint64 `json:"bad_304"`
+		BytesServ uint64 `json:"bytes_served"`
+	} `json:"status"`
+	LatencyUS struct {
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+		P999 float64 `json:"p999"`
+		Max  float64 `json:"max"`
+		Mean float64 `json:"mean"`
+	} `json:"latency_us"`
+	Cache struct {
+		Hits    uint64  `json:"hits"`
+		Misses  uint64  `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"cache"`
+	Checks checkReport `json:"checks"`
+}
+
+type checkReport struct {
+	Passed   bool     `json:"passed"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+type gates struct {
+	minHitRate float64
+	max5xx     int
+	max4xx     int
+	check304   bool
+	condFrac   float64
+}
+
+// workerState aggregates per worker so the hot loop touches no shared
+// memory; merged after Wait.
+type workerState struct {
+	hist     hist
+	class    [6]uint64 // status/100: 2xx, 3xx(=304 here), 4xx, 5xx
+	n304     uint64
+	bad304   uint64
+	gzBodies uint64
+	bytes    uint64
+}
+
+// loadWriter is the reusable ResponseWriter: header map persists (reset
+// per request), body bytes are counted and dropped.
+type loadWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *loadWriter) Header() http.Header         { return w.h }
+func (w *loadWriter) Write(b []byte) (int, error) { w.n += len(b); return len(b), nil }
+func (w *loadWriter) WriteHeader(code int)        { w.status = code }
+func (w *loadWriter) reset() {
+	for k := range w.h {
+		delete(w.h, k)
+	}
+	w.status, w.n = http.StatusOK, 0
+}
+
+// mix64 is splitmix64's finalizer: the per-request decision source, so
+// the endpoint/variant mix is a pure function of (seed, request index)
+// and reruns are comparable.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func frac24(h uint64) float64 { return float64(h&0xffffff) / float64(1<<24) }
+
+func drive(srv *query.Server, cfg driveConfig) *Report {
+	if cfg.concurrency < 1 {
+		cfg.concurrency = 1
+	}
+	h := srv.Handler()
+	base := srv.Stats()
+
+	// The full schedule is computed up front and buffered: the producer
+	// can never be the bottleneck, so lateness is the server's alone.
+	ticks := make(chan int, cfg.requests)
+	for i := 0; i < cfg.requests; i++ {
+		ticks <- i
+	}
+	close(ticks)
+
+	var interval time.Duration
+	if cfg.rps > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.rps)
+	}
+
+	states := make([]workerState, cfg.concurrency)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for wi := 0; wi < cfg.concurrency; wi++ {
+		wg.Add(1)
+		go func(ws *workerState) {
+			defer wg.Done()
+			w := &loadWriter{h: make(http.Header, 16)}
+			// Per-endpoint request pairs are built once; If-None-Match is
+			// the only mutable header.
+			plain := make([]*http.Request, len(cfg.endpoints))
+			gz := make([]*http.Request, len(cfg.endpoints))
+			lastETag := make([]string, len(cfg.endpoints))
+			for i, p := range cfg.endpoints {
+				plain[i] = httptest.NewRequest(http.MethodGet, p, nil)
+				gz[i] = httptest.NewRequest(http.MethodGet, p, nil)
+				gz[i].Header.Set("Accept-Encoding", "gzip")
+			}
+			for i := range ticks {
+				d := mix64(uint64(cfg.seed) ^ uint64(i))
+				ep := int(d % uint64(len(cfg.endpoints)))
+				req := plain[ep]
+				wantGzip := frac24(d>>8) < cfg.gzipFrac
+				if wantGzip {
+					req = gz[ep]
+				}
+				conditional := false
+				if frac24(d>>32) < cfg.condFrac && lastETag[ep] != "" {
+					conditional = true
+					req.Header.Set("If-None-Match", lastETag[ep])
+				}
+
+				sched := time.Now()
+				if interval > 0 {
+					sched = t0.Add(time.Duration(i) * interval)
+					// time.Sleep overshoots by up to ~1ms on Linux, which would
+					// swamp a µs-scale data plane; sleep to within 2ms of the
+					// deadline and spin-yield the rest, like wrk2-style pacers.
+					// The Gosched keeps a spinning worker from starving its
+					// peers when GOMAXPROCS < concurrency.
+					if wait := time.Until(sched); wait > spinWindow {
+						time.Sleep(wait - spinWindow)
+					}
+					for time.Now().Before(sched) {
+						runtime.Gosched()
+					}
+				}
+				w.reset()
+				h.ServeHTTP(w, req)
+				lat := time.Since(sched)
+				if conditional {
+					req.Header.Del("If-None-Match")
+				}
+
+				ws.hist.record(uint64(lat))
+				ws.bytes += uint64(w.n)
+				cls := w.status / 100
+				if cls >= 0 && cls < len(ws.class) {
+					ws.class[cls]++
+				}
+				switch {
+				case w.status == http.StatusNotModified:
+					ws.n304++
+					// A 304 must be bodiless and only ever answer a request
+					// that actually revalidated.
+					if w.n != 0 || !conditional {
+						ws.bad304++
+					}
+				case w.status == http.StatusOK:
+					if et := w.h.Get("ETag"); et != "" {
+						lastETag[ep] = et
+					}
+					if w.h.Get("Content-Encoding") == "gzip" {
+						ws.gzBodies++
+						if !wantGzip {
+							ws.bad304++ // unsolicited encoding counts as a protocol violation too
+						}
+					}
+				}
+			}
+		}(&states[wi])
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	after := srv.Stats()
+
+	rep := &Report{}
+	rep.Config.RPS = cfg.rps
+	rep.Config.Requests = cfg.requests
+	rep.Config.Concurrency = cfg.concurrency
+	rep.Config.Endpoints = cfg.endpoints
+	rep.Config.GzipFrac = cfg.gzipFrac
+	rep.Config.CondFrac = cfg.condFrac
+	rep.Config.Seed = cfg.seed
+
+	var merged hist
+	for i := range states {
+		ws := &states[i]
+		merged.merge(&ws.hist)
+		rep.Status.OK2xx += ws.class[2]
+		rep.Status.NM304 += ws.n304
+		rep.Status.Err4xx += ws.class[4]
+		rep.Status.Err5xx += ws.class[5]
+		rep.Status.GzipBody += ws.gzBodies
+		rep.Status.Bad304 += ws.bad304
+		rep.Status.BytesServ += ws.bytes
+	}
+	rep.DurationS = elapsed.Seconds()
+	if rep.DurationS > 0 {
+		rep.AchievedRPS = float64(cfg.requests) / rep.DurationS
+	}
+	us := func(ns uint64) float64 { return float64(ns) / 1e3 }
+	rep.LatencyUS.P50 = us(merged.quantile(0.50))
+	rep.LatencyUS.P90 = us(merged.quantile(0.90))
+	rep.LatencyUS.P99 = us(merged.quantile(0.99))
+	rep.LatencyUS.P999 = us(merged.quantile(0.999))
+	rep.LatencyUS.Max = us(merged.maxNs)
+	if merged.total > 0 {
+		rep.LatencyUS.Mean = us(merged.sumNs) / float64(merged.total)
+	}
+	rep.Cache.Hits = after.Hits - base.Hits
+	rep.Cache.Misses = after.Misses - base.Misses
+	if lookups := rep.Cache.Hits + rep.Cache.Misses; lookups > 0 {
+		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(lookups)
+	}
+	return rep
+}
+
+func applyGates(rep *Report, g gates) checkReport {
+	var fails []string
+	if g.minHitRate >= 0 && rep.Cache.HitRate < g.minHitRate {
+		fails = append(fails, fmt.Sprintf("cache hit rate %.3f < required %.3f", rep.Cache.HitRate, g.minHitRate))
+	}
+	if g.max5xx >= 0 && rep.Status.Err5xx > uint64(g.max5xx) {
+		fails = append(fails, fmt.Sprintf("%d 5xx responses > allowed %d", rep.Status.Err5xx, g.max5xx))
+	}
+	if g.max4xx >= 0 && rep.Status.Err4xx > uint64(g.max4xx) {
+		fails = append(fails, fmt.Sprintf("%d 4xx responses > allowed %d", rep.Status.Err4xx, g.max4xx))
+	}
+	if g.check304 {
+		if g.condFrac <= 0 {
+			fails = append(fails, "-check-304 requires -conditional > 0")
+		} else if rep.Status.NM304 == 0 {
+			fails = append(fails, "no 304 responses observed despite conditional mix")
+		}
+		if rep.Status.Bad304 > 0 {
+			fails = append(fails, fmt.Sprintf("%d 304/encoding protocol violations", rep.Status.Bad304))
+		}
+	}
+	return checkReport{Passed: len(fails) == 0, Failures: fails}
+}
+
+func printHuman(rep *Report) {
+	fmt.Fprintf(os.Stderr,
+		"loadgen: %d requests in %.2fs (%.0f req/s achieved, %.0f scheduled) over %s\n",
+		rep.Config.Requests, rep.DurationS, rep.AchievedRPS, rep.Config.RPS,
+		strings.Join(rep.Config.Endpoints, ","))
+	fmt.Fprintf(os.Stderr,
+		"loadgen: latency µs p50=%.0f p90=%.0f p99=%.0f p999=%.0f max=%.0f mean=%.1f\n",
+		rep.LatencyUS.P50, rep.LatencyUS.P90, rep.LatencyUS.P99,
+		rep.LatencyUS.P999, rep.LatencyUS.Max, rep.LatencyUS.Mean)
+	fmt.Fprintf(os.Stderr,
+		"loadgen: status 2xx=%d 304=%d 4xx=%d 5xx=%d gzip=%d bytes=%d; cache hit rate %.3f (%d/%d)\n",
+		rep.Status.OK2xx, rep.Status.NM304, rep.Status.Err4xx, rep.Status.Err5xx,
+		rep.Status.GzipBody, rep.Status.BytesServ,
+		rep.Cache.HitRate, rep.Cache.Hits, rep.Cache.Hits+rep.Cache.Misses)
+	for _, f := range rep.Checks.Failures {
+		fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: %s\n", f)
+	}
+}
+
+// ---------------------------------------------------------------------
+// HDR-style histogram
+// ---------------------------------------------------------------------
+
+// hist is a log-bucketed latency histogram: 32 linear sub-buckets per
+// power of two, so any recorded value lands within 1/32 (3.2%) of its
+// bucket's midpoint. 2048 fixed buckets cover the full uint64 range —
+// no allocation, merge is element-wise addition.
+type hist struct {
+	counts [2048]uint64
+	total  uint64
+	sumNs  uint64
+	maxNs  uint64
+}
+
+func histIndex(v uint64) int {
+	if v < 32 {
+		return int(v)
+	}
+	m := bits.Len64(v) - 1 // top bit position, >= 5
+	return (m-4)<<5 | int((v>>(uint(m)-5))&31)
+}
+
+// histValue reconstructs a bucket's midpoint.
+func histValue(idx int) uint64 {
+	if idx < 32 {
+		return uint64(idx)
+	}
+	m := idx>>5 + 4
+	lo := uint64(32|idx&31) << (uint(m) - 5)
+	return lo + 1<<(uint(m)-5)/2
+}
+
+func (h *hist) record(ns uint64) {
+	h.counts[histIndex(ns)]++
+	h.total++
+	h.sumNs += ns
+	if ns > h.maxNs {
+		h.maxNs = ns
+	}
+}
+
+func (h *hist) merge(o *hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sumNs += o.sumNs
+	if o.maxNs > h.maxNs {
+		h.maxNs = o.maxNs
+	}
+}
+
+func (h *hist) quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q*float64(h.total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			return histValue(i)
+		}
+	}
+	return h.maxNs
+}
+
+// ---------------------------------------------------------------------
+// Ingest throughput benchmark
+// ---------------------------------------------------------------------
+
+// ingestReport records the incremental-merge win: the same N shard
+// blobs ingested in arrival order into an incremental store and into
+// one forced onto the legacy full-rebuild path, with the final sealed
+// views byte-compared — the speedup is only worth reporting if the
+// views are identical.
+type ingestReport struct {
+	Shards        int     `json:"shards"`
+	IncrementalS  float64 `json:"incremental_s"`
+	FullRebuildS  float64 `json:"full_rebuild_s"`
+	Speedup       float64 `json:"speedup"`
+	ByteIdentical bool    `json:"byte_identical"`
+	ShardsPerSec  float64 `json:"incremental_shards_per_s"`
+}
+
+func runIngestBench(n int, jsonOut bool) {
+	blobs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		b, err := synthShard(uint64(i), 1).MarshalIndented()
+		if err != nil {
+			log.Fatal(err)
+		}
+		blobs[i] = b
+	}
+
+	run := func(full bool) (time.Duration, []byte) {
+		st, err := store.Open("")
+		if err != nil {
+			log.Fatal(err)
+		}
+		st.ForceFullRebuild(full)
+		t0 := time.Now()
+		var last store.IngestResult
+		for _, b := range blobs {
+			if last, err = st.Ingest(b); err != nil {
+				log.Fatal(err)
+			}
+		}
+		d := time.Since(t0)
+		if !last.Complete {
+			log.Fatalf("ingest bench: view incomplete after %d shards (pending %d)", n, last.Pending)
+		}
+		snap, ok := st.Snapshot(last.Corpus)
+		if !ok {
+			log.Fatalf("ingest bench: corpus %s has no snapshot", last.Corpus)
+		}
+		view, err := snap.Merged.MarshalIndented()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d, view
+	}
+
+	incD, incView := run(false)
+	fullD, fullView := run(true)
+
+	rep := ingestReport{
+		Shards:        n,
+		IncrementalS:  incD.Seconds(),
+		FullRebuildS:  fullD.Seconds(),
+		ByteIdentical: string(incView) == string(fullView),
+	}
+	if rep.IncrementalS > 0 {
+		rep.Speedup = rep.FullRebuildS / rep.IncrementalS
+		rep.ShardsPerSec = float64(n) / rep.IncrementalS
+	}
+	fmt.Fprintf(os.Stderr,
+		"loadgen: ingest %d shards: incremental %.3fs (%.0f shards/s), full rebuild %.3fs — %.1fx speedup, byte-identical=%v\n",
+		n, rep.IncrementalS, rep.ShardsPerSec, rep.FullRebuildS, rep.Speedup, rep.ByteIdentical)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !rep.ByteIdentical {
+		log.Fatal("ingest bench: incremental and full-rebuild views differ — merge invariant broken")
+	}
+}

@@ -14,10 +14,24 @@
 // wait on its result, so a burst of identical queries costs one
 // derivation. Store snapshots are immutable and sealed, which is what
 // makes the render paths safe to run from any number of goroutines.
+//
+// Cache entries are sealed response variants (DESIGN.md §14): the
+// identity body, its gzip encoding and a strong ETag (SHA-256 content
+// hash) are materialized once at render time, along with every header
+// value the hit path needs. A cache hit therefore does no per-request
+// work beyond routing: the canonical cache key is assembled in pooled
+// scratch (no url.Values), the corpus resolves without materializing a
+// snapshot, conditional requests (If-None-Match) return 304 without
+// touching the body, and Accept-Encoding: gzip is served from the
+// pre-compressed bytes — ≤2 allocs per hit, pinned by
+// TestQueryHotPathAllocs and exercised at volume by cmd/loadgen.
 package query
 
 import (
 	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,16 +65,23 @@ const MaxIngestBytes = 256 << 20
 // DefaultCacheEntries bounds one corpus generation's cache bucket.
 const DefaultCacheEntries = 256
 
+// keysBucket is the cache-bucket ID of the store-wide /v1/keys listing.
+// Corpus IDs are "<tool>-<config hash>", so a NUL-prefixed name can never
+// collide with one.
+const keysBucket = "\x00keys"
+
 // Server serves query endpoints over one Store. Create with New; all
 // methods are safe for concurrent use.
 type Server struct {
 	st *store.Store
 
 	mu      sync.Mutex
-	buckets map[string]*bucket // corpus ID -> current-generation bucket
+	buckets map[string]*bucket // corpus ID (or keysBucket) -> current-generation bucket
 	hits    uint64
 	misses  uint64
 	maxPer  int
+
+	scratch sync.Pool // *keyScratch, reused across hot-path requests
 }
 
 // bucket caches rendered responses for one corpus at one generation.
@@ -69,13 +90,90 @@ type bucket struct {
 	entries map[string]*entry
 }
 
-// entry is a single-flight render slot: done closes when body/ctype/err
-// are final.
+// entry is a single-flight render slot: done closes when v/err are final.
 type entry struct {
-	done  chan struct{}
-	body  []byte
-	ctype string
-	err   error
+	done chan struct{}
+	v    *variant
+	err  error
+}
+
+// variant is a sealed, immutable response: the identity and gzip bodies
+// rendered and compressed once at cache-fill time, with every header
+// value — the strong ETag (quoted SHA-256 of the identity body), the
+// content lengths, type and corpus provenance — pre-materialized as the
+// []string values http.Header stores, so serving a cache hit assigns
+// slices into the header map instead of allocating through Header.Set.
+type variant struct {
+	body   []byte
+	gzbody []byte
+	etag   string // quoted, also etagHdr[0]
+
+	ctype    []string
+	etagHdr  []string
+	length   []string
+	gzlength []string
+	corpus   []string // nil for store-wide responses (/v1/keys)
+	gen      []string
+}
+
+// Shared immutable header values; never mutated after init.
+var (
+	varyHeader = []string{"Accept-Encoding"}
+	gzipHeader = []string{"gzip"}
+)
+
+// newVariant seals one rendered body into its served form.
+func newVariant(corpus string, gen uint64, body []byte, ctype string) *variant {
+	sum := sha256.Sum256(body)
+	etag := `"` + hex.EncodeToString(sum[:]) + `"`
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	zw.Write(body) // writes to a bytes.Buffer cannot fail
+	zw.Close()
+	v := &variant{
+		body:     body,
+		gzbody:   zbuf.Bytes(),
+		etag:     etag,
+		ctype:    []string{ctype},
+		etagHdr:  []string{etag},
+		length:   []string{strconv.Itoa(len(body))},
+		gzlength: []string{strconv.Itoa(zbuf.Len())},
+		gen:      []string{strconv.FormatUint(gen, 10)},
+	}
+	if corpus != "" {
+		v.corpus = []string{corpus}
+	}
+	return v
+}
+
+// serve writes the variant: 304 when If-None-Match revalidates the ETag
+// (RFC 7232 weak comparison — a substring scan suffices because ETags
+// here are opaque fixed-length quoted hashes), the pre-compressed bytes
+// when the client accepts gzip, the identity bytes otherwise. Header
+// keys are written in their canonical spelling so the direct map
+// assignments and client-side Header.Get agree.
+func (v *variant) serve(w http.ResponseWriter, r *http.Request) {
+	h := w.Header()
+	h["Vary"] = varyHeader
+	h["Etag"] = v.etagHdr
+	if v.corpus != nil {
+		h["X-Corpus"] = v.corpus
+	}
+	h["X-Generation"] = v.gen
+	if inm := r.Header.Get("If-None-Match"); inm != "" &&
+		(inm == "*" || strings.Contains(inm, v.etag)) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h["Content-Type"] = v.ctype
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		h["Content-Encoding"] = gzipHeader
+		h["Content-Length"] = v.gzlength
+		w.Write(v.gzbody)
+		return
+	}
+	h["Content-Length"] = v.length
+	w.Write(v.body)
 }
 
 // CacheStats reports cache effectiveness (for tests and benchmarks).
@@ -83,7 +181,9 @@ type CacheStats struct{ Hits, Misses uint64 }
 
 // New returns a Server over st.
 func New(st *store.Store) *Server {
-	return &Server{st: st, buckets: map[string]*bucket{}, maxPer: DefaultCacheEntries}
+	s := &Server{st: st, buckets: map[string]*bucket{}, maxPer: DefaultCacheEntries}
+	s.scratch.New = func() any { return &keyScratch{} }
+	return s
 }
 
 // Stats returns the cache hit/miss counters.
@@ -131,67 +231,137 @@ func badRequest(format string, args ...any) error {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// writeError maps a render error to its HTTP status (500 unless the
+// render returned an *httpError).
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	http.Error(w, err.Error(), status)
+}
+
 // cached wraps a renderFunc with corpus resolution, the generation-keyed
-// response cache and single-flight render dedup.
+// variant cache and single-flight render dedup. The hit path is built to
+// not allocate: the canonical cache key is assembled into pooled scratch
+// straight from the raw query (no url.Values), the key bytes index the
+// entry map directly (the compiler elides the string conversion in a map
+// lookup), and the sealed variant serves itself. Only a miss — or a raw
+// query needing full URL decoding — takes the allocating slow path.
 func (s *Server) cached(path string, render renderFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		params := r.URL.Query()
-		snap, err := s.st.Resolve(params.Get("key"))
+		raw := r.URL.RawQuery
+		var (
+			ks        *keyScratch
+			params    url.Values
+			corpusKey string
+		)
+		// %-escapes, '+' and ';' need net/url's decoding; everything the
+		// endpoints' parameter grammar produces stays on the fast path, and
+		// both paths canonicalize to identical keys.
+		fast := !strings.ContainsAny(raw, "%+;")
+		if fast {
+			ks = s.scratch.Get().(*keyScratch)
+			corpusKey = ks.build(path, raw)
+		} else {
+			params = r.URL.Query()
+			corpusKey = params.Get("key")
+		}
+		id, gen, err := s.st.ResolveID(corpusKey)
 		if err != nil {
+			if ks != nil {
+				s.scratch.Put(ks)
+			}
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		body, ctype, err := s.render(snap, path, params, render)
-		if err != nil {
-			status := http.StatusInternalServerError
-			var he *httpError
-			if errors.As(err, &he) {
-				status = he.status
+		if err := fpQueryRender.Inject(); err != nil {
+			if ks != nil {
+				s.scratch.Put(ks)
 			}
-			http.Error(w, err.Error(), status)
+			writeError(w, err)
 			return
 		}
-		w.Header().Set("Content-Type", ctype)
-		w.Header().Set("X-Corpus", snap.Corpus)
-		w.Header().Set("X-Generation", strconv.FormatUint(snap.Gen, 10))
-		w.Write(body)
+		if fast {
+			s.mu.Lock()
+			if b := s.buckets[id]; b != nil && b.gen == gen {
+				if e, ok := b.entries[string(ks.key)]; ok {
+					s.hits++
+					s.mu.Unlock()
+					s.scratch.Put(ks)
+					<-e.done
+					if e.err != nil {
+						writeError(w, e.err)
+						return
+					}
+					e.v.serve(w, r)
+					return
+				}
+			}
+			s.mu.Unlock()
+		}
+		// Miss (or escaped query): materialize the key string and params,
+		// snapshot the corpus, and go through the single-flight fill.
+		var key string
+		if fast {
+			key = string(ks.key)
+			s.scratch.Put(ks)
+			params = r.URL.Query()
+		} else {
+			key = cacheKey(path, params)
+		}
+		snap, ok := s.st.Snapshot(id)
+		if !ok { // resolved above; only a concurrent store wipe could race
+			http.Error(w, "corpus not found", http.StatusNotFound)
+			return
+		}
+		s.cacheServe(w, r, id, snap.Gen, snap.Corpus, key, func() ([]byte, string, error) {
+			return render(snap, params)
+		})
 	}
 }
 
-// render serves one request through the cache: hit returns stored bytes,
-// miss renders under single-flight while concurrent requests for the
-// same key wait for the leader's result.
-func (s *Server) render(snap *store.Snapshot, path string, params url.Values, render renderFunc) ([]byte, string, error) {
-	if err := fpQueryRender.Inject(); err != nil {
-		return nil, "", err
-	}
-	key := cacheKey(path, params)
-
+// cacheServe serves one request from bucket bucketID at generation gen
+// under key; on a miss the leader renders while concurrent requests for
+// the same key wait on its entry, and the sealed variant is cached.
+// corpus is the X-Corpus header value ("" omits it).
+func (s *Server) cacheServe(w http.ResponseWriter, r *http.Request, bucketID string, gen uint64, corpus, key string, render func() ([]byte, string, error)) {
 	s.mu.Lock()
-	b := s.buckets[snap.Corpus]
-	if b == nil || b.gen < snap.Gen {
+	b := s.buckets[bucketID]
+	if b == nil || b.gen < gen {
 		// First read at this generation: retire the stale bucket (the
-		// incremental invalidation — only this corpus's entries go).
-		b = &bucket{gen: snap.Gen, entries: map[string]*entry{}}
-		s.buckets[snap.Corpus] = b
+		// incremental invalidation — only this bucket's entries go).
+		b = &bucket{gen: gen, entries: map[string]*entry{}}
+		s.buckets[bucketID] = b
 	}
-	if b.gen > snap.Gen {
+	if b.gen > gen {
 		// Our snapshot lost a race with an ingest; render this one
 		// uncached rather than poisoning the newer bucket.
 		s.misses++
 		s.mu.Unlock()
-		body, ctype, err := render(snap, params)
-		return body, ctype, err
+		body, ctype, err := render()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		newVariant(corpus, gen, body, ctype).serve(w, r)
+		return
 	}
 	if e, ok := b.entries[key]; ok {
 		s.hits++
 		s.mu.Unlock()
 		<-e.done
-		return e.body, e.ctype, e.err
+		if e.err != nil {
+			writeError(w, e.err)
+			return
+		}
+		e.v.serve(w, r)
+		return
 	}
 	s.misses++
 	if len(b.entries) >= s.maxPer {
@@ -208,22 +378,85 @@ func (s *Server) render(snap *store.Snapshot, path string, params url.Values, re
 	b.entries[key] = e
 	s.mu.Unlock()
 
-	e.body, e.ctype, e.err = render(snap, params)
+	body, ctype, err := render()
+	if err == nil {
+		e.v = newVariant(corpus, gen, body, ctype)
+	}
+	e.err = err
 	close(e.done)
-	if e.err != nil {
+	if err != nil {
 		// Failed renders are not worth caching; let a later request retry.
 		s.mu.Lock()
-		if cur := s.buckets[snap.Corpus]; cur != nil && cur.entries[key] == e {
+		if cur := s.buckets[bucketID]; cur != nil && cur.entries[key] == e {
 			delete(cur.entries, key)
 		}
 		s.mu.Unlock()
+		writeError(w, err)
+		return
 	}
-	return e.body, e.ctype, e.err
+	e.v.serve(w, r)
+}
+
+// qpair is one decoded query parameter; on the fast path both strings
+// are substrings of the raw query, so parsing allocates nothing.
+type qpair struct{ k, v string }
+
+// keyScratch is pooled per-request scratch for canonical cache keys.
+type keyScratch struct {
+	pairs []qpair
+	key   []byte
+}
+
+// build assembles the canonical cache key — path, then each k=v pair
+// NUL-prefixed in stable key-sorted order, byte-identical to cacheKey's
+// output for the same decoded parameters — into ks.key, and returns the
+// corpus `key` parameter's first value. Callers guarantee rawQuery
+// contains no %-escapes, '+' or ';' (the fast-path gate), so substrings
+// of it ARE the decoded values.
+func (ks *keyScratch) build(path, rawQuery string) (corpusKey string) {
+	ks.pairs = ks.pairs[:0]
+	sawCorpus := false
+	for raw := rawQuery; raw != ""; {
+		var seg string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			seg, raw = raw[:i], raw[i+1:]
+		} else {
+			seg, raw = raw, ""
+		}
+		if seg == "" {
+			continue
+		}
+		p := qpair{k: seg}
+		if i := strings.IndexByte(seg, '='); i >= 0 {
+			p.k, p.v = seg[:i], seg[i+1:]
+		}
+		ks.pairs = append(ks.pairs, p)
+		if p.k == "key" && !sawCorpus {
+			corpusKey, sawCorpus = p.v, true
+		}
+	}
+	// Insertion sort, stable in k (url.Values preserves the arrival order
+	// of a repeated key's values, and so must the canonical form).
+	for i := 1; i < len(ks.pairs); i++ {
+		for j := i; j > 0 && ks.pairs[j].k < ks.pairs[j-1].k; j-- {
+			ks.pairs[j], ks.pairs[j-1] = ks.pairs[j-1], ks.pairs[j]
+		}
+	}
+	ks.key = append(ks.key[:0], path...)
+	for _, p := range ks.pairs {
+		ks.key = append(ks.key, 0)
+		ks.key = append(ks.key, p.k...)
+		ks.key = append(ks.key, '=')
+		ks.key = append(ks.key, p.v...)
+	}
+	return corpusKey
 }
 
 // cacheKey canonicalizes the endpoint and its parameters: sorted keys,
 // so equivalent URLs share one entry. The corpus and generation live in
-// the bucket, not the key.
+// the bucket, not the key. This is the slow-path twin of
+// keyScratch.build; the two must produce identical keys for equivalent
+// requests.
 func cacheKey(path string, params url.Values) string {
 	keys := make([]string, 0, len(params))
 	for k := range params {
@@ -283,13 +516,23 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	}{status, len(s.st.Corpora()), s.st.Generation(), len(q), files})
 }
 
-// keys lists the store's corpora with their snapshot state; uncached
-// (it is the discovery endpoint and already cheap).
+// keys lists the store's corpora with their snapshot state. It serves
+// through the same variant cache and single-flight as the corpus
+// endpoints, keyed on the store-wide generation (any ingest anywhere
+// changes the listing), so a keys-polling dashboard revalidates by ETag
+// instead of becoming a per-request marshal loop.
 func (s *Server) keys(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	s.cacheServe(w, r, keysBucket, s.st.Generation(), "", "/v1/keys", func() ([]byte, string, error) {
+		return renderKeys(s.st)
+	})
+}
+
+// renderKeys marshals the corpus listing (the /v1/keys body).
+func renderKeys(st *store.Store) ([]byte, string, error) {
 	type corpusJSON struct {
 		Corpus   string `json:"corpus"`
 		Gen      uint64 `json:"generation"`
@@ -305,8 +548,8 @@ func (s *Server) keys(w http.ResponseWriter, r *http.Request) {
 		StoreGen uint64       `json:"store_generation"`
 		Corpora  []corpusJSON `json:"corpora"`
 	}{Corpora: []corpusJSON{}}
-	for _, id := range s.st.Corpora() {
-		snap, ok := s.st.Snapshot(id)
+	for _, id := range st.Corpora() {
+		snap, ok := st.Snapshot(id)
 		if !ok {
 			continue
 		}
@@ -318,7 +561,7 @@ func (s *Server) keys(w http.ResponseWriter, r *http.Request) {
 			Members: snap.Members, Pending: snap.Pending, Complete: snap.Complete,
 		})
 	}
-	writeJSON(w, out)
+	return marshalJSON(out)
 }
 
 // ingest accepts one artifact per POST body and feeds it to the store;

@@ -2,13 +2,17 @@ package query
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
@@ -528,6 +532,350 @@ func TestQueryHotCacheConcurrency(t *testing.T) {
 	}
 	if stats := s.Stats(); stats.Misses != 1 || stats.Hits != readers {
 		t.Fatalf("cache stats after %d hot reads: %+v", readers, stats)
+	}
+}
+
+// TestQueryETagConditional pins the response-variant contract: strong
+// ETags stable across identical reads, If-None-Match revalidation via
+// 304 with no body, and a new ETag once an ingest changes the corpus.
+func TestQueryETagConditional(t *testing.T) {
+	s, st := newServer(t, shard(0, 2))
+	h := s.Handler()
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/summary?group-by=channel", nil))
+	etag := w.Header().Get("ETag")
+	if w.Code != http.StatusOK || len(etag) < 4 || !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+		t.Fatalf("first read: status %d, ETag %q (want a quoted strong ETag)", w.Code, etag)
+	}
+	if got := w.Header().Get("Content-Length"); got != strconv.Itoa(w.Body.Len()) {
+		t.Fatalf("Content-Length %q for a %d-byte body", got, w.Body.Len())
+	}
+	if got := w.Header().Get("Vary"); got != "Accept-Encoding" {
+		t.Fatalf("Vary %q, want Accept-Encoding", got)
+	}
+	body := append([]byte(nil), w.Body.Bytes()...)
+
+	// Identical read: identical ETag (content-hash, not per-response).
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/summary?group-by=channel", nil))
+	if got := w.Header().Get("ETag"); got != etag {
+		t.Fatalf("ETag changed across identical reads: %q then %q", etag, got)
+	}
+
+	// Revalidation: matching If-None-Match gets 304 with no body and no
+	// Content-Length, but keeps the ETag (and cache provenance headers).
+	for _, inm := range []string{etag, "*", `W/"stale", ` + etag} {
+		req := httptest.NewRequest(http.MethodGet, "/v1/summary?group-by=channel", nil)
+		req.Header.Set("If-None-Match", inm)
+		w = httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusNotModified || w.Body.Len() != 0 {
+			t.Fatalf("If-None-Match %q: status %d, %d body bytes, want 304 with none", inm, w.Code, w.Body.Len())
+		}
+		if got := w.Header().Get("ETag"); got != etag {
+			t.Fatalf("304 carries ETag %q, want %q", got, etag)
+		}
+		if got := w.Header().Get("Content-Length"); got != "" {
+			t.Fatalf("304 carries Content-Length %q", got)
+		}
+	}
+
+	// A stale validator gets the full body.
+	req := httptest.NewRequest(http.MethodGet, "/v1/summary?group-by=channel", nil)
+	req.Header.Set("If-None-Match", `"0000"`)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || !bytes.Equal(w.Body.Bytes(), body) {
+		t.Fatalf("stale validator: status %d, bytes equal %v", w.Code, bytes.Equal(w.Body.Bytes(), body))
+	}
+
+	// Ingest: the same validator must now miss and see fresh bytes.
+	if _, err := st.IngestArtifact(shard(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/v1/summary?group-by=channel", nil)
+	req.Header.Set("If-None-Match", etag)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || w.Header().Get("ETag") == etag {
+		t.Fatalf("post-ingest conditional read: status %d, ETag %q (want fresh 200)", w.Code, w.Header().Get("ETag"))
+	}
+}
+
+// TestQueryGzipVariant pins the pre-compressed encoding: a gzip-accepting
+// client gets the pre-sealed gzip bytes (correct Content-Encoding and
+// Content-Length) that decompress to exactly the identity body.
+func TestQueryGzipVariant(t *testing.T) {
+	s, _ := newServer(t, shard(0, 4))
+	h := s.Handler()
+	for _, path := range []string{"/v1/summary?group-by=channel", "/v1/csv", "/v1/keys"} {
+		_, identity := get(t, h, path)
+
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		req.Header.Set("Accept-Encoding", "gzip, br")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK || w.Header().Get("Content-Encoding") != "gzip" {
+			t.Fatalf("%s: status %d, Content-Encoding %q", path, w.Code, w.Header().Get("Content-Encoding"))
+		}
+		if got := w.Header().Get("Content-Length"); got != strconv.Itoa(w.Body.Len()) {
+			t.Fatalf("%s: gzip Content-Length %q for %d bytes", path, got, w.Body.Len())
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(w.Body.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain, identity) {
+			t.Fatalf("%s: gzip body decompresses to different bytes", path)
+		}
+
+		// The two encodings share one ETag (content hash of the identity
+		// body): a conditional gzip request revalidates against it.
+		req = httptest.NewRequest(http.MethodGet, path, nil)
+		req.Header.Set("Accept-Encoding", "gzip")
+		req.Header.Set("If-None-Match", w.Header().Get("ETag"))
+		w = httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusNotModified {
+			t.Fatalf("%s: conditional gzip read: %d", path, w.Code)
+		}
+	}
+}
+
+// TestQueryKeysCached pins satellite coverage for /v1/keys: it must ride
+// the same generation-keyed cache + single-flight as the corpus
+// endpoints (one marshal per store generation, not per poll) and
+// invalidate on any ingest.
+func TestQueryKeysCached(t *testing.T) {
+	s, st := newServer(t, shard(0, 2))
+	h := s.Handler()
+
+	_, first := get(t, h, "/v1/keys")
+	if cs := s.Stats(); cs.Misses != 1 || cs.Hits != 0 {
+		t.Fatalf("after first keys read: %+v", cs)
+	}
+	_, second := get(t, h, "/v1/keys")
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached keys read returned different bytes")
+	}
+	if cs := s.Stats(); cs.Misses != 1 || cs.Hits != 1 {
+		t.Fatalf("after cached keys read: %+v", cs)
+	}
+
+	// Polling dashboards: concurrent keys reads collapse to the cache.
+	const readers = 100
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/keys", nil))
+		}()
+	}
+	wg.Wait()
+	if cs := s.Stats(); cs.Misses != 1 || cs.Hits != 1+readers {
+		t.Fatalf("after %d concurrent keys reads: %+v", readers, cs)
+	}
+
+	// Any ingest (store-wide generation) invalidates the listing.
+	if _, err := st.IngestArtifact(shard(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	_, third := get(t, h, "/v1/keys")
+	if bytes.Equal(first, third) {
+		t.Fatal("keys read after ingest served the stale listing")
+	}
+	if cs := s.Stats(); cs.Misses != 2 {
+		t.Fatalf("after invalidation: %+v", cs)
+	}
+}
+
+// nullResponseWriter is a reusable ResponseWriter for alloc and
+// throughput measurements: the header map persists across requests
+// (reset between them), writes are counted and dropped.
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func newNullResponseWriter() *nullResponseWriter {
+	return &nullResponseWriter{h: make(http.Header, 16)}
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.h }
+
+func (w *nullResponseWriter) Write(b []byte) (int, error) {
+	w.n += len(b)
+	return len(b), nil
+}
+
+func (w *nullResponseWriter) WriteHeader(code int) { w.status = code }
+
+func (w *nullResponseWriter) reset() {
+	for k := range w.h {
+		delete(w.h, k)
+	}
+	w.status, w.n = 0, 0
+}
+
+// TestQueryHotPathAllocs pins the serving data plane's hot path at ≤2
+// allocs per cache hit (identity, gzip and 304 alike) — the budget
+// ISSUE 10 sets for line-rate serving. Uses testing.AllocsPerRun like
+// the core harness's steady-state pin, so it holds under -race too.
+func TestQueryHotPathAllocs(t *testing.T) {
+	s, _ := newServer(t, shard(0, 2), shard(2, 2))
+	h := s.Handler()
+
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest(http.MethodGet, "/v1/summary?group-by=channel", nil))
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warmup: %d", warm.Code)
+	}
+	etag := warm.Header().Get("ETag")
+
+	identity := httptest.NewRequest(http.MethodGet, "/v1/summary?group-by=channel", nil)
+	gzipReq := httptest.NewRequest(http.MethodGet, "/v1/summary?group-by=channel", nil)
+	gzipReq.Header.Set("Accept-Encoding", "gzip")
+	conditional := httptest.NewRequest(http.MethodGet, "/v1/summary?group-by=channel", nil)
+	conditional.Header.Set("If-None-Match", etag)
+
+	for _, tc := range []struct {
+		name   string
+		req    *http.Request
+		status int
+	}{
+		{"identity", identity, http.StatusOK},
+		{"gzip", gzipReq, http.StatusOK},
+		{"conditional", conditional, http.StatusNotModified},
+	} {
+		w := newNullResponseWriter()
+		probe := func() {
+			w.reset()
+			h.ServeHTTP(w, tc.req)
+		}
+		probe() // warm the pool and the header map
+		if tc.status == http.StatusOK && (w.status != 0 || w.n == 0) {
+			t.Fatalf("%s probe: status %d, %d bytes", tc.name, w.status, w.n)
+		}
+		if tc.status == http.StatusNotModified && (w.status != http.StatusNotModified || w.n != 0) {
+			t.Fatalf("%s probe: status %d, %d bytes, want a bodyless 304", tc.name, w.status, w.n)
+		}
+		if allocs := testing.AllocsPerRun(100, probe); allocs > 2 {
+			t.Errorf("%s cache hit: %.1f allocs/op, budget is 2", tc.name, allocs)
+		}
+	}
+}
+
+// TestQueryReadersDuringIncrementalIngest extends the torn-view proof to
+// the incremental merge path (ISSUE 10 satellite): readers hammer
+// /v1/summary — plain and conditional — while shards arrive OUT OF
+// ORDER, so the store exercises pending acceptance, the incremental
+// advance AND the gap-closing multi-shard fold mid-flight. Every 200
+// body must be the render of a publishable contiguous prefix (1, 3 or 4
+// shards — 2 is never publishable because shard 2 arrives before shard
+// 1), and every 304 must confirm exactly the validator the reader sent.
+func TestQueryReadersDuringIncrementalIngest(t *testing.T) {
+	fresh := func(i int) *results.Artifact {
+		switch i {
+		case 0:
+			return shard(0, 2)
+		case 1:
+			return shard(2, 3)
+		case 2:
+			return shard(5, 1)
+		default:
+			return shard(6, 2)
+		}
+	}
+	valid := map[string]int{}
+	for _, n := range []int{1, 3, 4} {
+		arts := make([]*results.Artifact, n)
+		paths := make([]string, n)
+		for i := 0; i < n; i++ {
+			arts[i], paths[i] = fresh(i), fmt.Sprint(i)
+		}
+		m, err := results.MergeShards(arts, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := m.SummaryJSON(results.ByChannel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		valid[string(js)] = n
+	}
+
+	s, st := newServer(t, fresh(0))
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errc := make(chan error, 64)
+
+	// Writer: shard 2 lands before shard 1 (pending), then the gap closes
+	// (advance folds two members at once), then shard 3 extends the view.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for _, i := range []int{2, 1, 3} {
+			if _, err := st.IngestArtifact(fresh(i)); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	const readers = 16
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			lastETag := ""
+			for i := 0; i < 50; i++ {
+				req := httptest.NewRequest(http.MethodGet, "/v1/summary?group-by=channel", nil)
+				if lastETag != "" && i%2 == 1 {
+					req.Header.Set("If-None-Match", lastETag)
+				}
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				switch w.Code {
+				case http.StatusOK:
+					if _, ok := valid[w.Body.String()]; !ok {
+						errc <- fmt.Errorf("torn view: summary matches no publishable shard prefix")
+						return
+					}
+					lastETag = w.Header().Get("ETag")
+				case http.StatusNotModified:
+					if w.Body.Len() != 0 || w.Header().Get("ETag") != lastETag {
+						errc <- fmt.Errorf("304 with body or foreign ETag (%q vs %q)", w.Header().Get("ETag"), lastETag)
+						return
+					}
+				default:
+					errc <- fmt.Errorf("status %d: %s", w.Code, w.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	_, body := get(t, h, "/v1/summary?group-by=channel")
+	if n := valid[string(body)]; n != 4 {
+		t.Fatalf("settled summary covers %d shards, want 4", n)
 	}
 }
 

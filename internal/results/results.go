@@ -421,6 +421,32 @@ func (a *Artifact) View(gb GroupBy) ([]Group, error) {
 	return out, nil
 }
 
+// Clone returns a deep copy of the artifact: mutating the copy (further
+// Merge folds) never affects the original or anything reachable from it.
+// The artifact store's incremental merge clones the published sealed view
+// before folding the next shard in, so readers still holding the old
+// pointer are never disturbed.
+func (a *Artifact) Clone() *Artifact {
+	c := &Artifact{Meta: a.Meta}
+	c.Meta.JobKeys = append([]string(nil), a.Meta.JobKeys...)
+	if a.Meta.Params != nil {
+		c.Meta.Params = make(map[string]string, len(a.Meta.Params))
+		for k, v := range a.Meta.Params {
+			c.Meta.Params[k] = v
+		}
+	}
+	c.Chips = append([]ChipRecord(nil), a.Chips...)
+	c.Groups = make([]Group, len(a.Groups))
+	for i, g := range a.Groups {
+		ms := make([]Metric, len(g.Metrics))
+		for j, m := range g.Metrics {
+			ms[j] = Metric{Name: m.Name, Stream: m.Stream.Clone()}
+		}
+		c.Groups[i] = Group{Key: g.Key, Metrics: ms}
+	}
+	return c
+}
+
 // Seal pre-builds every stream's sorted quantile view so subsequent
 // renders (SummaryCSV/SummaryJSON and the View they derive) are strictly
 // read-only on the streams. The artifact store seals merged views before

@@ -10,12 +10,17 @@
 // the same conflict matrix as results.Merge (format/build/axis/params
 // skew, overlapping seed ranges or job keys, duplicate chip seeds), so
 // a corpus can always merge. After each accepted ingest the corpus's
-// merged view is rebuilt from fresh decodes of the pristine bytes via
-// results.MergeShards — the exact merge path `characterize merge` uses —
-// which is what makes query renders byte-identical to single-process
-// renders. The rebuilt view is sealed (read-only quantile paths) and
-// swapped in atomically, so concurrent readers always hold either the
-// old complete view or the new one, never a torn intermediate.
+// merged view advances incrementally: when the accepted shard extends the
+// already-merged contiguous prefix, only that shard is decoded and folded
+// into a clone of the running view (amortized O(1) decodes per ingest);
+// a full re-merge of fresh decodes via results.MergeShards — the exact
+// merge path `characterize merge` uses — runs only when ordering demands
+// it. Both paths perform the identical left fold in canonical shard
+// order, so query renders stay byte-identical to single-process renders
+// (pinned by a differential test over randomized arrival orders). The new
+// view is sealed (read-only quantile paths) and swapped in atomically, so
+// concurrent readers always hold either the old complete view or the new
+// one, never a torn intermediate.
 //
 // Shards may arrive out of order: a shard that is compatible and
 // conflict-free but not yet adjacent to the merged prefix is accepted
@@ -44,10 +49,14 @@ import (
 
 // Failpoint sites on the write path: the ingest gate (before any state
 // changes, so an injected failure must leave store and generations
-// untouched) and the object persist (tear-able, so a crash mid-write
-// leaves a corrupt objects/*.json for Open's quarantine to absorb).
+// untouched), the object persist (tear-able, so a crash mid-write leaves
+// a corrupt objects/*.json for Open's quarantine to absorb), and the
+// merge step after a successful persist (a failure there must leave the
+// previous sealed view served and the accepted object quarantined, never
+// a torn corpus).
 var (
 	fpStoreIngest = failpoint.Register("store/ingest")
+	fpStoreMerge  = failpoint.Register("store/merge")
 	fpStoreWrite  = failpoint.Register("store/object/write")
 )
 
@@ -60,6 +69,7 @@ type Store struct {
 	corpora     map[string]*corpus
 	ordered     []string // corpus IDs, sorted
 	quarantined []QuarantinedObject
+	fullRebuild bool
 }
 
 // QuarantinedObject records one object file Open moved aside instead of
@@ -82,8 +92,9 @@ type corpus struct {
 
 	// merged is the sealed union of the contiguous member prefix
 	// [0, mergedCount); nil only while the corpus has no members. It is
-	// rebuilt (never mutated) on ingest, so published pointers stay valid
-	// for readers across later ingests.
+	// replaced (never mutated) on ingest — incrementally advanced via a
+	// clone, or fully rebuilt — so published pointers stay valid for
+	// readers across later ingests.
 	merged      *results.Artifact
 	mergedCount int
 }
@@ -330,10 +341,13 @@ func (s *Store) ingest(data []byte, persist bool) (IngestResult, error) {
 		}
 		return a.JobFirst < b.JobFirst
 	})
-	if err := c.rebuild(); err != nil {
+	if err := c.refresh(s.fullRebuild, m, persist); err != nil {
 		// The conflict precheck mirrors everything Merge refuses, so a
-		// rebuild failure means the precheck has a hole; surface it loudly
-		// and drop the member again rather than publishing a broken view.
+		// merge failure means the precheck has a hole (or an injected
+		// fault). Degrade rather than risk a torn corpus: drop the member,
+		// quarantine the just-persisted object so replay cannot resurrect
+		// it unchecked, and keep serving the previous sealed view — exactly
+		// the contract Open's quarantine gives a corrupt object file.
 		delete(c.byHash, hash)
 		for i, mm := range c.members {
 			if mm.hash == hash {
@@ -341,7 +355,16 @@ func (s *Store) ingest(data []byte, persist bool) (IngestResult, error) {
 				break
 			}
 		}
-		return IngestResult{}, fmt.Errorf("store: ingest conflicts on merge (precheck gap): %w", err)
+		if persist {
+			if s.dir != "" {
+				if qerr := s.quarantine(filepath.Join(s.dir, "objects"), hash+".json", err); qerr != nil {
+					return IngestResult{}, fmt.Errorf("store: ingest failed to merge (%v) and to quarantine: %w", err, qerr)
+				}
+			} else {
+				s.quarantined = append(s.quarantined, QuarantinedObject{File: hash + ".json", Reason: err.Error()})
+			}
+		}
+		return IngestResult{}, fmt.Errorf("store: ingest conflicts on merge (precheck gap); previous view still served: %w", err)
 	}
 	if s.corpora[id] == nil {
 		s.corpora[id] = c
@@ -433,12 +456,94 @@ func (c *corpus) checkConflicts(m *member, cand *results.Artifact) error {
 	return nil
 }
 
-// rebuild re-derives the corpus's merged view from pristine bytes: fresh
+// refresh brings the corpus's merged view up to date after m was
+// inserted into the member order. The fast path is the incremental
+// advance; the full rebuild runs when forced (the differential baseline)
+// or when the new member landed inside the already-merged prefix — a
+// degenerate ordering the conflict matrix all but rules out, kept as a
+// defensive fallback rather than an assumption. Live ingests pass
+// through the store/merge failpoint so the degraded error path above is
+// torture-testable.
+func (c *corpus) refresh(full bool, m *member, live bool) error {
+	if live {
+		if err := fpStoreMerge.Inject(); err != nil {
+			return err
+		}
+	}
+	if !full {
+		for p, mm := range c.members {
+			if mm == m {
+				if p >= c.mergedCount {
+					return c.advance()
+				}
+				break
+			}
+		}
+	}
+	return c.rebuildFull()
+}
+
+// advance extends the merged view incrementally: members past the sealed
+// prefix are folded in, one fresh decode each, for as long as they stay
+// contiguous with the running view. Each shard is decoded and merged
+// exactly once over the corpus's life — amortized O(1) work per ingest
+// versus the O(n) re-decode of a full rebuild. The published view is
+// never mutated: the first fold clones it, the clone absorbs the shards
+// and is sealed, and a single pointer swap publishes it.
+//
+// Byte-identity with rebuildFull is structural, not incidental:
+// results.MergeShards is a stable sort by (SeedFirst, JobFirst) followed
+// by a left fold of results.Merge, c.members is maintained in exactly
+// that order, and stats.Stream merges are exact (Shewchuk sums), so
+// folding the suffix into the previous fold's result IS the same left
+// fold. TestStoreIncrementalMatchesFullRebuild pins this over randomized
+// arrival orders.
+func (c *corpus) advance() error {
+	n := c.mergedCount
+	view := c.merged              // contiguity reference; starts at the published view
+	var working *results.Artifact // clone under construction; nil until the first fold
+	for n < len(c.members) {
+		next := &c.members[n].meta
+		if view != nil {
+			vm := &view.Meta
+			if next.JobCount > 0 || vm.JobCount > 0 {
+				if next.JobFirst != vm.JobFirst+vm.JobCount {
+					break
+				}
+			} else if next.SeedFirst != vm.SeedFirst+uint64(vm.SeedCount) {
+				break
+			}
+		}
+		a, err := results.Decode(c.members[n].data)
+		if err != nil {
+			return err
+		}
+		if view == nil {
+			working = a
+		} else {
+			if working == nil {
+				working = c.merged.Clone()
+			}
+			if err := results.Merge(working, a); err != nil {
+				return err
+			}
+		}
+		view = working
+		n++
+	}
+	if working != nil {
+		working.Seal()
+		c.merged, c.mergedCount = working, n
+	}
+	return nil
+}
+
+// rebuildFull re-derives the merged view from pristine bytes: fresh
 // decodes of the maximal contiguous member prefix, merged in canonical
 // order via results.MergeShards (byte-for-byte the `characterize merge`
 // path), then sealed. The previous view is left untouched for readers
 // still holding it.
-func (c *corpus) rebuild() error {
+func (c *corpus) rebuildFull() error {
 	n := 1
 	for n < len(c.members) {
 		prev, next := &c.members[n-1].meta, &c.members[n].meta
@@ -469,6 +574,17 @@ func (c *corpus) rebuild() error {
 	return nil
 }
 
+// ForceFullRebuild switches every subsequent ingest's merge maintenance
+// from the incremental advance to a full MergeShards rebuild — the
+// pre-incremental O(n²) behavior. It exists as the baseline for the
+// differential tests and the ingest-throughput benchmark
+// (cmd/loadgen -ingest-bench); production callers never need it.
+func (s *Store) ForceFullRebuild(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fullRebuild = on
+}
+
 // Snapshot returns an immutable view of one corpus by exact ID.
 func (s *Store) Snapshot(id string) (*Snapshot, bool) {
 	s.mu.RLock()
@@ -486,6 +602,10 @@ func (s *Store) Snapshot(id string) (*Snapshot, bool) {
 func (s *Store) Resolve(key string) (*Snapshot, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.resolveLocked(key)
+}
+
+func (s *Store) resolveLocked(key string) (*Snapshot, error) {
 	if key == "" {
 		if len(s.ordered) == 1 {
 			return s.snapshotLocked(s.corpora[s.ordered[0]]), nil
@@ -509,6 +629,40 @@ func (s *Store) Resolve(key string) (*Snapshot, error) {
 	default:
 		return nil, fmt.Errorf("store: key %q is ambiguous: %s", key, strings.Join(hits, ", "))
 	}
+}
+
+// ResolveID resolves key to a corpus ID and that corpus's current
+// generation without materializing a Snapshot — the query service's hot
+// path, which must not allocate on a cache hit. Resolution rules match
+// Resolve exactly: sole corpus for the empty key, exact ID, or unique ID
+// prefix.
+func (s *Store) ResolveID(key string) (id string, gen uint64, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if key == "" {
+		if len(s.ordered) == 1 {
+			c := s.corpora[s.ordered[0]]
+			return c.id, c.gen, nil
+		}
+		return "", 0, fmt.Errorf("store: key required; corpora: %s", strings.Join(s.ordered, ", "))
+	}
+	if c, ok := s.corpora[key]; ok {
+		return c.id, c.gen, nil
+	}
+	hit, hits := "", 0
+	for _, cid := range s.ordered {
+		if strings.HasPrefix(cid, key) {
+			hit = cid
+			hits++
+		}
+	}
+	if hits == 1 {
+		c := s.corpora[hit]
+		return c.id, c.gen, nil
+	}
+	// Ambiguous/unknown: defer to Resolve for the detailed error.
+	_, err = s.resolveLocked(key)
+	return "", 0, err
 }
 
 func (s *Store) snapshotLocked(c *corpus) *Snapshot {

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/safari-repro/hbmrh/internal/failpoint"
 	"github.com/safari-repro/hbmrh/internal/results"
 	"github.com/safari-repro/hbmrh/internal/stats"
 )
@@ -397,6 +398,219 @@ func TestStoreQuarantineCorruptObject(t *testing.T) {
 	}
 	if snap, err := again.Resolve(""); err != nil || snap.Members != 2 {
 		t.Fatalf("clean reopen: members=%d err=%v, want 2", snap.Members, err)
+	}
+}
+
+// TestStoreIncrementalMatchesFullRebuild is the differential property
+// behind the incremental merge: for EVERY arrival permutation of a shard
+// set, the incrementally advanced store and a store forced onto the full
+// MergeShards rebuild publish byte-identical merged views after every
+// single ingest — and the final view is byte-identical to a direct
+// `characterize merge` (results.MergeShards) over the same shards. Runs
+// on both sharding regimes (seed-axis fleet shards, job-slice sweep
+// shards).
+func TestStoreIncrementalMatchesFullRebuild(t *testing.T) {
+	type regime struct {
+		name   string
+		shards []*results.Artifact
+	}
+	var seedShards []*results.Artifact
+	for first, count := uint64(0), 0; first < 9; first += uint64(count) {
+		count = int(first%3) + 1 // sizes 1..3, deterministic
+		seedShards = append(seedShards, shard(first, count))
+	}
+	var jobShards []*results.Artifact
+	for j := 0; j < 4; j++ {
+		jobShards = append(jobShards, jobShard(j, 1))
+	}
+	for _, reg := range []regime{{"seed-axis", seedShards}, {"job-axis", jobShards}} {
+		t.Run(reg.name, func(t *testing.T) {
+			blobs := make([][]byte, len(reg.shards))
+			fresh := make([]*results.Artifact, len(reg.shards))
+			paths := make([]string, len(reg.shards))
+			for i, a := range reg.shards {
+				buf, err := a.MarshalIndented()
+				if err != nil {
+					t.Fatal(err)
+				}
+				blobs[i] = buf
+				if fresh[i], err = results.Decode(buf); err != nil {
+					t.Fatal(err)
+				}
+				paths[i] = "shard" + string(rune('a'+i))
+			}
+			direct, err := results.MergeShards(fresh, paths)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := direct.MarshalIndented()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(0xC0FFEE))
+			perms := [][]int{rng.Perm(len(blobs))} // plus identity and reverse below
+			ident := make([]int, len(blobs))
+			rev := make([]int, len(blobs))
+			for i := range ident {
+				ident[i], rev[i] = i, len(blobs)-1-i
+			}
+			perms = append(perms, ident, rev)
+			for len(perms) < 8 {
+				perms = append(perms, rng.Perm(len(blobs)))
+			}
+
+			for pi, perm := range perms {
+				// Byte-compare the two stores after EVERY ingest on the first
+				// few permutations; the rest pin the (cheaper) final state —
+				// the per-step invariant is order-insensitive, so a few
+				// permutations of full coverage plus many of final coverage
+				// buys the property without a quadratic test bill.
+				stepwise := pi < 3
+				inc, _ := Open("")
+				full, _ := Open("")
+				full.ForceFullRebuild(true)
+				for step, si := range perm {
+					ri, err := inc.Ingest(blobs[si])
+					if err != nil {
+						t.Fatalf("perm %d step %d: incremental ingest: %v", pi, step, err)
+					}
+					rf, err := full.Ingest(blobs[si])
+					if err != nil {
+						t.Fatalf("perm %d step %d: full-rebuild ingest: %v", pi, step, err)
+					}
+					if ri.Pending != rf.Pending || ri.Complete != rf.Complete {
+						t.Fatalf("perm %d step %d: pending/complete diverge: inc %d/%v full %d/%v",
+							pi, step, ri.Pending, ri.Complete, rf.Pending, rf.Complete)
+					}
+					if !stepwise {
+						continue
+					}
+					si, err := inc.Resolve("")
+					if err != nil {
+						t.Fatal(err)
+					}
+					sf, err := full.Resolve("")
+					if err != nil {
+						t.Fatal(err)
+					}
+					bi, err := si.Merged.MarshalIndented()
+					if err != nil {
+						t.Fatal(err)
+					}
+					bf, err := sf.Merged.MarshalIndented()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(bi, bf) {
+						t.Fatalf("perm %d (%v) step %d: incremental view diverges from full rebuild", pi, perm, step)
+					}
+				}
+				for which, st := range map[string]*Store{"incremental": inc, "full-rebuild": full} {
+					snap, err := st.Resolve("")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !snap.Complete {
+						t.Fatalf("perm %d: %s corpus incomplete after all shards", pi, which)
+					}
+					got, err := snap.Merged.MarshalIndented()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("perm %d (%v): final %s view differs from direct MergeShards", pi, perm, which)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStoreMergeFailureKeepsPreviousView pins the degraded error path: a
+// merge failure after the object was persisted must leave the previous
+// sealed view served, quarantine the accepted object (so a replay cannot
+// resurrect it unchecked), and heal on a clean re-ingest.
+func TestStoreMergeFailureKeepsPreviousView(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ingest(t, s, shard(0, 2))
+	before, err := s.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeBytes, err := before.Merged.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := failpoint.Arm("store/merge=error@1"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.Reset)
+	if _, err := s.IngestArtifact(shard(2, 3)); err == nil {
+		t.Fatal("ingest with injected merge failure succeeded")
+	}
+
+	// Previous view still served, generations untouched.
+	snap, err := s.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Members != 1 || snap.Gen != base.Gen || s.Generation() != base.StoreGen {
+		t.Fatalf("failed merge mutated corpus: members=%d gen=%d storegen=%d", snap.Members, snap.Gen, s.Generation())
+	}
+	got, err := snap.Merged.MarshalIndented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, beforeBytes) {
+		t.Fatal("served view changed across a failed merge")
+	}
+
+	// The persisted object went to quarantine — degraded, recorded.
+	q := s.Quarantined()
+	if len(q) != 1 || q[0].Reason == "" {
+		t.Fatalf("quarantined %+v, want exactly the failed object with a reason", q)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "objects", "quarantine", q[0].File)); err != nil {
+		t.Fatalf("failed object not moved into objects/quarantine/: %v", err)
+	}
+	live, err := filepath.Glob(filepath.Join(dir, "objects", "*.json"))
+	if err != nil || len(live) != 1 {
+		t.Fatalf("live objects after failed merge: %v (err %v), want only the first shard", live, err)
+	}
+
+	// Clean re-ingest self-heals: the failpoint is spent, the same bytes
+	// are accepted, and the reopened store replays to the same state.
+	if r := ingest(t, s, shard(2, 3)); !r.Complete {
+		t.Fatal("re-ingest after failed merge left corpus incomplete")
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Quarantined()) != 0 {
+		t.Fatalf("reopen after heal still quarantines: %+v", re.Quarantined())
+	}
+	if snap, err := re.Resolve(""); err != nil || snap.Members != 2 || !snap.Complete {
+		t.Fatalf("reopened store: members=%d complete=%v err=%v", snap.Members, snap.Complete, err)
+	}
+
+	// In-memory stores record the quarantine too (no file to move).
+	mem, _ := Open("")
+	ingest(t, mem, shard(0, 2))
+	if err := failpoint.Arm("store/merge=error@1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.IngestArtifact(shard(2, 3)); err == nil {
+		t.Fatal("in-memory ingest with injected merge failure succeeded")
+	}
+	if q := mem.Quarantined(); len(q) != 1 {
+		t.Fatalf("in-memory store recorded %d quarantined objects, want 1", len(q))
 	}
 }
 

@@ -91,6 +91,12 @@ func schedule(t *testing.T, site string) plan {
 		return plan{inproc: site + "=error@1"}
 	case "store/ingest":
 		return plan{inproc: site + "=error@1"}
+	case "store/merge":
+		// Merge failure after a successful persist: the store must keep
+		// serving the previous sealed view (degraded), quarantine the
+		// accepted object, and the service-restart retry must restore full
+		// data from a clean re-ingest.
+		return plan{inproc: site + "=error@1"}
 	case "store/object/write":
 		// Torn object persist: the store "crashes" mid-write, leaving a
 		// corrupt objects/*.json; reopening must quarantine it (degraded,

@@ -1,0 +1,74 @@
+#!/bin/sh
+# Regenerates BENCH_query.json: the serving data plane's latency budget
+# (open-loop loadgen over the mixed endpoint set) plus the ingest
+# throughput benchmark (incremental merge vs legacy full rebuild, with
+# byte-identity cross-checked inside loadgen).
+#
+# Usage: scripts/bench_query.sh [output.json]
+#   BENCH_NOTE="..."       prose note recorded in the file (optional)
+#   LOADGEN_REQUESTS=N     serve-phase request count  (default 20000)
+#   LOADGEN_RPS=N          serve-phase open-loop rate (default 2000)
+#   LOADGEN_SHARDS=N       ingest-bench shard count   (default 256)
+#
+# The serve phase runs with the same acceptance gates the smoke target
+# uses (hit rate, 4xx/5xx, 304 correctness), so a regression fails the
+# regeneration rather than silently landing in the JSON. The ingest
+# phase must show >= 5x over the full-rebuild path (ISSUE 10's floor).
+set -eu
+
+out=${1:-BENCH_query.json}
+requests=${LOADGEN_REQUESTS:-20000}
+rps=${LOADGEN_RPS:-2000}
+shards=${LOADGEN_SHARDS:-256}
+endpoints='/v1/summary?group-by=channel,/v1/csv,/v1/distributions?metric=wcdp_ber&group-by=channel,/v1/safety'
+
+bindir=$(mktemp -d)
+trap 'rm -rf "$bindir"' EXIT
+go build -o "$bindir/loadgen" ./cmd/loadgen
+
+serve_json=$bindir/serve.json
+ingest_json=$bindir/ingest.json
+
+"$bindir/loadgen" -synthetic 32 -requests "$requests" -rps "$rps" \
+	-concurrency 8 -gzip 0.3 -conditional 0.3 -seed 1 \
+	-endpoints "$endpoints" \
+	-min-hit-rate 0.95 -max-5xx 0 -max-4xx 0 -check-304 \
+	-json > "$serve_json"
+
+"$bindir/loadgen" -ingest-bench "$shards" -json > "$ingest_json"
+
+speedup=$(sed -n 's/.*"speedup": *\([0-9.]*\).*/\1/p' "$ingest_json")
+if [ -z "$speedup" ] || [ "$(printf '%.0f' "$speedup")" -lt 5 ]; then
+	echo "bench_query: ingest speedup ${speedup:-?}x is below the 5x floor" >&2
+	exit 1
+fi
+
+nproc_val=$(nproc 2>/dev/null || echo 1)
+goversion=$(go env GOVERSION)
+goos=$(go env GOOS)
+goarch=$(go env GOARCH)
+cpu=$(awk -F': ' '/model name/{print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
+date_val=$(date +%F)
+
+json_escape() { printf '%s' "$1" | sed 's/\\/\\\\/g; s/"/\\"/g'; }
+cpu_esc=$(json_escape "$cpu")
+note_esc=$(json_escape "${BENCH_NOTE:-}")
+
+serve=$(cat "$serve_json")
+ingest=$(cat "$ingest_json")
+cat > "$out" <<EOF
+{
+  "suite": "query",
+  "date": "$date_val",
+  "go": "$goversion",
+  "goos": "$goos",
+  "goarch": "$goarch",
+  "cpu": "$cpu_esc",
+  "nproc": $nproc_val,
+  "note": "$note_esc",
+  "serve": $serve,
+  "ingest_bench": $ingest
+}
+EOF
+
+echo "wrote $out (nproc=$nproc_val, ingest speedup ${speedup}x)"
